@@ -1,0 +1,145 @@
+"""Shared plumbing for the per-figure benchmark modules.
+
+The benchmarks regenerate every table and figure of the paper's evaluation
+section at laptop scale: datasets are the synthetic stand-ins at reduced
+length, and the deep methods run with reduced capacity/epochs.  Absolute MAE
+values therefore differ from the paper; the *shape* of each artefact (which
+method wins, by roughly what factor, where the crossovers are) is what the
+harness reports and what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.registry import create_imputer
+from repro.core.config import DeepMVIConfig
+from repro.data.datasets import load_dataset
+from repro.data.missing import MissingScenario, apply_scenario
+from repro.data.tensor import TimeSeriesTensor
+from repro.evaluation.metrics import mae
+
+#: dataset size preset used throughout the benchmarks
+BENCH_SIZE = "small"
+
+#: DeepMVI configuration used by the benchmarks (reduced epochs/capacity
+#: relative to the paper, but enough steps to converge at this data scale)
+BENCH_DEEPMVI = dict(
+    max_epochs=20, samples_per_epoch=512, patience=4, batch_size=32,
+    n_filters=16, max_context_windows=64,
+)
+
+#: reduced-capacity settings for the other deep baselines
+BENCH_DEEP_BASELINES: Dict[str, Dict] = {
+    "brits": dict(n_epochs=30, hidden_dim=16, crop_length=48),
+    "gpvae": dict(n_epochs=40, hidden_dim=16, latent_dim=6, crop_length=48),
+    "transformer": dict(n_epochs=30, model_dim=16, crop_length=96, batch_size=16),
+    "mrnn": dict(n_epochs=4, hidden_dim=8, crop_length=24, batch_size=2),
+}
+
+
+def build_method(name: str, **config_overrides):
+    """Instantiate a method with benchmark-scale settings."""
+    key = name.lower()
+    if key in ("deepmvi", "deepmvi1d"):
+        params = dict(BENCH_DEEPMVI)
+        params.update(config_overrides)
+        config = DeepMVIConfig(**params)
+        if key == "deepmvi1d":
+            config = config.ablated(flatten_dimensions=True)
+        return create_imputer("deepmvi", config=config)
+    if key.startswith("deepmvi-"):
+        # Ablation variants: deepmvi-no-tt / -no-context / -no-kr / -no-fg
+        flag = {
+            "deepmvi-no-tt": {"use_temporal_transformer": False},
+            "deepmvi-no-context": {"use_context_window": False},
+            "deepmvi-no-kr": {"use_kernel_regression": False},
+            "deepmvi-no-fg": {"use_fine_grained": False},
+        }[key]
+        params = dict(BENCH_DEEPMVI)
+        params.update(config_overrides)
+        config = DeepMVIConfig(**params).ablated(**flag)
+        return create_imputer("deepmvi", config=config)
+    kwargs = BENCH_DEEP_BASELINES.get(key, {})
+    return create_imputer(key, **kwargs)
+
+
+def bench_dataset(name: str, seed: int = 0, length: Optional[int] = None,
+                  shape: Optional[Tuple[int, ...]] = None) -> TimeSeriesTensor:
+    """Load a benchmark-sized dataset."""
+    return load_dataset(name, size=BENCH_SIZE, seed=seed, length=length, shape=shape)
+
+
+def evaluate_cell(truth: TimeSeriesTensor, scenario: MissingScenario,
+                  method: str, seed: int = 0) -> Dict[str, float]:
+    """Run one (dataset, scenario, method) cell and report MAE + runtime."""
+    incomplete, missing_mask = apply_scenario(truth, scenario, seed=seed)
+    imputer = build_method(method)
+    start = time.perf_counter()
+    completed = imputer.fit_impute(incomplete)
+    runtime = time.perf_counter() - start
+    return {
+        "dataset": truth.name,
+        "scenario": scenario.name,
+        "method": method,
+        "mae": mae(completed, truth, missing_mask),
+        "runtime": runtime,
+        "missing_cells": int(missing_mask.sum()),
+    }
+
+
+def evaluate_grid(datasets: Sequence[str], scenarios: Dict[str, MissingScenario],
+                  methods: Sequence[str], seed: int = 0) -> List[Dict[str, float]]:
+    """Evaluate every method on every (dataset, scenario) pair."""
+    rows: List[Dict[str, float]] = []
+    for dataset_name in datasets:
+        truth = bench_dataset(dataset_name, seed=seed)
+        for scenario in scenarios.values():
+            for method in methods:
+                rows.append(evaluate_cell(truth, scenario, method, seed=seed))
+    return rows
+
+
+def rows_to_table(rows: Iterable[Dict[str, float]], index: str = "dataset",
+                  column: str = "method", value: str = "mae") -> Dict[str, Dict[str, float]]:
+    """Pivot raw result rows into ``{index: {column: value}}``."""
+    table: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        table.setdefault(str(row[index]), {})[str(row[column])] = float(row[value])
+    return table
+
+
+def format_table(table: Dict[str, Dict[str, float]], index_name: str = "dataset",
+                 value_format: str = "{:.3f}") -> str:
+    """Aligned plain-text rendering of a pivoted table."""
+    columns: List[str] = []
+    for row in table.values():
+        for name in row:
+            if name not in columns:
+                columns.append(name)
+    header = [index_name] + columns
+    body = []
+    for key, row in table.items():
+        body.append([str(key)] + [
+            value_format.format(row[name]) if name in row else "-" for name in columns])
+    widths = [max(len(line[i]) for line in [header] + body) for i in range(len(header))]
+    lines = ["  ".join(cell.ljust(w) for cell, w in zip(header, widths)),
+             "  ".join("-" * w for w in widths)]
+    lines += ["  ".join(cell.ljust(w) for cell, w in zip(line, widths)) for line in body]
+    return "\n".join(lines)
+
+
+def emit(results_dir, experiment_id: str, title: str, text: str) -> None:
+    """Print a benchmark artefact and persist it under benchmarks/results/."""
+    banner = f"\n=== {experiment_id}: {title} ===\n{text}\n"
+    print(banner)
+    path = results_dir / f"{experiment_id}.txt"
+    path.write_text(banner.lstrip("\n") + "\n")
+
+
+def winner_per_row(table: Dict[str, Dict[str, float]]) -> Dict[str, str]:
+    """Lowest-value column per row (used for shape-of-result summaries)."""
+    return {row_name: min(row, key=row.get) for row_name, row in table.items()}

@@ -1,0 +1,18 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark prints the rows/series of the paper artefact it regenerates
+and also appends them to ``benchmarks/results/<experiment>.txt`` so the
+output survives pytest's capture when ``-s`` is not given.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,66 @@
+"""Figure 6: MAE as the amount of missing data grows.
+
+The paper sweeps the percentage of incomplete series (MCAR, MissDisj,
+MissOver) and the Blackout block size on AirQ, Climate and Electricity.
+Each benchmark covers one dataset and prints, per scenario, one MAE series
+per method along the sweep.
+"""
+
+import pytest
+
+from repro.data.missing import MissingScenario
+
+from benchmarks._harness import bench_dataset, emit, evaluate_cell
+
+DATASETS = ("airq", "climate", "electricity")
+METHODS = ("cdrec", "dynammo", "trmf", "svdimp", "deepmvi")
+SWEEP_PERCENT = (10, 100)
+SWEEP_BLACKOUT = (10, 40)
+
+
+def _scenarios_for(sweep_value):
+    fraction = sweep_value / 100.0
+    return {
+        "mcar": MissingScenario("mcar", {"incomplete_fraction": fraction, "block_size": 10}),
+        "miss_disj": MissingScenario("miss_disj", {"incomplete_fraction": fraction}),
+        "miss_over": MissingScenario("miss_over", {"incomplete_fraction": fraction}),
+    }
+
+
+def _run_dataset(dataset_name):
+    truth = bench_dataset(dataset_name, seed=0)
+    series = {}
+    for sweep_value in SWEEP_PERCENT:
+        for scenario_name, scenario in _scenarios_for(sweep_value).items():
+            for method in METHODS:
+                cell = evaluate_cell(truth, scenario, method, seed=1)
+                series.setdefault(scenario_name, {}).setdefault(method, []).append(
+                    (sweep_value, cell["mae"]))
+    for block_size in SWEEP_BLACKOUT:
+        scenario = MissingScenario("blackout", {"block_size": block_size})
+        for method in METHODS:
+            cell = evaluate_cell(truth, scenario, method, seed=1)
+            series.setdefault("blackout", {}).setdefault(method, []).append(
+                (block_size, cell["mae"]))
+    return series
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_fig6_missingness_sweeps(benchmark, results_dir, dataset_name):
+    series = benchmark.pedantic(_run_dataset, args=(dataset_name,),
+                                rounds=1, iterations=1)
+    lines = []
+    for scenario_name, methods in series.items():
+        x_values = [x for x, _ in next(iter(methods.values()))]
+        x_label = "block size" if scenario_name == "blackout" else "% incomplete"
+        lines.append(f"[{scenario_name}] MAE vs {x_label} {x_values}")
+        for method, points in methods.items():
+            values = "  ".join(f"{value:.3f}" for _, value in points)
+            lines.append(f"  {method:<10} {values}")
+        lines.append("")
+    emit(results_dir, f"figure6_{dataset_name}",
+         f"Missingness sweeps on {dataset_name}", "\n".join(lines))
+
+    assert set(series) == {"mcar", "miss_disj", "miss_over", "blackout"}
+    for methods in series.values():
+        assert set(methods) == set(METHODS)

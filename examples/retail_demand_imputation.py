@@ -1,0 +1,70 @@
+"""Retail demand imputation over a store x product panel.
+
+This is the workload the paper's introduction motivates: demand along time
+for products at different stores, with values missing because of integration
+errors.  The example shows the part of DeepMVI that none of the baselines
+have — the *multidimensional* kernel regression that learns separate
+embeddings for stores and products — by comparing
+
+* DeepMVI with the structured (store, product) index,
+* DeepMVI1D, which flattens the index into one anonymous series id,
+* CDRec, the best conventional matrix-completion method.
+
+Run with::
+
+    python examples/retail_demand_imputation.py [--fast]
+"""
+
+import argparse
+import time
+
+from repro import DeepMVIConfig, DeepMVIImputer, load_dataset, mae
+from repro.baselines import CDRecImputer
+from repro.baselines.registry import create_imputer
+from repro.data.missing import MissingScenario, apply_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="use a tiny panel and model (for smoke testing)")
+    args = parser.parse_args()
+
+    if args.fast:
+        data = load_dataset("janatahack", seed=0, shape=(5, 4), length=96)
+    else:
+        data = load_dataset("janatahack", size="default", seed=0)
+    stores, products = data.dimensions[0].size, data.dimensions[1].size
+    print(f"Retail panel: {stores} stores x {products} products x {data.n_time} weeks")
+
+    scenario = MissingScenario("mcar", {"incomplete_fraction": 1.0, "block_size": 8})
+    incomplete, missing_mask = apply_scenario(data, scenario, seed=2)
+    print(f"Hidden {int(missing_mask.sum())} sales figures\n")
+
+    config = DeepMVIConfig.fast() if args.fast else DeepMVIConfig(
+        max_epochs=25, samples_per_epoch=512, patience=5)
+    methods = {
+        "DeepMVI (store x product)": DeepMVIImputer(config=config),
+        "DeepMVI1D (flattened)": DeepMVIImputer(
+            config=config.ablated(flatten_dimensions=True)),
+        "CDRec": CDRecImputer(),
+    }
+
+    print(f"{'method':<28} {'MAE':>8} {'seconds':>8}")
+    results = {}
+    for name, imputer in methods.items():
+        start = time.perf_counter()
+        completed = imputer.fit_impute(incomplete)
+        elapsed = time.perf_counter() - start
+        results[name] = mae(completed, data, missing_mask)
+        print(f"{name:<28} {results[name]:>8.3f} {elapsed:>8.1f}")
+
+    structured = results["DeepMVI (store x product)"]
+    flattened = results["DeepMVI1D (flattened)"]
+    print("\nKeeping the store/product structure "
+          + ("helped" if structured <= flattened else "did not help")
+          + f" ({structured:.3f} vs {flattened:.3f} MAE).")
+
+
+if __name__ == "__main__":
+    main()

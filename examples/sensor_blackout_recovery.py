@@ -1,0 +1,86 @@
+"""Recovering an IoT sensor blackout.
+
+Blackout is the hardest missing-value scenario in the paper: every sensor
+stops reporting for the same time range (a gateway outage), so nothing can be
+copied from correlated sensors — the only usable signal is the repeating
+pattern *within* each series, which is exactly what DeepMVI's temporal
+transformer extracts.
+
+The example hides a blackout window from a temperature-like sensor panel,
+imputes it with DeepMVI, CDRec and linear interpolation, prints the MAE, and
+draws a small ASCII chart of the reconstructed block for one sensor.
+
+Run with::
+
+    python examples/sensor_blackout_recovery.py [--fast]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import DeepMVIConfig, DeepMVIImputer, load_dataset, mae
+from repro.baselines import CDRecImputer, LinearInterpolationImputer
+from repro.data.missing import MissingScenario, apply_scenario
+
+
+def ascii_chart(series_by_label, width=60, height=9):
+    """Render a few aligned series as a crude ASCII chart."""
+    labels = list(series_by_label)
+    stacked = np.stack([series_by_label[label] for label in labels])
+    lo, hi = stacked.min(), stacked.max()
+    span = hi - lo if hi > lo else 1.0
+    step = max(1, stacked.shape[1] // width)
+    lines = []
+    for label, series in zip(labels, stacked):
+        sampled = series[::step][:width]
+        levels = np.round((sampled - lo) / span * (height - 1)).astype(int)
+        blocks = "▁▂▃▄▅▆▇█"
+        chart = "".join(blocks[min(level, len(blocks) - 1)] for level in levels)
+        lines.append(f"{label:<12} {chart}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="use a tiny dataset and model (for smoke testing)")
+    args = parser.parse_args()
+
+    size = "tiny" if args.fast else "small"
+    data = load_dataset("temperature", size=size, seed=3)
+    print(f"Sensor panel: {data!r}")
+
+    block = 10 if args.fast else 40
+    scenario = MissingScenario("blackout", {"block_size": block, "start_fraction": 0.4})
+    incomplete, missing_mask = apply_scenario(data, scenario, seed=4)
+    start = int(np.argwhere(missing_mask.reshape(data.n_series, -1)[0] == 1)[0, 0])
+    print(f"Blackout: every sensor silent for steps {start}..{start + block - 1}\n")
+
+    config = DeepMVIConfig.fast() if args.fast else DeepMVIConfig(
+        max_epochs=25, samples_per_epoch=512, patience=5)
+    methods = {
+        "DeepMVI": DeepMVIImputer(config=config),
+        "CDRec": CDRecImputer(),
+        "Interpolation": LinearInterpolationImputer(),
+    }
+
+    reconstructions = {}
+    print(f"{'method':<14} {'MAE':>8} {'seconds':>8}")
+    for name, imputer in methods.items():
+        begin = time.perf_counter()
+        completed = imputer.fit_impute(incomplete)
+        elapsed = time.perf_counter() - begin
+        error = mae(completed, data, missing_mask)
+        reconstructions[name] = completed.values.reshape(data.n_series, -1)[0,
+                                                                            start:start + block]
+        print(f"{name:<14} {error:>8.3f} {elapsed:>8.1f}")
+
+    truth_block = data.values.reshape(data.n_series, -1)[0, start:start + block]
+    print("\nReconstruction of the blackout window for sensor 0:")
+    print(ascii_chart({"truth": truth_block, **reconstructions}))
+
+
+if __name__ == "__main__":
+    main()

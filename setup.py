@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that fully offline environments (no ``wheel`` package available
+for PEP 660 editable installs) can still do ``python setup.py develop`` or
+legacy ``pip install -e .`` installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro: reproduction of DeepMVI (VLDB 2021).
+
+Missing value imputation on multidimensional time series.  The package is
+organised as:
+
+``repro.nn``
+    A small reverse-mode autograd engine with layers and optimisers used to
+    implement the deep models (DeepMVI, BRITS, GP-VAE, Transformer).
+``repro.data``
+    The multidimensional time-series tensor container, missing-value
+    scenario generators, and synthetic stand-ins for the paper's datasets.
+``repro.core``
+    The DeepMVI model (temporal transformer, fine-grained signal, kernel
+    regression) and its self-supervised training procedure.
+``repro.baselines``
+    Conventional and deep-learning comparison methods.
+``repro.evaluation``
+    Metrics, the experiment runner, and downstream-analytics tools.
+"""
+
+from repro.core.config import DeepMVIConfig
+from repro.core.imputer import DeepMVIImputer
+from repro.data.tensor import TimeSeriesTensor
+from repro.data.datasets import load_dataset, list_datasets
+from repro.data.missing import (
+    MissingScenario,
+    mcar,
+    mcar_points,
+    miss_disj,
+    miss_over,
+    blackout,
+)
+from repro.evaluation.metrics import mae, rmse
+from repro.evaluation.runner import ExperimentRunner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeepMVIConfig",
+    "DeepMVIImputer",
+    "TimeSeriesTensor",
+    "load_dataset",
+    "list_datasets",
+    "MissingScenario",
+    "mcar",
+    "mcar_points",
+    "miss_disj",
+    "miss_over",
+    "blackout",
+    "mae",
+    "rmse",
+    "ExperimentRunner",
+    "__version__",
+]

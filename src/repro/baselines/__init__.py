@@ -1,0 +1,44 @@
+"""Comparison methods: conventional and deep-learning imputation baselines.
+
+Every method implements the :class:`repro.baselines.base.BaseImputer`
+protocol (``fit``, ``impute``, ``fit_impute``) over a
+:class:`repro.data.tensor.TimeSeriesTensor`, so the evaluation harness can
+treat them uniformly.  Use :func:`repro.baselines.registry.create_imputer`
+to instantiate a method by name.
+"""
+
+from repro.baselines.base import BaseImputer, MatrixImputer
+from repro.baselines.simple import MeanImputer, LinearInterpolationImputer, LOCFImputer
+from repro.baselines.svd import SVDImputer, SoftImputeImputer, SVTImputer
+from repro.baselines.cdrec import CDRecImputer
+from repro.baselines.trmf import TRMFImputer
+from repro.baselines.stmvl import STMVLImputer
+from repro.baselines.dynammo import DynaMMoImputer
+from repro.baselines.tkcm import TKCMImputer
+from repro.baselines.brits import BRITSImputer
+from repro.baselines.mrnn import MRNNImputer
+from repro.baselines.gpvae import GPVAEImputer
+from repro.baselines.transformer import TransformerImputer
+from repro.baselines.registry import create_imputer, list_methods
+
+__all__ = [
+    "BaseImputer",
+    "MatrixImputer",
+    "MeanImputer",
+    "LinearInterpolationImputer",
+    "LOCFImputer",
+    "SVDImputer",
+    "SoftImputeImputer",
+    "SVTImputer",
+    "CDRecImputer",
+    "TRMFImputer",
+    "STMVLImputer",
+    "DynaMMoImputer",
+    "TKCMImputer",
+    "BRITSImputer",
+    "MRNNImputer",
+    "GPVAEImputer",
+    "TransformerImputer",
+    "create_imputer",
+    "list_methods",
+]

@@ -1,0 +1,119 @@
+"""Common interface shared by every imputation method in this repository."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.tensor import TimeSeriesTensor
+from repro.exceptions import NotFittedError
+
+
+class BaseImputer:
+    """Protocol every imputation method follows.
+
+    Subclasses implement :meth:`fit_impute` (or both :meth:`fit` and
+    :meth:`impute`).  The contract, checked by the shared test suite, is:
+
+    * the returned tensor has the same shape and dimensions as the input;
+    * every cell that was observed in the input keeps its exact value;
+    * every cell is observed (mask of all ones) in the output.
+    """
+
+    #: human-readable method name used in reports
+    name: str = "base"
+
+    def fit(self, tensor: TimeSeriesTensor) -> "BaseImputer":
+        """Train / prepare the method on the incomplete dataset."""
+        self._fitted_tensor = tensor
+        return self
+
+    def impute(self, tensor: Optional[TimeSeriesTensor] = None) -> TimeSeriesTensor:
+        """Return a completed copy of ``tensor`` (default: the fitted one)."""
+        raise NotImplementedError
+
+    def fit_impute(self, tensor: TimeSeriesTensor) -> TimeSeriesTensor:
+        """Fit on ``tensor`` and return its completed copy."""
+        return self.fit(tensor).impute(tensor)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class MatrixImputer(BaseImputer):
+    """Convenience base class for methods that operate on the flattened
+    ``(n_series, T)`` matrix view.
+
+    Subclasses implement :meth:`_impute_matrix` which receives the value
+    matrix (missing cells initialised by :meth:`_initial_fill`) and the
+    availability mask, and returns a fully populated matrix.  Observed cells
+    of the returned matrix are always reset to their original values.
+    """
+
+    #: how missing entries are initialised before the solver runs
+    initial_fill: str = "interpolate"
+
+    def fit(self, tensor: TimeSeriesTensor) -> "MatrixImputer":
+        self._fitted_tensor = tensor
+        return self
+
+    def impute(self, tensor: Optional[TimeSeriesTensor] = None) -> TimeSeriesTensor:
+        if tensor is None:
+            tensor = getattr(self, "_fitted_tensor", None)
+            if tensor is None:
+                raise NotFittedError("call fit() before impute()")
+        matrix, mask = tensor.to_matrix()
+        filled = self._initial_fill_matrix(matrix, mask)
+        completed = self._impute_matrix(filled, mask)
+        completed = np.where(mask == 1, matrix, completed)
+        completed = np.nan_to_num(completed, nan=0.0)
+        return tensor.fill(completed.reshape(tensor.values.shape))
+
+    # ------------------------------------------------------------------ #
+    def _impute_matrix(self, matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _initial_fill_matrix(self, matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        if self.initial_fill == "zero":
+            return np.where(mask == 1, matrix, 0.0)
+        if self.initial_fill == "mean":
+            return fill_with_row_means(matrix, mask)
+        return fill_with_interpolation(matrix, mask)
+
+
+# ---------------------------------------------------------------------- #
+# shared helpers
+# ---------------------------------------------------------------------- #
+def fill_with_row_means(matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Replace missing entries with their row (series) mean, or 0 for empty rows."""
+    filled = matrix.copy()
+    for row in range(matrix.shape[0]):
+        observed = mask[row] == 1
+        mean = matrix[row, observed].mean() if observed.any() else 0.0
+        filled[row, ~observed] = mean
+    return np.nan_to_num(filled, nan=0.0)
+
+
+def fill_with_interpolation(matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Linear interpolation/extrapolation of missing entries along time."""
+    filled = matrix.copy()
+    n_rows, length = matrix.shape
+    positions = np.arange(length)
+    for row in range(n_rows):
+        observed = mask[row] == 1
+        if not observed.any():
+            filled[row] = 0.0
+            continue
+        if observed.all():
+            continue
+        filled[row, ~observed] = np.interp(
+            positions[~observed], positions[observed], matrix[row, observed])
+    return np.nan_to_num(filled, nan=0.0)
+
+
+def truncated_svd(matrix: np.ndarray, rank: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rank-``rank`` truncated SVD of ``matrix`` (numpy's full SVD, trimmed)."""
+    u, s, vt = np.linalg.svd(matrix, full_matrices=False)
+    rank = max(1, min(rank, s.shape[0]))
+    return u[:, :rank], s[:rank], vt[:rank]

@@ -1,0 +1,130 @@
+"""BRITS-style bidirectional recurrent imputation (Cao et al., 2018).
+
+BRITS feeds the column ``X[:, t]`` (the values of *all* series at time
+``t``) into a bidirectional RNN; the forward state at ``t`` summarises the
+past, the backward state summarises the future, and together they predict
+the column at ``t`` without ever seeing it.  Missing entries are replaced by
+the model's own prediction as the recursion advances.
+
+This reproduction uses a GRU instead of the original LSTM-with-decay and
+trains on random temporal crops with additional artificial masking, which
+matches the method family at laptop scale (the paper's observation — BRITS
+over-relies on the immediate temporal neighbourhood and degrades in the
+Blackout scenario — is architectural and survives the simplification).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaseImputer
+from repro.data.tensor import TimeSeriesTensor
+from repro.exceptions import NotFittedError
+from repro.nn import functional as F
+from repro.nn.layers import Linear, Module
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam
+from repro.nn.rnn import BidirectionalGRU
+from repro.nn.tensor import Tensor, no_grad
+
+
+class _BRITSNetwork(Module):
+    """Bidirectional GRU over time columns with a per-step regression head."""
+
+    def __init__(self, n_series: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.encoder = BidirectionalGRU(2 * n_series, hidden_dim, rng=rng)
+        self.head = Linear(2 * hidden_dim, n_series, rng=rng)
+
+    def forward(self, values: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Predict every column from its bidirectional context.
+
+        ``values``/``mask`` are ``(B, T, n_series)``; missing values must be
+        zero-filled.  Returns ``(B, T, n_series)`` predictions.
+        """
+        inputs = Tensor(np.concatenate([values * mask, mask], axis=-1))
+        forward_track, backward_track = self.encoder(inputs)
+        combined = F.concatenate([forward_track, backward_track], axis=-1)
+        return self.head(combined)
+
+
+class BRITSImputer(BaseImputer):
+    """Bidirectional recurrent imputation for time series."""
+
+    name = "BRITS"
+
+    def __init__(self, hidden_dim: int = 32, crop_length: int = 48,
+                 n_epochs: int = 15, batch_size: int = 8,
+                 learning_rate: float = 1e-2, artificial_missing: float = 0.1,
+                 seed: int = 0, verbose: bool = False):
+        self.hidden_dim = hidden_dim
+        self.crop_length = crop_length
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.artificial_missing = artificial_missing
+        self.seed = seed
+        self.verbose = verbose
+        self.network: Optional[_BRITSNetwork] = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, tensor: TimeSeriesTensor) -> "BRITSImputer":
+        rng = np.random.default_rng(self.seed)
+        normalised, self._mean, self._std = tensor.normalised()
+        matrix, mask = normalised.to_matrix()
+        matrix = np.where(mask == 1, matrix, 0.0)
+        self._matrix, self._mask = matrix, mask
+        self._fitted_tensor = tensor
+
+        n_series, length = matrix.shape
+        crop = min(self.crop_length, length)
+        self.network = _BRITSNetwork(n_series, self.hidden_dim, rng)
+        optimizer = Adam(self.network.parameters(), lr=self.learning_rate)
+
+        for epoch in range(self.n_epochs):
+            starts = rng.integers(0, max(1, length - crop + 1), size=self.batch_size)
+            values = np.stack([matrix[:, s:s + crop].T for s in starts])     # (B, L, N)
+            avail = np.stack([mask[:, s:s + crop].T for s in starts])
+            # Artificial masking: the loss is evaluated on cells the network
+            # cannot see, mirroring the self-supervised setup of the paper.
+            hide = (rng.random(avail.shape) < self.artificial_missing) & (avail == 1)
+            visible = avail * (1.0 - hide)
+            prediction = self.network(values, visible)
+            loss_mask = avail  # supervise on all truly observed cells
+            loss = mse_loss(prediction, Tensor(values), mask=loss_mask)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.clip_grad_norm(5.0)
+            optimizer.step()
+            if self.verbose:
+                print(f"[brits] epoch {epoch} loss={loss.item():.4f}")
+        return self
+
+    # ------------------------------------------------------------------ #
+    def impute(self, tensor: Optional[TimeSeriesTensor] = None) -> TimeSeriesTensor:
+        if self.network is None:
+            raise NotFittedError("call fit() before impute()")
+        if tensor is None:
+            tensor = self._fitted_tensor
+        matrix, mask = self._matrix, self._mask
+        n_series, length = matrix.shape
+        crop = min(self.crop_length, length)
+        predictions = np.zeros_like(matrix)
+        counts = np.zeros_like(matrix)
+
+        self.network.eval()
+        with no_grad():
+            for start in range(0, length, crop):
+                stop = min(start + crop, length)
+                begin = max(0, stop - crop)
+                values = matrix[:, begin:stop].T[None]
+                avail = mask[:, begin:stop].T[None]
+                output = self.network(values, avail).data[0].T        # (N, L)
+                predictions[:, begin:stop] += output
+                counts[:, begin:stop] += 1.0
+        predictions /= np.maximum(counts, 1.0)
+        completed = np.where(mask == 1, matrix, predictions)
+        completed = completed * self._std + self._mean
+        return tensor.fill(completed.reshape(tensor.values.shape))

@@ -1,0 +1,103 @@
+"""CDRec: recovery of missing blocks with iterative Centroid Decomposition.
+
+Khayati et al. (2019): the time-series matrix ``X (n_series x T)`` is
+decomposed as ``X ≈ L R^T`` where the *centroid decomposition* (CD) is an
+SVD-like factorisation built greedily from sign vectors that maximise the
+"centroid value" ``||X^T z||``.  Recovery proceeds exactly as in the paper:
+
+1. initialise the missing entries by interpolation/extrapolation,
+2. compute the CD and keep the first ``k`` columns of ``L`` and ``R``,
+3. replace the missing entries with the truncated reconstruction,
+4. iterate until the normalised Frobenius difference between successive
+   matrices drops below a threshold.
+
+The sign-vector search uses the standard iterative heuristic (flip the sign
+that most increases the centroid value) which converges in a handful of
+passes and avoids the exponential exhaustive search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import MatrixImputer
+
+
+def _centroid_sign_vector(matrix: np.ndarray, rng: np.random.Generator,
+                          max_passes: int = 20) -> np.ndarray:
+    """Find the sign vector ``z`` maximising ``||matrix^T z||`` (greedy flips)."""
+    n_rows = matrix.shape[0]
+    z = np.ones(n_rows)
+    gram = matrix @ matrix.T
+    for _ in range(max_passes):
+        improved = False
+        # v_i = change in objective from flipping sign i (derived from the
+        # quadratic form z^T G z).
+        gz = gram @ z
+        gains = -4.0 * z * gz + 4.0 * np.diag(gram)
+        candidate = int(np.argmax(gains))
+        if gains[candidate] > 1e-12:
+            z[candidate] = -z[candidate]
+            improved = True
+        if not improved:
+            break
+    return z
+
+
+def centroid_decomposition(matrix: np.ndarray, rank: int,
+                           rng: np.random.Generator = None):
+    """Rank-``rank`` centroid decomposition ``matrix ≈ loadings @ relevance.T``.
+
+    Returns ``(loadings, relevance)`` with shapes ``(n_rows, rank)`` and
+    ``(n_cols, rank)``.
+    """
+    rng = rng or np.random.default_rng(0)
+    residual = matrix.astype(np.float64).copy()
+    n_rows, n_cols = matrix.shape
+    rank = max(1, min(rank, min(n_rows, n_cols)))
+    loadings = np.zeros((n_rows, rank))
+    relevance = np.zeros((n_cols, rank))
+    for component in range(rank):
+        z = _centroid_sign_vector(residual, rng)
+        centroid = residual.T @ z
+        norm = np.linalg.norm(centroid)
+        if norm < 1e-12:
+            break
+        r = centroid / norm
+        l = residual @ r
+        loadings[:, component] = l
+        relevance[:, component] = r
+        residual = residual - np.outer(l, r)
+    return loadings, relevance
+
+
+class CDRecImputer(MatrixImputer):
+    """Centroid-decomposition recovery (CDRec), the strongest conventional
+    baseline in the paper."""
+
+    name = "CDRec"
+
+    def __init__(self, rank: int = 3, max_iters: int = 100, tol: float = 1e-5,
+                 seed: int = 0):
+        self.rank = rank
+        self.max_iters = max_iters
+        self.tol = tol
+        self.seed = seed
+
+    def _impute_matrix(self, matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        current = matrix.copy()
+        missing = mask == 0
+        if not missing.any():
+            return current
+        for _ in range(self.max_iters):
+            loadings, relevance = centroid_decomposition(current, self.rank, rng)
+            reconstruction = loadings @ relevance.T
+            new = current.copy()
+            new[missing] = reconstruction[missing]
+            denominator = max(np.linalg.norm(current), 1e-12)
+            change = np.linalg.norm(new - current) / denominator
+            current = new
+            if change < self.tol:
+                break
+        return current

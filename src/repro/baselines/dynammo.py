@@ -1,0 +1,185 @@
+"""DynaMMo: mining and summarisation of co-evolving sequences with missing
+values (Li et al., 2009).
+
+DynaMMo models a group of co-evolving time series with a linear dynamical
+system (Kalman filter)::
+
+    z_{t+1} = A z_t + w_t        w_t ~ N(0, Q)
+    x_t     = C z_t + v_t        v_t ~ N(0, R)
+
+and learns the parameters with EM, where the E-step runs Kalman filtering
+and RTS smoothing over the *observed* dimensions only (missing dimensions
+contribute nothing to the innovation).  Missing values are reconstructed
+from the smoothed latent states as ``C E[z_t]``.
+
+As in the original algorithm the series are first clustered into small
+groups of similar series, and one LDS is fitted per group — this keeps the
+observation dimension small and captures the co-evolution structure the
+method relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.baselines.base import MatrixImputer, fill_with_interpolation
+
+
+class _LinearDynamicalSystem:
+    """Kalman filter / RTS smoother with EM parameter updates."""
+
+    def __init__(self, obs_dim: int, latent_dim: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.obs_dim = obs_dim
+        self.latent_dim = latent_dim
+        self.transition = np.eye(latent_dim) + 0.01 * rng.normal(size=(latent_dim, latent_dim))
+        self.observation = rng.normal(0, 0.5, size=(obs_dim, latent_dim))
+        self.transition_cov = np.eye(latent_dim) * 0.1
+        self.observation_cov = np.eye(obs_dim) * 0.1
+        self.initial_mean = np.zeros(latent_dim)
+        self.initial_cov = np.eye(latent_dim)
+
+    # ------------------------------------------------------------------ #
+    def smooth(self, observations: np.ndarray, observed: np.ndarray):
+        """RTS smoothing with partially observed vectors.
+
+        Parameters
+        ----------
+        observations:
+            ``(T, obs_dim)``; missing entries can hold anything.
+        observed:
+            ``(T, obs_dim)`` 0/1 mask.
+
+        Returns
+        -------
+        (means, covariances):
+            Smoothed latent means ``(T, latent_dim)`` and covariances
+            ``(T, latent_dim, latent_dim)``.
+        """
+        length = observations.shape[0]
+        k = self.latent_dim
+
+        filtered_means = np.zeros((length, k))
+        filtered_covs = np.zeros((length, k, k))
+        predicted_means = np.zeros((length, k))
+        predicted_covs = np.zeros((length, k, k))
+
+        mean = self.initial_mean
+        cov = self.initial_cov
+        for t in range(length):
+            if t > 0:
+                mean = self.transition @ filtered_means[t - 1]
+                cov = (self.transition @ filtered_covs[t - 1] @ self.transition.T
+                       + self.transition_cov)
+            predicted_means[t] = mean
+            predicted_covs[t] = cov
+
+            visible = observed[t] == 1
+            if visible.any():
+                c = self.observation[visible]
+                r = self.observation_cov[np.ix_(visible, visible)]
+                innovation_cov = c @ cov @ c.T + r
+                gain = cov @ c.T @ np.linalg.pinv(innovation_cov)
+                innovation = observations[t, visible] - c @ mean
+                mean = mean + gain @ innovation
+                cov = (np.eye(k) - gain @ c) @ cov
+            filtered_means[t] = mean
+            filtered_covs[t] = cov
+
+        smoothed_means = filtered_means.copy()
+        smoothed_covs = filtered_covs.copy()
+        for t in range(length - 2, -1, -1):
+            predicted = predicted_covs[t + 1]
+            gain = filtered_covs[t] @ self.transition.T @ np.linalg.pinv(predicted)
+            smoothed_means[t] = (filtered_means[t]
+                                 + gain @ (smoothed_means[t + 1] - predicted_means[t + 1]))
+            smoothed_covs[t] = (filtered_covs[t]
+                                + gain @ (smoothed_covs[t + 1] - predicted) @ gain.T)
+        return smoothed_means, smoothed_covs
+
+    # ------------------------------------------------------------------ #
+    def em_step(self, observations: np.ndarray, observed: np.ndarray) -> np.ndarray:
+        """One EM iteration; returns the reconstruction ``C E[z_t]``."""
+        means, covs = self.smooth(observations, observed)
+        length = observations.shape[0]
+
+        # M-step (simplified): refit observation and transition matrices by
+        # least squares on the smoothed means.
+        latents = means                                            # (T, k)
+        reconstruction_target = np.where(observed == 1, observations, latents @ self.observation.T)
+        gram = latents.T @ latents + 1e-6 * np.eye(self.latent_dim)
+        self.observation = np.linalg.solve(gram, latents.T @ reconstruction_target).T
+
+        if length > 1:
+            past = latents[:-1]
+            future = latents[1:]
+            gram = past.T @ past + 1e-6 * np.eye(self.latent_dim)
+            self.transition = np.linalg.solve(gram, past.T @ future).T
+
+        residual = reconstruction_target - latents @ self.observation.T
+        obs_var = max(float((residual ** 2).mean()), 1e-6)
+        self.observation_cov = np.eye(self.obs_dim) * obs_var
+        self.initial_mean = means[0]
+        return latents @ self.observation.T
+
+
+class DynaMMoImputer(MatrixImputer):
+    """Grouped Kalman-filter imputation (DynaMMo)."""
+
+    name = "DynaMMO"
+
+    def __init__(self, group_size: int = 4, latent_dim: int = 3,
+                 n_em_iters: int = 5, seed: int = 0):
+        self.group_size = group_size
+        self.latent_dim = latent_dim
+        self.n_em_iters = n_em_iters
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    def _impute_matrix(self, matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        groups = self._group_series(matrix, mask)
+        result = matrix.copy()
+        for group in groups:
+            reconstruction = self._fit_group(matrix[group], mask[group])
+            block_mask = mask[group] == 0
+            block = result[group]
+            block[block_mask] = reconstruction[block_mask]
+            result[group] = block
+        return np.nan_to_num(result, nan=0.0)
+
+    def _fit_group(self, matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        observations = fill_with_interpolation(matrix, mask).T      # (T, obs_dim)
+        observed = mask.T
+        lds = _LinearDynamicalSystem(
+            obs_dim=matrix.shape[0],
+            latent_dim=min(self.latent_dim, matrix.shape[0]),
+            seed=self.seed,
+        )
+        reconstruction = observations
+        for _ in range(self.n_em_iters):
+            reconstruction = lds.em_step(observations, observed)
+        return reconstruction.T
+
+    def _group_series(self, matrix: np.ndarray, mask: np.ndarray) -> List[np.ndarray]:
+        """Greedy grouping of series by correlation (most similar first)."""
+        n_series = matrix.shape[0]
+        data = np.where(mask == 1, matrix, np.nan)
+        means = np.nanmean(data, axis=1, keepdims=True)
+        centred = np.nan_to_num(data - means, nan=0.0)
+        norms = np.maximum(np.sqrt((centred ** 2).sum(axis=1, keepdims=True)), 1e-12)
+        correlation = (centred @ centred.T) / (norms @ norms.T)
+
+        unassigned = list(range(n_series))
+        groups: List[np.ndarray] = []
+        while unassigned:
+            seed_series = unassigned.pop(0)
+            similarity = correlation[seed_series, unassigned] if unassigned else np.array([])
+            take = min(self.group_size - 1, len(unassigned))
+            order = np.argsort(-similarity)[:take]
+            members = [seed_series] + [unassigned[i] for i in order]
+            for member in members[1:]:
+                unassigned.remove(member)
+            groups.append(np.array(members, dtype=np.int64))
+        return groups

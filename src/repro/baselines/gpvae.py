@@ -1,0 +1,157 @@
+"""GP-VAE-style deep probabilistic imputation (Fortuin et al., 2020).
+
+GP-VAE encodes each time column ``X[:, t]`` into a low-dimensional latent
+Gaussian, places a Gaussian-process prior along time in the latent space so
+that nearby time steps have similar latents, and decodes the (smoothed)
+latents back into data space; missing entries are read off the decoder
+output.
+
+This reproduction keeps the three defining ingredients — per-column
+variational encoder, temporal GP-style coupling of the latents, decoder
+trained on observed entries only — but approximates the GP posterior with a
+Cauchy/RBF kernel smoothing of the encoded means, which avoids the ``T x T``
+precision-matrix algebra of the original at laptop scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaseImputer
+from repro.data.tensor import TimeSeriesTensor
+from repro.exceptions import NotFittedError
+from repro.nn.layers import Linear, Module, Sequential, ReLU
+from repro.nn.losses import kl_divergence_standard_normal, mse_loss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+
+
+def _temporal_smoothing_matrix(length: int, length_scale: float) -> np.ndarray:
+    """Row-normalised RBF smoothing weights along time (the GP prior proxy)."""
+    times = np.arange(length, dtype=np.float64)
+    sq = (times[:, None] - times[None, :]) ** 2
+    kernel = np.exp(-sq / (2.0 * length_scale ** 2))
+    return kernel / kernel.sum(axis=1, keepdims=True)
+
+
+class _GPVAENetwork(Module):
+    """Column-wise VAE with temporal kernel smoothing of the latent means."""
+
+    def __init__(self, n_series: int, latent_dim: int, hidden_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.encoder = Sequential(
+            Linear(2 * n_series, hidden_dim, rng=rng), ReLU())
+        self.mean_head = Linear(hidden_dim, latent_dim, rng=rng)
+        self.logvar_head = Linear(hidden_dim, latent_dim, rng=rng)
+        self.decoder = Sequential(
+            Linear(latent_dim, hidden_dim, rng=rng), ReLU(),
+            Linear(hidden_dim, n_series, rng=rng))
+        self.latent_dim = latent_dim
+
+    def encode(self, values: np.ndarray, mask: np.ndarray):
+        inputs = Tensor(np.concatenate([values * mask, mask], axis=-1))
+        hidden = self.encoder(inputs)
+        return self.mean_head(hidden), self.logvar_head(hidden)
+
+    def forward(self, values: np.ndarray, mask: np.ndarray,
+                smoothing: np.ndarray, rng: np.random.Generator,
+                sample: bool = True):
+        """``values``/``mask`` are ``(B, T, n_series)``.
+
+        Returns (reconstruction, latent_mean, latent_logvar).
+        """
+        mean, logvar = self.encode(values, mask)
+        # GP prior proxy: smooth the latent means along time.
+        smoothed_mean = Tensor(smoothing) @ mean
+        if sample:
+            noise = rng.normal(size=smoothed_mean.shape)
+            latent = smoothed_mean + (logvar * 0.5).exp() * Tensor(noise)
+        else:
+            latent = smoothed_mean
+        return self.decoder(latent), smoothed_mean, logvar
+
+
+class GPVAEImputer(BaseImputer):
+    """Deep probabilistic imputation with a GP-smoothed latent space."""
+
+    name = "GPVAE"
+
+    def __init__(self, latent_dim: int = 8, hidden_dim: int = 32,
+                 length_scale: float = 5.0, crop_length: int = 64,
+                 n_epochs: int = 30, batch_size: int = 8, beta: float = 0.2,
+                 learning_rate: float = 1e-2, seed: int = 0):
+        self.latent_dim = latent_dim
+        self.hidden_dim = hidden_dim
+        self.length_scale = length_scale
+        self.crop_length = crop_length
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.beta = beta
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.network: Optional[_GPVAENetwork] = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, tensor: TimeSeriesTensor) -> "GPVAEImputer":
+        rng = np.random.default_rng(self.seed)
+        normalised, self._mean, self._std = tensor.normalised()
+        matrix, mask = normalised.to_matrix()
+        matrix = np.where(mask == 1, matrix, 0.0)
+        self._matrix, self._mask = matrix, mask
+        self._fitted_tensor = tensor
+
+        n_series, length = matrix.shape
+        crop = min(self.crop_length, length)
+        smoothing = _temporal_smoothing_matrix(crop, self.length_scale)
+        self.network = _GPVAENetwork(n_series, self.latent_dim, self.hidden_dim, rng)
+        optimizer = Adam(self.network.parameters(), lr=self.learning_rate)
+
+        for _ in range(self.n_epochs):
+            starts = rng.integers(0, max(1, length - crop + 1), size=self.batch_size)
+            values = np.stack([matrix[:, s:s + crop].T for s in starts])
+            avail = np.stack([mask[:, s:s + crop].T for s in starts])
+            reconstruction, latent_mean, latent_logvar = self.network(
+                values, avail, smoothing, rng, sample=True)
+            reconstruction_loss = mse_loss(reconstruction, Tensor(values), mask=avail)
+            kl = kl_divergence_standard_normal(latent_mean, latent_logvar)
+            loss = reconstruction_loss + self.beta * kl
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.clip_grad_norm(5.0)
+            optimizer.step()
+        self._smoothing_crop = crop
+        return self
+
+    # ------------------------------------------------------------------ #
+    def impute(self, tensor: Optional[TimeSeriesTensor] = None) -> TimeSeriesTensor:
+        if self.network is None:
+            raise NotFittedError("call fit() before impute()")
+        if tensor is None:
+            tensor = self._fitted_tensor
+        matrix, mask = self._matrix, self._mask
+        n_series, length = matrix.shape
+        crop = self._smoothing_crop
+        rng = np.random.default_rng(self.seed)
+        predictions = np.zeros_like(matrix)
+        counts = np.zeros_like(matrix)
+
+        self.network.eval()
+        with no_grad():
+            for start in range(0, length, crop):
+                stop = min(start + crop, length)
+                begin = max(0, stop - crop)
+                window_length = stop - begin
+                smoothing = _temporal_smoothing_matrix(window_length, self.length_scale)
+                values = matrix[:, begin:stop].T[None]
+                avail = mask[:, begin:stop].T[None]
+                reconstruction, _, _ = self.network(
+                    values, avail, smoothing, rng, sample=False)
+                predictions[:, begin:stop] += reconstruction.data[0].T
+                counts[:, begin:stop] += 1.0
+        predictions /= np.maximum(counts, 1.0)
+        completed = np.where(mask == 1, matrix, predictions)
+        completed = completed * self._std + self._mean
+        return tensor.fill(completed.reshape(tensor.values.shape))

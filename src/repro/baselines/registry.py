@@ -1,0 +1,68 @@
+"""Name → imputer factory used by the evaluation harness and the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.baselines.base import BaseImputer
+from repro.baselines.brits import BRITSImputer
+from repro.baselines.cdrec import CDRecImputer
+from repro.baselines.dynammo import DynaMMoImputer
+from repro.baselines.gpvae import GPVAEImputer
+from repro.baselines.mrnn import MRNNImputer
+from repro.baselines.simple import LinearInterpolationImputer, LOCFImputer, MeanImputer
+from repro.baselines.stmvl import STMVLImputer
+from repro.baselines.svd import SoftImputeImputer, SVDImputer, SVTImputer
+from repro.baselines.tkcm import TKCMImputer
+from repro.baselines.transformer import TransformerImputer
+from repro.baselines.trmf import TRMFImputer
+from repro.exceptions import ConfigError
+
+_FACTORIES: Dict[str, Callable[..., BaseImputer]] = {
+    "mean": MeanImputer,
+    "interpolation": LinearInterpolationImputer,
+    "locf": LOCFImputer,
+    "svdimp": SVDImputer,
+    "softimpute": SoftImputeImputer,
+    "svt": SVTImputer,
+    "cdrec": CDRecImputer,
+    "trmf": TRMFImputer,
+    "stmvl": STMVLImputer,
+    "dynammo": DynaMMoImputer,
+    "tkcm": TKCMImputer,
+    "brits": BRITSImputer,
+    "mrnn": MRNNImputer,
+    "gpvae": GPVAEImputer,
+    "transformer": TransformerImputer,
+}
+
+
+def register_method(name: str, factory: Callable[..., BaseImputer]) -> None:
+    """Register an additional imputation method under ``name``."""
+    _FACTORIES[name.lower()] = factory
+
+
+def list_methods() -> List[str]:
+    """All registered method names, including ``deepmvi``."""
+    return sorted(list(_FACTORIES) + ["deepmvi", "deepmvi1d"])
+
+
+def create_imputer(name: str, **kwargs) -> BaseImputer:
+    """Instantiate an imputation method by name.
+
+    ``deepmvi`` and ``deepmvi1d`` are resolved lazily to avoid a circular
+    import between the baselines and the core package.
+    """
+    key = name.lower()
+    if key in ("deepmvi", "deepmvi1d"):
+        from repro.core.config import DeepMVIConfig
+        from repro.core.imputer import DeepMVIImputer
+
+        config = kwargs.pop("config", None) or DeepMVIConfig(**kwargs)
+        if key == "deepmvi1d":
+            config = config.ablated(flatten_dimensions=True)
+        return DeepMVIImputer(config=config)
+    if key not in _FACTORIES:
+        raise ConfigError(
+            f"unknown method {name!r}; available: {', '.join(list_methods())}")
+    return _FACTORIES[key](**kwargs)

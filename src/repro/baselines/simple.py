@@ -1,0 +1,65 @@
+"""Trivial imputation baselines: mean, last-observation-carried-forward,
+linear interpolation.
+
+These are not evaluated in the paper's main tables but serve as sanity
+anchors in the test-suite and as initialisers for the matrix-completion
+methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import (
+    MatrixImputer,
+    fill_with_interpolation,
+    fill_with_row_means,
+)
+
+
+class MeanImputer(MatrixImputer):
+    """Replace each missing cell with its series' observed mean."""
+
+    name = "Mean"
+    initial_fill = "zero"
+
+    def _impute_matrix(self, matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        return fill_with_row_means(matrix, mask)
+
+
+class LinearInterpolationImputer(MatrixImputer):
+    """Linear interpolation along time within each series."""
+
+    name = "LinearInterp"
+    initial_fill = "zero"
+
+    def _impute_matrix(self, matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        return fill_with_interpolation(matrix, mask)
+
+
+class LOCFImputer(MatrixImputer):
+    """Last observation carried forward (falls back to backward fill / zero)."""
+
+    name = "LOCF"
+    initial_fill = "zero"
+
+    def _impute_matrix(self, matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        filled = matrix.copy()
+        n_rows, length = matrix.shape
+        for row in range(n_rows):
+            last = None
+            for t in range(length):
+                if mask[row, t] == 1:
+                    last = matrix[row, t]
+                elif last is not None:
+                    filled[row, t] = last
+            # Backward fill for a missing prefix.
+            nxt = None
+            for t in reversed(range(length)):
+                if mask[row, t] == 1:
+                    nxt = matrix[row, t]
+                elif nxt is not None and mask[row, t] == 0 and filled[row, t] == matrix[row, t]:
+                    filled[row, t] = nxt
+            if mask[row].sum() == 0:
+                filled[row] = 0.0
+        return np.nan_to_num(filled, nan=0.0)

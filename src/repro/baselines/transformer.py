@@ -1,0 +1,157 @@
+"""Vanilla transformer imputation baseline (Section 2.3.2 / Table 2).
+
+Each time step of a series is a token: its (masked) value and availability
+flag are linearly embedded, a sinusoidal positional encoding is added, and a
+stack of standard multi-head self-attention + feed-forward blocks produces a
+per-position representation from which the value is regressed.  Training
+masks random blocks of observed values and supervises the reconstruction —
+this is the "off-the-shelf deep-learning component" DeepMVI is compared
+against for both accuracy (Table 2) and runtime (Figure 10a).
+
+Because attention here runs over *individual time steps* (not DeepMVI's
+non-overlapping windows), its context length — and hence its runtime — is a
+factor ``w`` larger for the same temporal span, which reproduces the paper's
+observation that DeepMVI is several times faster.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import BaseImputer
+from repro.data.tensor import TimeSeriesTensor
+from repro.exceptions import NotFittedError
+from repro.nn import functional as F
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import LayerNorm, Linear, Module, ReLU, Sequential
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+
+
+class _TransformerBlock(Module):
+    """Pre-norm self-attention + feed-forward block."""
+
+    def __init__(self, model_dim: int, n_heads: int, rng: np.random.Generator):
+        super().__init__()
+        self.attention = MultiHeadAttention(model_dim, n_heads, rng=rng)
+        self.norm1 = LayerNorm(model_dim)
+        self.norm2 = LayerNorm(model_dim)
+        self.feed_forward = Sequential(
+            Linear(model_dim, 2 * model_dim, rng=rng), ReLU(),
+            Linear(2 * model_dim, model_dim, rng=rng))
+
+    def forward(self, x: Tensor, mask: np.ndarray) -> Tensor:
+        normed = self.norm1(x)
+        attended, _ = self.attention(normed, normed, normed, mask=mask)
+        x = x + attended
+        return x + self.feed_forward(self.norm2(x))
+
+
+class _TransformerNetwork(Module):
+    """Token-per-time-step transformer for one-dimensional series."""
+
+    def __init__(self, model_dim: int, n_heads: int, n_layers: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.input_proj = Linear(2, model_dim, rng=rng)
+        self.blocks = [_TransformerBlock(model_dim, n_heads, rng) for _ in range(n_layers)]
+        self.output_proj = Linear(model_dim, 1, rng=rng)
+        self.model_dim = model_dim
+
+    def forward(self, values: np.ndarray, mask: np.ndarray) -> Tensor:
+        """``values``/``mask`` are ``(B, L)``; returns ``(B, L)`` predictions."""
+        batch, length = values.shape
+        tokens = Tensor(np.stack([values * mask, mask], axis=-1))
+        x = self.input_proj(tokens)
+        x = x + Tensor(F.positional_encoding(length, self.model_dim)[None])
+        # Attention mask: every query may look at any *observed* position.
+        attention_mask = np.broadcast_to(
+            mask[:, None, :], (batch, length, length)).copy()
+        for block in self.blocks:
+            x = block(x, attention_mask)
+        return self.output_proj(x).reshape(batch, length)
+
+
+class TransformerImputer(BaseImputer):
+    """Off-the-shelf transformer applied to missing value imputation."""
+
+    name = "Transformer"
+
+    def __init__(self, model_dim: int = 32, n_heads: int = 4, n_layers: int = 1,
+                 crop_length: int = 96, n_epochs: int = 20, batch_size: int = 16,
+                 learning_rate: float = 1e-2, artificial_missing: float = 0.15,
+                 seed: int = 0):
+        self.model_dim = model_dim
+        self.n_heads = n_heads
+        self.n_layers = n_layers
+        self.crop_length = crop_length
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.artificial_missing = artificial_missing
+        self.seed = seed
+        self.network: Optional[_TransformerNetwork] = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, tensor: TimeSeriesTensor) -> "TransformerImputer":
+        rng = np.random.default_rng(self.seed)
+        normalised, self._mean, self._std = tensor.normalised()
+        matrix, mask = normalised.to_matrix()
+        matrix = np.where(mask == 1, matrix, 0.0)
+        self._matrix, self._mask = matrix, mask
+        self._fitted_tensor = tensor
+
+        n_series, length = matrix.shape
+        crop = min(self.crop_length, length)
+        self.network = _TransformerNetwork(
+            self.model_dim, self.n_heads, self.n_layers, rng)
+        optimizer = Adam(self.network.parameters(), lr=self.learning_rate)
+
+        for _ in range(self.n_epochs):
+            rows = rng.integers(0, n_series, size=self.batch_size)
+            starts = rng.integers(0, max(1, length - crop + 1), size=self.batch_size)
+            values = np.stack([matrix[r, s:s + crop] for r, s in zip(rows, starts)])
+            avail = np.stack([mask[r, s:s + crop] for r, s in zip(rows, starts)])
+            # Hide random contiguous blocks of observed values.
+            visible = avail.copy()
+            for i in range(self.batch_size):
+                block = int(rng.integers(1, max(2, crop // 8)))
+                start = int(rng.integers(0, crop - block))
+                visible[i, start:start + block] = 0.0
+            prediction = self.network(values, visible)
+            loss = mse_loss(prediction, Tensor(values), mask=avail * (1.0 - visible))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.clip_grad_norm(5.0)
+            optimizer.step()
+        return self
+
+    # ------------------------------------------------------------------ #
+    def impute(self, tensor: Optional[TimeSeriesTensor] = None) -> TimeSeriesTensor:
+        if self.network is None:
+            raise NotFittedError("call fit() before impute()")
+        if tensor is None:
+            tensor = self._fitted_tensor
+        matrix, mask = self._matrix, self._mask
+        n_series, length = matrix.shape
+        crop = min(self.crop_length, length)
+        predictions = np.zeros_like(matrix)
+        counts = np.zeros_like(matrix)
+
+        self.network.eval()
+        with no_grad():
+            for start in range(0, length, crop):
+                stop = min(start + crop, length)
+                begin = max(0, stop - crop)
+                values = matrix[:, begin:stop]
+                avail = mask[:, begin:stop]
+                output = self.network(values, avail).data
+                predictions[:, begin:stop] += output
+                counts[:, begin:stop] += 1.0
+        predictions /= np.maximum(counts, 1.0)
+        completed = np.where(mask == 1, matrix, predictions)
+        completed = completed * self._std + self._mean
+        return tensor.fill(completed.reshape(tensor.values.shape))

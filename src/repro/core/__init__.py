@@ -1,0 +1,23 @@
+"""DeepMVI: the paper's core contribution.
+
+The public entry point is :class:`repro.core.imputer.DeepMVIImputer`; the
+submodules implement the three signal extractors (temporal transformer,
+fine-grained local signal, kernel regression), the model that combines them,
+and the self-supervised training procedure with synthetic missing blocks.
+"""
+
+from repro.core.config import DeepMVIConfig
+from repro.core.imputer import DeepMVIImputer
+from repro.core.model import DeepMVIModel
+from repro.core.training import DeepMVITrainer, TrainingHistory
+from repro.core.forecasting import DeepMVIForecaster, SeasonalNaiveForecaster
+
+__all__ = [
+    "DeepMVIConfig",
+    "DeepMVIImputer",
+    "DeepMVIModel",
+    "DeepMVITrainer",
+    "TrainingHistory",
+    "DeepMVIForecaster",
+    "SeasonalNaiveForecaster",
+]

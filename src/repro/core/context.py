@@ -1,0 +1,237 @@
+"""Dataset context and batch construction for DeepMVI.
+
+The neural modules only ever see small numpy arrays describing a batch of
+target cells (their temporal context windows, sibling values, availability
+masks).  This module owns the bookkeeping that turns a
+:class:`~repro.data.tensor.TimeSeriesTensor` into those arrays:
+
+* flattening to a ``(n_series, T)`` matrix and padding the time axis to a
+  multiple of the window size;
+* mapping flat series rows to per-dimension member indices and sibling rows;
+* cropping a bounded context of windows around each target;
+* gathering sibling values at the target time, honouring both the dataset's
+  availability and the per-sample synthetic missing cuboid used in training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.tensor import TimeSeriesTensor
+
+
+@dataclass
+class Batch:
+    """Inputs for one forward pass of :class:`repro.core.model.DeepMVIModel`."""
+
+    #: (B, C, w) context-window values (missing -> 0)
+    window_values: np.ndarray
+    #: (B, C, w) availability of the context windows
+    window_avail: np.ndarray
+    #: (B, C) absolute window index of each context window
+    absolute_index: np.ndarray
+    #: (B,) index within the context of the window containing the target
+    target_window: np.ndarray
+    #: (B,) offset of the target inside its window
+    target_offset: np.ndarray
+    #: (B, n_dims) member index of the target along each dimension
+    member_indices: np.ndarray
+    #: per-dimension (B, S_i) sibling member indices
+    sibling_member_indices: List[np.ndarray] = field(default_factory=list)
+    #: per-dimension (B, S_i) sibling values at the target time (missing -> 0)
+    sibling_values: List[np.ndarray] = field(default_factory=list)
+    #: per-dimension (B, S_i) sibling availability
+    sibling_avail: List[np.ndarray] = field(default_factory=list)
+    #: (B,) ground-truth values (training only; zeros at inference)
+    targets: np.ndarray = None
+    #: (B,) flat series row of each target
+    series_rows: np.ndarray = None
+    #: (B,) target time index
+    target_times: np.ndarray = None
+
+    @property
+    def size(self) -> int:
+        return self.window_values.shape[0]
+
+
+class DatasetContext:
+    """Precomputed flat views and index tables for one dataset.
+
+    Parameters
+    ----------
+    tensor:
+        The (possibly incomplete) dataset.  Values are normalised globally;
+        missing cells are stored as zero and tracked by the availability
+        matrix.
+    window:
+        DeepMVI window size ``w``; the time axis is zero-padded to a
+        multiple of it.
+    max_context_windows:
+        Bound on the number of windows handed to the temporal transformer
+        (centred on the target window).
+    flatten_dimensions:
+        Treat the member combination as a single flat dimension
+        (the DeepMVI1D variant).
+    """
+
+    def __init__(self, tensor: TimeSeriesTensor, window: int,
+                 max_context_windows: int = 64,
+                 flatten_dimensions: bool = False):
+        self.window = window
+        self.max_context_windows = max_context_windows
+        self.flatten_dimensions = flatten_dimensions
+
+        normalised, self.mean, self.std = tensor.normalised()
+        matrix, mask = normalised.to_matrix()
+        matrix = np.where(mask == 1, matrix, 0.0)
+        matrix = np.nan_to_num(matrix, nan=0.0)
+
+        self.n_series, self.n_time = matrix.shape
+        self.matrix = matrix
+        self.avail = mask
+
+        # Pad the time axis to a multiple of the window size.
+        remainder = self.n_time % window
+        pad = 0 if remainder == 0 else window - remainder
+        self.padded_time = self.n_time + pad
+        self.padded_matrix = np.pad(matrix, ((0, 0), (0, pad)))
+        self.padded_avail = np.pad(mask, ((0, 0), (0, pad)))
+        self.n_windows = self.padded_time // window
+
+        # Member-index table and per-dimension sibling rows.
+        if flatten_dimensions or tensor.n_dims == 0:
+            self.dimension_sizes = [self.n_series]
+            self.index_table = np.arange(self.n_series, dtype=np.int64)[:, None]
+        else:
+            self.dimension_sizes = [d.size for d in tensor.dimensions]
+            self.index_table = tensor.series_index_table()
+        self.n_dims = len(self.dimension_sizes)
+        self._sibling_rows = self._build_sibling_rows()
+
+    # ------------------------------------------------------------------ #
+    def _build_sibling_rows(self) -> List[np.ndarray]:
+        """For each dimension, an ``(n_series, K_i - 1)`` table of sibling rows.
+
+        Row ``r``'s siblings along dimension ``i`` are the flat rows of all
+        series that agree with ``r`` on every member index except the
+        ``i``-th.
+        """
+        tables: List[np.ndarray] = []
+        strides = np.ones(self.n_dims, dtype=np.int64)
+        for i in range(self.n_dims - 2, -1, -1):
+            strides[i] = strides[i + 1] * self.dimension_sizes[i + 1]
+        for dim, size in enumerate(self.dimension_sizes):
+            if size <= 1:
+                tables.append(np.zeros((self.n_series, 0), dtype=np.int64))
+                continue
+            rows = np.arange(self.n_series, dtype=np.int64)
+            own_member = self.index_table[:, dim]
+            base = rows - own_member * strides[dim]
+            others = np.arange(size, dtype=np.int64)
+            all_rows = base[:, None] + others[None, :] * strides[dim]   # (n_series, K_i)
+            keep = others[None, :] != own_member[:, None]
+            siblings = all_rows[keep].reshape(self.n_series, size - 1)
+            tables.append(siblings)
+        return tables
+
+    def sibling_rows(self, dim: int) -> np.ndarray:
+        """Sibling flat-row table for dimension ``dim``."""
+        return self._sibling_rows[dim]
+
+    # ------------------------------------------------------------------ #
+    def context_span(self, target_time: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Start window of the bounded context for each target, plus its size."""
+        context = min(self.max_context_windows, self.n_windows)
+        target_window = target_time // self.window
+        start = np.clip(target_window - context // 2, 0, self.n_windows - context)
+        return start.astype(np.int64), context
+
+    def build_batch(self, series_rows: np.ndarray, target_times: np.ndarray,
+                    series_avail_override: Optional[np.ndarray] = None,
+                    member_exclusion: Optional[List[np.ndarray]] = None,
+                    targets: Optional[np.ndarray] = None) -> Batch:
+        """Assemble a :class:`Batch` for the given target cells.
+
+        Parameters
+        ----------
+        series_rows, target_times:
+            ``(B,)`` flat series row and time index of each target.
+        series_avail_override:
+            Optional ``(B, padded_time)`` availability of the *target's own
+            series* replacing the dataset availability — used during
+            training to hide the synthetic missing block.
+        member_exclusion:
+            Optional per-dimension ``(B, S_i)`` boolean arrays marking
+            siblings that fall inside the synthetic missing cuboid and must
+            therefore be treated as missing.
+        targets:
+            ``(B,)`` ground-truth values (normalised scale) for training.
+        """
+        series_rows = np.asarray(series_rows, dtype=np.int64)
+        target_times = np.asarray(target_times, dtype=np.int64)
+        batch = series_rows.shape[0]
+        w = self.window
+
+        series_values = self.padded_matrix[series_rows]                    # (B, T_pad)
+        if series_avail_override is not None:
+            series_avail = series_avail_override
+        else:
+            series_avail = self.padded_avail[series_rows]
+
+        window_values_full = series_values.reshape(batch, self.n_windows, w)
+        window_avail_full = series_avail.reshape(batch, self.n_windows, w)
+
+        start, context = self.context_span(target_times)
+        offsets = start[:, None] + np.arange(context)[None, :]             # (B, C)
+        rows = np.arange(batch)[:, None]
+        window_values = window_values_full[rows, offsets]
+        window_avail = window_avail_full[rows, offsets]
+        target_window = (target_times // w) - start
+        target_offset = target_times % w
+
+        member_indices = self.index_table[series_rows]                      # (B, n_dims)
+
+        sibling_member_indices: List[np.ndarray] = []
+        sibling_values: List[np.ndarray] = []
+        sibling_avail: List[np.ndarray] = []
+        for dim in range(self.n_dims):
+            sib_rows = self._sibling_rows[dim][series_rows]                  # (B, S)
+            if sib_rows.shape[1] == 0:
+                sibling_member_indices.append(np.zeros((batch, 0), dtype=np.int64))
+                sibling_values.append(np.zeros((batch, 0)))
+                sibling_avail.append(np.zeros((batch, 0)))
+                continue
+            values = self.matrix[sib_rows, target_times[:, None]]
+            avail = self.avail[sib_rows, target_times[:, None]]
+            if member_exclusion is not None and member_exclusion[dim].size:
+                avail = avail * (1.0 - member_exclusion[dim])
+            sibling_member_indices.append(self.index_table[sib_rows, dim])
+            sibling_values.append(values * avail)
+            sibling_avail.append(avail)
+
+        return Batch(
+            window_values=window_values,
+            window_avail=window_avail,
+            absolute_index=offsets,
+            target_window=target_window,
+            target_offset=target_offset,
+            member_indices=member_indices,
+            sibling_member_indices=sibling_member_indices,
+            sibling_values=sibling_values,
+            sibling_avail=sibling_avail,
+            targets=targets if targets is not None else np.zeros(batch),
+            series_rows=series_rows,
+            target_times=target_times,
+        )
+
+    # ------------------------------------------------------------------ #
+    def denormalise(self, values: np.ndarray) -> np.ndarray:
+        """Map model outputs back to the original value scale."""
+        return values * self.std + self.mean
+
+    def normalise_value(self, values: np.ndarray) -> np.ndarray:
+        """Map original-scale values to the model's normalised scale."""
+        return (values - self.mean) / self.std

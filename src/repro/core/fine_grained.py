@@ -1,0 +1,63 @@
+"""Fine-grained local signal (Section 4.1.1, Eqn. 15 of the paper).
+
+For a target position ``t`` inside window ``j`` the fine-grained signal is
+simply the mean of the *available* values inside that window.  It carries no
+trainable parameters — it is an input feature that the output layer learns
+to weigh against the temporal-transformer and kernel-regression signals —
+and is most useful for very small missing blocks (Figure 8 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fine_grained_signal(window_values: np.ndarray, window_avail: np.ndarray,
+                        target_window: np.ndarray) -> np.ndarray:
+    """Masked mean of the target window's observed values.
+
+    Parameters
+    ----------
+    window_values:
+        ``(B, C, w)`` context-window values (missing entries may hold
+        anything; they are excluded through the mask).
+    window_avail:
+        ``(B, C, w)`` availability mask.
+    target_window:
+        ``(B,)`` index within the context of the window containing the
+        target position.
+
+    Returns
+    -------
+    ``(B, 1)`` array; zero when the whole target window is missing.
+    """
+    batch = window_values.shape[0]
+    rows = np.arange(batch)
+    values = window_values[rows, target_window, :]
+    avail = window_avail[rows, target_window, :]
+    counts = avail.sum(axis=-1)
+    sums = (values * avail).sum(axis=-1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = np.where(counts > 0, sums / np.maximum(counts, 1.0), 0.0)
+    return means[:, None]
+
+
+def local_neighbourhood_signal(series_values: np.ndarray, series_avail: np.ndarray,
+                               target_time: np.ndarray, radius: int = 5) -> np.ndarray:
+    """Alternative fine-grained feature: masked mean of a ±radius neighbourhood.
+
+    Not used by the default DeepMVI configuration (the paper uses the window
+    mean) but exposed for experimentation; the extension benchmarks compare
+    both variants.
+    """
+    batch, length = series_values.shape
+    output = np.zeros((batch, 1))
+    for row in range(batch):
+        t = int(target_time[row])
+        lo = max(0, t - radius)
+        hi = min(length, t + radius + 1)
+        avail = series_avail[row, lo:hi]
+        values = series_values[row, lo:hi]
+        count = avail.sum()
+        output[row, 0] = (values * avail).sum() / count if count > 0 else 0.0
+    return output

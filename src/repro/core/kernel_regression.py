@@ -1,0 +1,153 @@
+"""Kernel regression over sibling series (Section 4.2 of the paper).
+
+For a target cell ``(k, t)`` and each member dimension ``i`` the module
+collects the *siblings* — all series that share every member index with the
+target except the ``i``-th — and summarises their values at time ``t`` with
+
+* ``U``: an RBF-kernel-weighted mean, where the kernel compares *learned
+  embeddings* of the dimension members (Eqns. 17–18),
+* ``W``: the total available kernel weight (Eqn. 19),
+* ``V``: the plain variance of the sibling values (Eqn. 20).
+
+The concatenation ``[U_i, V_i, W_i]`` over dimensions (Eqn. 21) is the
+cross-series signal ``hkr`` fed to the output layer.  Only ``U`` and ``W``
+depend on the embeddings and therefore carry gradients.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Embedding, Module
+from repro.nn.tensor import Tensor
+
+
+class KernelRegression(Module):
+    """Learned-embedding kernel regression across sibling series.
+
+    Parameters
+    ----------
+    dimension_sizes:
+        Number of members of each non-time dimension.
+    embedding_dim:
+        Size of each member embedding (``d_i`` in the paper, default 10).
+    gamma:
+        RBF kernel bandwidth.
+    top_l:
+        When a dimension has more than ``top_l`` siblings, only the
+        ``top_l`` most similar (by current kernel value) are used — the
+        paper's pre-selection trick for large dimensions.
+    """
+
+    def __init__(self, dimension_sizes: Sequence[int], embedding_dim: int = 10,
+                 gamma: float = 1.0, top_l: int = 50,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.dimension_sizes = list(dimension_sizes)
+        self.embedding_dim = embedding_dim
+        self.gamma = gamma
+        self.top_l = top_l
+        self.embeddings = [
+            Embedding(size, embedding_dim, rng=rng) for size in self.dimension_sizes
+        ]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def output_dim(self) -> int:
+        """Three features (U, V, W) per member dimension."""
+        return 3 * len(self.dimension_sizes)
+
+    def kernel_matrix(self, dim: int) -> np.ndarray:
+        """Pairwise kernel values between all members of dimension ``dim``.
+
+        Evaluated without gradients — useful for inspection and for the
+        top-L pre-selection.
+        """
+        weights = self.embeddings[dim].weight.data
+        sq_dist = ((weights[:, None, :] - weights[None, :, :]) ** 2).sum(axis=-1)
+        return np.exp(-self.gamma * sq_dist)
+
+    def forward(self, member_indices: np.ndarray,
+                sibling_member_indices: List[np.ndarray],
+                sibling_values: List[np.ndarray],
+                sibling_avail: List[np.ndarray]) -> Tensor:
+        """Compute ``hkr`` for a batch of targets.
+
+        Parameters
+        ----------
+        member_indices:
+            ``(B, n_dims)`` member index of the target along each dimension.
+        sibling_member_indices / sibling_values / sibling_avail:
+            One entry per dimension, each ``(B, S_i)``: the member indices of
+            the siblings along that dimension, their values at the target
+            time, and their availability (0/1).  ``S_i`` may be zero for a
+            singleton dimension.
+
+        Returns
+        -------
+        Tensor of shape ``(B, 3 * n_dims)``.
+        """
+        batch = member_indices.shape[0]
+        features: List[Tensor] = []
+        for dim, size in enumerate(self.dimension_sizes):
+            siblings = sibling_member_indices[dim]
+            values = sibling_values[dim]
+            avail = sibling_avail[dim]
+            if siblings.shape[1] == 0:
+                zero = Tensor(np.zeros((batch, 3)))
+                features.append(zero)
+                continue
+
+            siblings, values, avail = self._preselect(
+                dim, member_indices[:, dim], siblings, values, avail)
+
+            target_emb = self.embeddings[dim](member_indices[:, dim])      # (B, d)
+            sibling_emb = self.embeddings[dim](siblings)                    # (B, S, d)
+            diff = sibling_emb - target_emb.reshape(batch, 1, self.embedding_dim)
+            sq_dist = (diff * diff).sum(axis=-1)                            # (B, S)
+            kernel = (sq_dist * (-self.gamma)).exp()                        # Eqn. 17
+
+            avail_t = Tensor(avail)
+            values_t = Tensor(values)
+            weighted = kernel * avail_t
+            weight_sum = weighted.sum(axis=-1)                              # Eqn. 19 (W)
+            numerator = (weighted * values_t).sum(axis=-1)
+            u = numerator / (weight_sum + 1e-8)                             # Eqn. 18 (U)
+            variance = Tensor(self._masked_variance(values, avail))         # Eqn. 20 (V)
+            # Keep the weight feature O(1) regardless of the dimension size so
+            # the zero-initialised output layer sees comparable feature scales.
+            weight_mean = weight_sum * (1.0 / siblings.shape[1])
+
+            features.append(F.stack([u, variance, weight_mean], axis=-1))   # (B, 3)
+        return F.concatenate(features, axis=-1)                             # Eqn. 21
+
+    # ------------------------------------------------------------------ #
+    def _preselect(self, dim: int, target_members: np.ndarray,
+                   siblings: np.ndarray, values: np.ndarray,
+                   avail: np.ndarray):
+        """Keep only the ``top_l`` most similar siblings (no gradient)."""
+        n_siblings = siblings.shape[1]
+        if n_siblings <= self.top_l:
+            return siblings, values, avail
+        kernel = self.kernel_matrix(dim)
+        similarity = kernel[target_members[:, None], siblings]              # (B, S)
+        order = np.argsort(-similarity, axis=1)[:, : self.top_l]
+        rows = np.arange(siblings.shape[0])[:, None]
+        return siblings[rows, order], values[rows, order], avail[rows, order]
+
+    @staticmethod
+    def _masked_variance(values: np.ndarray, avail: np.ndarray) -> np.ndarray:
+        """Variance of the available sibling values (0 when fewer than 2)."""
+        counts = avail.sum(axis=-1)
+        sums = (values * avail).sum(axis=-1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = np.where(counts > 0, sums / np.maximum(counts, 1.0), 0.0)
+        centred = (values - means[:, None]) * avail
+        var = np.where(counts > 1,
+                       (centred ** 2).sum(axis=-1) / np.maximum(counts, 1.0),
+                       0.0)
+        return var

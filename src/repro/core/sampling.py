@@ -1,0 +1,204 @@
+"""Self-supervised training-instance sampling (Section 3 of the paper).
+
+DeepMVI has no labelled training data: it creates its own by picking
+observed cells and hiding a *synthetic missing block* around each one so
+that the context the network sees during training is distributed like the
+context it will see at imputation time.  The block's shape (its extent along
+time and along each member dimension) is sampled from the shapes of the
+blocks that are actually missing in the dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.context import Batch, DatasetContext
+
+
+@dataclass
+class BlockShape:
+    """Extent of a missing cuboid: one entry per member dimension plus time."""
+
+    member_extents: Tuple[int, ...]
+    time_extent: int
+
+
+class MissingShapeSampler:
+    """Estimate and sample the shapes of missing blocks in a dataset.
+
+    Parameters
+    ----------
+    missing_mask:
+        ``(n_series, T)`` 0/1 matrix of the cells that are *actually*
+        missing (the cells DeepMVI will later impute).
+    index_table:
+        ``(n_series, n_dims)`` member indices of each flat series row.
+    dimension_sizes:
+        Member counts per dimension.
+    """
+
+    def __init__(self, missing_mask: np.ndarray, index_table: np.ndarray,
+                 dimension_sizes: Sequence[int]):
+        self.missing_mask = np.asarray(missing_mask, dtype=np.float64)
+        self.index_table = index_table
+        self.dimension_sizes = list(dimension_sizes)
+        self.missing_cells = np.argwhere(self.missing_mask == 1)
+
+    # ------------------------------------------------------------------ #
+    def has_missing(self) -> bool:
+        return self.missing_cells.shape[0] > 0
+
+    def average_time_extent(self) -> float:
+        """Mean length of contiguous missing runs along time (>=1)."""
+        if not self.has_missing():
+            return 1.0
+        lengths: List[int] = []
+        for row in np.unique(self.missing_cells[:, 0]):
+            mask_row = self.missing_mask[row]
+            lengths.extend(_run_lengths(mask_row))
+        return float(np.mean(lengths)) if lengths else 1.0
+
+    def sample_shape(self, rng: np.random.Generator) -> BlockShape:
+        """Sample a cuboid shape from an observed missing block.
+
+        Picks a random missing cell and measures the contiguous missing
+        extent through it along time and along each member dimension.  When
+        the dataset has no missing cells (training on complete data), a
+        small random block is returned so training still sees masked
+        contexts.
+        """
+        n_dims = len(self.dimension_sizes)
+        if not self.has_missing():
+            return BlockShape(member_extents=(1,) * n_dims,
+                              time_extent=int(rng.integers(1, 11)))
+        row, t = self.missing_cells[rng.integers(self.missing_cells.shape[0])]
+        time_extent = _extent_through(self.missing_mask[row], t)
+        member_extents = []
+        for dim in range(n_dims):
+            member_extents.append(
+                self._member_extent(int(row), int(t), dim))
+        return BlockShape(member_extents=tuple(member_extents),
+                          time_extent=int(time_extent))
+
+    def _member_extent(self, row: int, t: int, dim: int) -> int:
+        """Contiguous missing extent along member dimension ``dim`` at (row, t)."""
+        size = self.dimension_sizes[dim]
+        if size <= 1:
+            return 1
+        # Flat rows of the series that differ from `row` only along `dim`,
+        # ordered by member index.
+        strides = np.ones(len(self.dimension_sizes), dtype=np.int64)
+        for i in range(len(self.dimension_sizes) - 2, -1, -1):
+            strides[i] = strides[i + 1] * self.dimension_sizes[i + 1]
+        own_member = self.index_table[row, dim]
+        base = row - own_member * strides[dim]
+        rows_along_dim = base + np.arange(size) * strides[dim]
+        column = self.missing_mask[rows_along_dim, t]
+        return _extent_through(column, own_member)
+
+
+def _run_lengths(mask_row: np.ndarray) -> List[int]:
+    """Lengths of contiguous runs of ones in a 0/1 vector."""
+    lengths: List[int] = []
+    run = 0
+    for value in mask_row:
+        if value == 1:
+            run += 1
+        elif run:
+            lengths.append(run)
+            run = 0
+    if run:
+        lengths.append(run)
+    return lengths
+
+
+def _extent_through(mask_row: np.ndarray, position: int) -> int:
+    """Length of the contiguous run of ones containing ``position`` (>=1)."""
+    if mask_row[position] != 1:
+        return 1
+    left = position
+    while left > 0 and mask_row[left - 1] == 1:
+        left -= 1
+    right = position
+    last = len(mask_row) - 1
+    while right < last and mask_row[right + 1] == 1:
+        right += 1
+    return right - left + 1
+
+
+class TrainingSampler:
+    """Draws self-supervised training batches for DeepMVI.
+
+    Each instance is an observed cell ``(row, t)`` with a synthetic missing
+    cuboid placed uniformly at random so that it covers the cell; the
+    cuboid's time range is hidden from the cell's own series and its member
+    ranges are hidden from the kernel-regression siblings.
+    """
+
+    def __init__(self, context: DatasetContext, shape_sampler: MissingShapeSampler,
+                 rng: np.random.Generator):
+        self.context = context
+        self.shape_sampler = shape_sampler
+        self.rng = rng
+        available = np.argwhere(context.avail[:, : context.n_time] == 1)
+        if available.shape[0] == 0:
+            raise ValueError("dataset has no observed cells to train on")
+        self.available_cells = available
+
+    # ------------------------------------------------------------------ #
+    def sample_batch(self, batch_size: int) -> Batch:
+        """Sample ``batch_size`` training instances and build their Batch."""
+        picks = self.rng.integers(0, self.available_cells.shape[0], size=batch_size)
+        cells = self.available_cells[picks]
+        rows = cells[:, 0]
+        times = cells[:, 1]
+        targets = self.context.matrix[rows, times]
+
+        series_avail = self.context.padded_avail[rows].copy()
+        member_exclusion = [
+            np.zeros_like(self.context.sibling_rows(dim)[rows], dtype=np.float64)
+            for dim in range(self.context.n_dims)
+        ]
+
+        for i in range(batch_size):
+            shape = self.shape_sampler.sample_shape(self.rng)
+            self._apply_cuboid(i, int(rows[i]), int(times[i]), shape,
+                               series_avail, member_exclusion)
+
+        return self.context.build_batch(
+            series_rows=rows,
+            target_times=times,
+            series_avail_override=series_avail,
+            member_exclusion=member_exclusion,
+            targets=targets,
+        )
+
+    def _apply_cuboid(self, i: int, row: int, t: int, shape: BlockShape,
+                      series_avail: np.ndarray,
+                      member_exclusion: List[np.ndarray]) -> None:
+        """Hide the synthetic cuboid for sample ``i`` in the batch buffers."""
+        length = self.context.n_time
+        time_extent = max(1, min(shape.time_extent, length - 1))
+        start = t - int(self.rng.integers(0, time_extent))
+        start = int(np.clip(start, 0, length - time_extent))
+        series_avail[i, start:start + time_extent] = 0.0
+        # The target cell itself must always be hidden.
+        series_avail[i, t] = 0.0
+
+        for dim in range(self.context.n_dims):
+            siblings = member_exclusion[dim]
+            if siblings.shape[1] == 0:
+                continue
+            size = self.context.dimension_sizes[dim]
+            extent = max(1, min(shape.member_extents[dim], size))
+            member = int(self.context.index_table[row, dim])
+            member_start = member - int(self.rng.integers(0, extent))
+            member_start = int(np.clip(member_start, 0, size - extent))
+            sibling_members = self.context.index_table[
+                self.context.sibling_rows(dim)[row], dim]
+            inside = ((sibling_members >= member_start)
+                      & (sibling_members < member_start + extent))
+            siblings[i, inside] = 1.0

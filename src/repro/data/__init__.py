@@ -1,0 +1,39 @@
+"""Data substrate: multidimensional time-series tensors, missing-value
+scenarios, and synthetic stand-ins for the paper's ten datasets."""
+
+from repro.data.dimensions import Dimension
+from repro.data.tensor import TimeSeriesTensor
+from repro.data.missing import (
+    MissingScenario,
+    mcar,
+    mcar_points,
+    miss_disj,
+    miss_over,
+    blackout,
+    apply_scenario,
+)
+from repro.data.synthetic import SyntheticSeriesConfig, generate_panel
+from repro.data.datasets import DatasetProfile, load_dataset, list_datasets, get_profile
+from repro.data.io import load_csv, load_npz, save_csv, save_npz
+
+__all__ = [
+    "load_csv",
+    "load_npz",
+    "save_csv",
+    "save_npz",
+    "Dimension",
+    "TimeSeriesTensor",
+    "MissingScenario",
+    "mcar",
+    "mcar_points",
+    "miss_disj",
+    "miss_over",
+    "blackout",
+    "apply_scenario",
+    "SyntheticSeriesConfig",
+    "generate_panel",
+    "DatasetProfile",
+    "load_dataset",
+    "list_datasets",
+    "get_profile",
+]

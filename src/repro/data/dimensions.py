@@ -1,0 +1,111 @@
+"""Dimension metadata for multidimensional time-series tensors.
+
+The paper models a dataset as an (n+1)-dimensional tensor whose first ``n``
+dimensions are categorical (or vector-valued) "member" dimensions — e.g.
+items and stores in retail data — and whose last dimension is time.  A
+:class:`Dimension` describes one of the ``n`` member dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+Member = Union[str, int, np.ndarray]
+
+
+@dataclass
+class Dimension:
+    """A non-time dimension of the data tensor.
+
+    Parameters
+    ----------
+    name:
+        Human-readable dimension name (e.g. ``"store"``).
+    members:
+        The discrete members of the dimension.  Categorical members are
+        strings or ints; vector members are 1-D numpy arrays (e.g. a store's
+        latitude/longitude), in which case every member must share the same
+        vector length.
+    """
+
+    name: str
+    members: List[Member] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DimensionError("dimension name must be non-empty")
+        if len(self.members) == 0:
+            raise DimensionError(f"dimension {self.name!r} has no members")
+        vector_lengths = {
+            len(np.atleast_1d(m)) for m in self.members
+            if isinstance(m, np.ndarray)
+        }
+        if len(vector_lengths) > 1:
+            raise DimensionError(
+                f"dimension {self.name!r} mixes vector members of different lengths")
+        if vector_lengths and any(
+                not isinstance(m, np.ndarray) for m in self.members):
+            raise DimensionError(
+                f"dimension {self.name!r} mixes vector and categorical members")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of members."""
+        return len(self.members)
+
+    @property
+    def is_vector_valued(self) -> bool:
+        """Whether members are real-valued vectors instead of categories."""
+        return isinstance(self.members[0], np.ndarray)
+
+    @property
+    def vector_dim(self) -> Optional[int]:
+        """Length of vector members, or ``None`` for categorical dimensions."""
+        if not self.is_vector_valued:
+            return None
+        return int(np.atleast_1d(self.members[0]).shape[0])
+
+    def index_of(self, member: Member) -> int:
+        """Position of ``member`` within the dimension."""
+        if self.is_vector_valued:
+            for i, candidate in enumerate(self.members):
+                if np.array_equal(candidate, member):
+                    return i
+            raise DimensionError(
+                f"member not found in vector dimension {self.name!r}")
+        try:
+            return self.members.index(member)
+        except ValueError as exc:
+            raise DimensionError(
+                f"member {member!r} not in dimension {self.name!r}") from exc
+
+    def member_matrix(self) -> np.ndarray:
+        """Numeric representation of members for embedding initialisation.
+
+        Vector dimensions return the stacked member vectors
+        ``(size, vector_dim)``; categorical dimensions return one-hot-like
+        integer identities ``(size, 1)``.
+        """
+        if self.is_vector_valued:
+            return np.stack([np.atleast_1d(m).astype(float) for m in self.members])
+        return np.arange(self.size, dtype=float)[:, None]
+
+    @classmethod
+    def categorical(cls, name: str, size: int, prefix: Optional[str] = None) -> "Dimension":
+        """Create a categorical dimension with ``size`` auto-named members."""
+        prefix = prefix if prefix is not None else name
+        return cls(name=name, members=[f"{prefix}_{i}" for i in range(size)])
+
+    @classmethod
+    def vector(cls, name: str, vectors: Sequence[np.ndarray]) -> "Dimension":
+        """Create a vector-valued dimension from a sequence of 1-D arrays."""
+        return cls(name=name, members=[np.asarray(v, dtype=float) for v in vectors])
+
+    def __len__(self) -> int:
+        return self.size

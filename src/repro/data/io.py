@@ -1,0 +1,171 @@
+"""Loading and saving :class:`TimeSeriesTensor` datasets.
+
+Two interchange formats are supported:
+
+* **NPZ** — a compressed numpy archive holding the value tensor, the
+  availability mask and the dimension metadata.  Lossless and fast; the
+  format used by the benchmark harness to cache generated datasets.
+* **CSV (long format)** — one row per cell: one column per member dimension,
+  a ``time`` column and a ``value`` column; missing cells are either absent
+  or have an empty value field.  This is the format decision-support exports
+  typically produce, and the reader reconstructs the dense tensor (including
+  the availability mask) from it.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data.dimensions import Dimension
+from repro.data.tensor import TimeSeriesTensor
+from repro.exceptions import DatasetError
+
+PathLike = Union[str, Path]
+
+
+# --------------------------------------------------------------------------- #
+# NPZ
+# --------------------------------------------------------------------------- #
+def save_npz(tensor: TimeSeriesTensor, path: PathLike) -> None:
+    """Save a tensor (values, mask, dimension metadata) to an ``.npz`` archive."""
+    metadata = {
+        "name": tensor.name,
+        "dimensions": [
+            {
+                "name": dimension.name,
+                "kind": "vector" if dimension.is_vector_valued else "categorical",
+                "members": [
+                    member.tolist() if isinstance(member, np.ndarray) else member
+                    for member in dimension.members
+                ],
+            }
+            for dimension in tensor.dimensions
+        ],
+    }
+    np.savez_compressed(
+        Path(path),
+        values=np.where(tensor.mask == 1, tensor.values, np.nan),
+        mask=tensor.mask,
+        metadata=np.array(json.dumps(metadata)),
+    )
+
+
+def load_npz(path: PathLike) -> TimeSeriesTensor:
+    """Load a tensor previously written by :func:`save_npz`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such file: {path}")
+    archive = np.load(path, allow_pickle=False)
+    metadata = json.loads(str(archive["metadata"]))
+    dimensions: List[Dimension] = []
+    for entry in metadata["dimensions"]:
+        if entry["kind"] == "vector":
+            members = [np.asarray(member, dtype=float) for member in entry["members"]]
+        else:
+            members = list(entry["members"])
+        dimensions.append(Dimension(name=entry["name"], members=members))
+    return TimeSeriesTensor(
+        values=archive["values"],
+        mask=archive["mask"],
+        dimensions=dimensions,
+        name=metadata.get("name", "dataset"),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# CSV (long format)
+# --------------------------------------------------------------------------- #
+def save_csv(tensor: TimeSeriesTensor, path: PathLike,
+             include_missing: bool = False) -> None:
+    """Write the tensor in long format: one row per (members..., time, value).
+
+    Missing cells are written with an empty value field when
+    ``include_missing`` is true, and omitted entirely otherwise.
+    """
+    path = Path(path)
+    dimension_names = [dimension.name for dimension in tensor.dimensions]
+    table = tensor.series_index_table()
+    matrix, mask = tensor.to_matrix()
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(dimension_names + ["time", "value"])
+        for row in range(matrix.shape[0]):
+            members = [
+                tensor.dimensions[d].members[table[row, d]]
+                if not tensor.dimensions[d].is_vector_valued
+                else json.dumps(tensor.dimensions[d].members[table[row, d]].tolist())
+                for d in range(len(dimension_names))
+            ]
+            for t in range(matrix.shape[1]):
+                if mask[row, t] == 1:
+                    writer.writerow(members + [t, repr(float(matrix[row, t]))])
+                elif include_missing:
+                    writer.writerow(members + [t, ""])
+
+
+def load_csv(path: PathLike, dimension_names: Optional[Sequence[str]] = None,
+             name: str = "dataset") -> TimeSeriesTensor:
+    """Reconstruct a dense tensor from a long-format CSV file.
+
+    The header row must end with ``time`` and ``value`` columns; every other
+    column is treated as a categorical member dimension.  Cells not present
+    in the file (or with an empty value) become missing.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such file: {path}")
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or len(header) < 2 or header[-2:] != ["time", "value"]:
+            raise DatasetError(
+                "CSV header must end with 'time' and 'value' columns")
+        member_columns = header[:-2]
+        if dimension_names is not None:
+            if list(dimension_names) != member_columns:
+                raise DatasetError(
+                    f"dimension names {list(dimension_names)} do not match the "
+                    f"CSV header {member_columns}")
+        records = []
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise DatasetError(f"malformed CSV row at line {line_number}")
+            members = tuple(row[:-2])
+            try:
+                time_index = int(row[-2])
+            except ValueError as exc:
+                raise DatasetError(
+                    f"non-integer time index at line {line_number}") from exc
+            value_text = row[-1].strip()
+            value = float(value_text) if value_text else None
+            records.append((members, time_index, value))
+
+    if not records:
+        raise DatasetError("CSV file contains no data rows")
+
+    member_values: List[List[str]] = [[] for _ in member_columns]
+    max_time = 0
+    for members, time_index, _ in records:
+        for d, member in enumerate(members):
+            if member not in member_values[d]:
+                member_values[d].append(member)
+        max_time = max(max_time, time_index)
+
+    dimensions = [Dimension(name=column, members=list(values))
+                  for column, values in zip(member_columns, member_values)]
+    shape = tuple(len(values) for values in member_values) + (max_time + 1,)
+    values_array = np.full(shape, np.nan)
+    for members, time_index, value in records:
+        index = tuple(member_values[d].index(member)
+                      for d, member in enumerate(members))
+        if value is not None:
+            values_array[index + (time_index,)] = value
+
+    return TimeSeriesTensor(values=values_array, dimensions=dimensions, name=name)

@@ -1,0 +1,205 @@
+"""Missing-value scenario generators (Section 5.1.2 of the paper).
+
+Each generator produces a *missing mask*: an array shaped like the dataset's
+values with 1 at cells that should be hidden from the imputation method and
+0 elsewhere.  The mask only ever covers cells that are currently observed,
+so applying it with :meth:`TimeSeriesTensor.with_missing` yields a
+well-formed evaluation task where the hidden ground truth is known.
+
+Scenarios
+---------
+``mcar``
+    Missing Completely At Random: a fraction of the series are "incomplete";
+    each incomplete series has ``missing_rate`` of its cells hidden in
+    random blocks of a constant ``block_size``.
+``mcar_points``
+    The Section 5.5.3 variant of MCAR with a configurable (small) block size,
+    down to isolated points.
+``miss_disj``
+    Disjoint blocks: series ``i`` loses the range ``[i*T/N, (i+1)*T/N)``, so
+    no two series are missing the same time index.
+``miss_over``
+    Overlapping blocks: like MissDisj but with blocks of length ``2*T/N``
+    (except the last series), so neighbouring series overlap.
+``blackout``
+    All series lose the same time range ``[t0, t0 + block_size)`` where
+    ``t0`` defaults to 5% of the series length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.data.tensor import TimeSeriesTensor
+from repro.exceptions import ScenarioError
+
+
+def _series_view(tensor: TimeSeriesTensor) -> np.ndarray:
+    """Missing mask buffer in the flattened ``(n_series, T)`` layout."""
+    return np.zeros((tensor.n_series, tensor.n_time), dtype=np.float64)
+
+
+def _to_tensor_shape(tensor: TimeSeriesTensor, flat_mask: np.ndarray) -> np.ndarray:
+    mask = flat_mask.reshape(tensor.values.shape)
+    # Never mark already-missing cells: the scenario only hides observed data.
+    return mask * tensor.mask
+
+
+def _place_random_blocks(length: int, n_cells: int, block_size: int,
+                         rng: np.random.Generator,
+                         forbidden_margin: int = 0) -> np.ndarray:
+    """Return a 0/1 vector of ``length`` with ~``n_cells`` cells covered by
+    non-overlapping random blocks of ``block_size``."""
+    row = np.zeros(length, dtype=np.float64)
+    n_blocks = max(1, int(round(n_cells / block_size)))
+    placed = 0
+    attempts = 0
+    max_attempts = 50 * n_blocks
+    while placed < n_blocks and attempts < max_attempts:
+        attempts += 1
+        start = int(rng.integers(forbidden_margin,
+                                 max(length - block_size - forbidden_margin, 1)))
+        stop = start + block_size
+        if row[start:stop].any():
+            continue
+        row[start:stop] = 1.0
+        placed += 1
+    return row
+
+
+def mcar(tensor: TimeSeriesTensor, incomplete_fraction: float = 0.1,
+         missing_rate: float = 0.1, block_size: int = 10,
+         rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """MCAR scenario: random constant-size blocks in a fraction of the series."""
+    if not 0 < incomplete_fraction <= 1:
+        raise ScenarioError("incomplete_fraction must be in (0, 1]")
+    if not 0 < missing_rate < 1:
+        raise ScenarioError("missing_rate must be in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+    n_series, length = tensor.n_series, tensor.n_time
+    if block_size >= length:
+        raise ScenarioError(
+            f"block_size {block_size} must be smaller than series length {length}")
+    flat = _series_view(tensor)
+    n_incomplete = max(1, int(round(incomplete_fraction * n_series)))
+    chosen = rng.choice(n_series, size=n_incomplete, replace=False)
+    per_series_cells = int(round(missing_rate * length))
+    for row in chosen:
+        flat[row] = _place_random_blocks(length, per_series_cells, block_size, rng)
+    return _to_tensor_shape(tensor, flat)
+
+
+def mcar_points(tensor: TimeSeriesTensor, incomplete_fraction: float = 1.0,
+                missing_rate: float = 0.1, block_size: int = 1,
+                rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """MCAR variant with small blocks (down to isolated points), Section 5.5.3."""
+    return mcar(tensor, incomplete_fraction=incomplete_fraction,
+                missing_rate=missing_rate, block_size=block_size, rng=rng)
+
+
+def miss_disj(tensor: TimeSeriesTensor, incomplete_fraction: float = 1.0,
+              rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """MissDisj scenario: per-series disjoint blocks of length ``T / N``."""
+    rng = rng or np.random.default_rng(0)
+    n_series, length = tensor.n_series, tensor.n_time
+    block = max(1, length // n_series)
+    flat = _series_view(tensor)
+    n_incomplete = max(1, int(round(incomplete_fraction * n_series)))
+    for row in range(n_incomplete):
+        start = min(row * block, length - 1)
+        stop = min((row + 1) * block, length)
+        flat[row, start:stop] = 1.0
+    return _to_tensor_shape(tensor, flat)
+
+
+def miss_over(tensor: TimeSeriesTensor, incomplete_fraction: float = 1.0,
+              rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """MissOver scenario: blocks of length ``2T / N`` overlapping neighbours."""
+    rng = rng or np.random.default_rng(0)
+    n_series, length = tensor.n_series, tensor.n_time
+    block = max(1, length // n_series)
+    flat = _series_view(tensor)
+    n_incomplete = max(1, int(round(incomplete_fraction * n_series)))
+    for row in range(n_incomplete):
+        start = min(row * block, length - 1)
+        if row == n_series - 1:
+            stop = min(start + block, length)
+        else:
+            stop = min(start + 2 * block, length)
+        flat[row, start:stop] = 1.0
+    return _to_tensor_shape(tensor, flat)
+
+
+def blackout(tensor: TimeSeriesTensor, block_size: int = 10,
+             start_fraction: float = 0.05,
+             rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Blackout scenario: the same time range missing from every series."""
+    length = tensor.n_time
+    if block_size >= length:
+        raise ScenarioError(
+            f"block_size {block_size} must be smaller than series length {length}")
+    start = int(round(start_fraction * length))
+    start = min(start, length - block_size)
+    flat = _series_view(tensor)
+    flat[:, start:start + block_size] = 1.0
+    return _to_tensor_shape(tensor, flat)
+
+
+_GENERATORS: Dict[str, Callable[..., np.ndarray]] = {
+    "mcar": mcar,
+    "mcar_points": mcar_points,
+    "miss_disj": miss_disj,
+    "miss_over": miss_over,
+    "blackout": blackout,
+}
+
+
+@dataclass
+class MissingScenario:
+    """A named, parameterised missing-value scenario.
+
+    Example
+    -------
+    >>> scenario = MissingScenario("mcar", {"incomplete_fraction": 0.5})
+    >>> missing_mask = scenario.generate(dataset, seed=3)
+    """
+
+    name: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name not in _GENERATORS:
+            raise ScenarioError(
+                f"unknown scenario {self.name!r}; known: {sorted(_GENERATORS)}")
+
+    def generate(self, tensor: TimeSeriesTensor, seed: int = 0) -> np.ndarray:
+        """Generate the missing mask for ``tensor`` with a fixed ``seed``."""
+        rng = np.random.default_rng(seed)
+        return _GENERATORS[self.name](tensor, rng=rng, **self.params)
+
+    def describe(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.name}({params})"
+
+
+def apply_scenario(tensor: TimeSeriesTensor, scenario: MissingScenario,
+                   seed: int = 0):
+    """Apply ``scenario`` to ``tensor``.
+
+    Returns
+    -------
+    (incomplete, missing_mask):
+        ``incomplete`` is a copy of ``tensor`` with the scenario's cells
+        hidden; ``missing_mask`` marks exactly those cells (the evaluation
+        set).
+    """
+    missing_mask = scenario.generate(tensor, seed=seed)
+    return tensor.with_missing(missing_mask), missing_mask
+
+
+def list_scenarios() -> list:
+    """Names of all registered scenario generators."""
+    return sorted(_GENERATORS)

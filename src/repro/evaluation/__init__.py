@@ -1,0 +1,26 @@
+"""Evaluation harness: metrics, the experiment runner, downstream analytics,
+and the per-figure experiment configurations."""
+
+from repro.evaluation.metrics import mae, rmse, nrmse, masked_errors
+from repro.evaluation.runner import ExperimentRunner, ExperimentResult
+from repro.evaluation.analytics import (
+    aggregate_analytics_error,
+    drop_cell_aggregate,
+    downstream_comparison,
+)
+from repro.evaluation.reporting import format_table, results_to_rows, pivot
+
+__all__ = [
+    "mae",
+    "rmse",
+    "nrmse",
+    "masked_errors",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "aggregate_analytics_error",
+    "drop_cell_aggregate",
+    "downstream_comparison",
+    "format_table",
+    "results_to_rows",
+    "pivot",
+]

@@ -1,0 +1,144 @@
+"""Command-line interface for running imputation experiments.
+
+Examples
+--------
+List what is available::
+
+    python -m repro.evaluation.cli list
+
+Run one (dataset, scenario, method) cell::
+
+    python -m repro.evaluation.cli run --dataset climate --scenario mcar \
+        --methods deepmvi cdrec svdimp --size tiny
+
+Regenerate one of the paper's experiments (same grids the benchmark harness
+uses, printed as a table)::
+
+    python -m repro.evaluation.cli experiment figure5 --size tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines.registry import create_imputer, list_methods
+from repro.core.config import DeepMVIConfig
+from repro.data.datasets import list_datasets, load_dataset
+from repro.data.missing import MissingScenario, list_scenarios
+from repro.evaluation.experiments import (
+    EXPERIMENTS,
+    STANDARD_SCENARIOS,
+    list_experiments,
+    scenario_for,
+)
+from repro.evaluation.reporting import format_table, pivot
+from repro.evaluation.runner import ExperimentRunner
+
+
+def _deepmvi_kwargs(size: str) -> dict:
+    """Benchmark-scale DeepMVI settings keyed by dataset size preset."""
+    if size == "tiny":
+        return {"config": DeepMVIConfig(max_epochs=12, samples_per_epoch=256,
+                                        patience=3, n_filters=16)}
+    return {"config": DeepMVIConfig(max_epochs=20, samples_per_epoch=512, patience=4)}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-eval", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list datasets, scenarios, methods, experiments")
+
+    run = subparsers.add_parser("run", help="run methods on one dataset/scenario")
+    run.add_argument("--dataset", required=True, choices=list_datasets())
+    run.add_argument("--scenario", required=True, choices=list_scenarios())
+    run.add_argument("--methods", nargs="+", required=True)
+    run.add_argument("--size", default="tiny", choices=["tiny", "small", "default"])
+    run.add_argument("--block-size", type=int, default=10)
+    run.add_argument("--incomplete-fraction", type=float, default=1.0)
+    run.add_argument("--seed", type=int, default=0)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's experiments")
+    experiment.add_argument("experiment_id", choices=list_experiments())
+    experiment.add_argument("--size", default="tiny",
+                            choices=["tiny", "small", "default"])
+    experiment.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _command_list() -> int:
+    print("datasets:   " + ", ".join(list_datasets()))
+    print("scenarios:  " + ", ".join(list_scenarios()))
+    print("methods:    " + ", ".join(list_methods()))
+    print("experiments:" + " " + ", ".join(list_experiments()))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    data = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    params = {}
+    if args.scenario in ("mcar", "mcar_points"):
+        params = {"incomplete_fraction": args.incomplete_fraction,
+                  "block_size": args.block_size}
+    elif args.scenario == "blackout":
+        params = {"block_size": args.block_size}
+    else:
+        params = {"incomplete_fraction": args.incomplete_fraction}
+    scenario = MissingScenario(args.scenario, params)
+
+    runner = ExperimentRunner(
+        methods=args.methods,
+        method_kwargs={"deepmvi": _deepmvi_kwargs(args.size),
+                       "deepmvi1d": _deepmvi_kwargs(args.size)},
+        seed=args.seed)
+    results = [runner.run_cell(data, scenario, method, seed=args.seed)
+               for method in args.methods]
+    print(format_table(pivot(results, index="method", columns="scenario", value="mae"),
+                       index_name="method"))
+    runtimes = ", ".join(f"{r.method}={r.runtime_seconds:.2f}s" for r in results)
+    print(f"\nruntimes: {runtimes}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    spec = EXPERIMENTS[args.experiment_id]
+    print(f"{spec.experiment_id}: {spec.description}")
+    if not spec.methods:
+        from repro.data.datasets import table1_summary
+        for row in table1_summary():
+            print(row)
+        return 0
+
+    runner = ExperimentRunner(
+        methods=list(spec.methods),
+        method_kwargs={"deepmvi": _deepmvi_kwargs(args.size),
+                       "deepmvi1d": _deepmvi_kwargs(args.size)},
+        seed=args.seed)
+    datasets = [load_dataset(name, size=args.size, seed=args.seed)
+                for name in spec.datasets]
+    scenarios = [scenario_for(name) for name in spec.scenarios
+                 if name in STANDARD_SCENARIOS]
+    if not scenarios:
+        scenarios = [scenario_for("mcar")]
+    results = runner.run_grid(datasets, scenarios, seed=args.seed)
+    print(format_table(pivot(results, index="dataset", columns="method", value="mae")))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""Declarative definitions of the paper's experiments.
+
+Each entry maps a table/figure of the paper's evaluation section to the
+datasets, missing-value scenarios, methods and parameter sweeps needed to
+regenerate it.  The benchmark harness (``benchmarks/``) consumes these
+definitions; keeping them here means tests can validate the experiment
+inventory independently of pytest-benchmark.
+
+Two sizing knobs keep the grid laptop-friendly:
+
+* ``dataset_size`` — the preset passed to :func:`repro.data.datasets.load_dataset`;
+* ``method_kwargs`` — reduced-capacity settings for the deep methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.data.missing import MissingScenario
+
+#: the four block-missing scenarios of Section 5.1.2 at x=10% incomplete
+STANDARD_SCENARIOS: Dict[str, MissingScenario] = {
+    "mcar": MissingScenario("mcar", {"incomplete_fraction": 0.1, "block_size": 10}),
+    "miss_disj": MissingScenario("miss_disj", {"incomplete_fraction": 1.0}),
+    "miss_over": MissingScenario("miss_over", {"incomplete_fraction": 1.0}),
+    "blackout": MissingScenario("blackout", {"block_size": 10}),
+}
+
+#: conventional methods compared in Figures 5 and 6
+CONVENTIONAL_METHODS: Tuple[str, ...] = ("cdrec", "dynammo", "trmf", "svdimp", "deepmvi")
+
+#: deep-learning methods compared in Table 2
+DEEP_METHODS: Tuple[str, ...] = ("brits", "gpvae", "transformer", "deepmvi")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One paper table/figure and everything needed to regenerate it."""
+
+    experiment_id: str
+    description: str
+    datasets: Tuple[str, ...]
+    methods: Tuple[str, ...]
+    scenarios: Tuple[str, ...]
+    sweep_name: str = ""
+    sweep_values: Tuple[object, ...] = ()
+    dataset_size: str = "small"
+    notes: str = ""
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    "table1": ExperimentSpec(
+        experiment_id="table1",
+        description="Dataset inventory with qualitative characteristics",
+        datasets=("airq", "chlorine", "gas", "climate", "electricity",
+                  "temperature", "meteo", "bafu", "janatahack", "m5"),
+        methods=(),
+        scenarios=(),
+        notes="Reproduced from the dataset registry; no imputation involved.",
+    ),
+    "figure4": ExperimentSpec(
+        experiment_id="figure4",
+        description="Visual imputation comparison on Electricity (MCAR and Blackout)",
+        datasets=("electricity",),
+        methods=("cdrec", "dynammo", "deepmvi"),
+        scenarios=("mcar", "blackout"),
+    ),
+    "figure5": ExperimentSpec(
+        experiment_id="figure5",
+        description="Conventional methods on five datasets under four scenarios (x=10%)",
+        datasets=("chlorine", "temperature", "gas", "meteo", "bafu"),
+        methods=CONVENTIONAL_METHODS,
+        scenarios=("mcar", "miss_disj", "miss_over", "blackout"),
+    ),
+    "figure6": ExperimentSpec(
+        experiment_id="figure6",
+        description="MAE sweeps on AirQ/Climate/Electricity: % incomplete series "
+                    "(MCAR/MissDisj/MissOver) and blackout block size",
+        datasets=("airq", "climate", "electricity"),
+        methods=CONVENTIONAL_METHODS,
+        scenarios=("mcar", "miss_disj", "miss_over", "blackout"),
+        sweep_name="incomplete_percent_or_block_size",
+        sweep_values=(10, 40, 70, 100),
+    ),
+    "table2": ExperimentSpec(
+        experiment_id="table2",
+        description="Deep-learning comparison (MCAR x=100%; Blackout size 100)",
+        datasets=("m5", "janatahack", "climate", "electricity", "meteo"),
+        methods=DEEP_METHODS,
+        scenarios=("mcar", "blackout"),
+        notes="Blackout only for climate/electricity/meteo, as in the paper.",
+    ),
+    "figure7": ExperimentSpec(
+        experiment_id="figure7",
+        description="Ablation study: no temporal transformer / no context window / "
+                    "no kernel regression",
+        datasets=("airq", "climate", "electricity"),
+        methods=("deepmvi", "deepmvi-no-tt", "deepmvi-no-context", "deepmvi-no-kr"),
+        scenarios=("mcar",),
+        sweep_name="incomplete_percent",
+        sweep_values=(10, 50, 100),
+    ),
+    "figure8": ExperimentSpec(
+        experiment_id="figure8",
+        description="Fine-grained local signal vs missing block size on Climate",
+        datasets=("climate",),
+        methods=("cdrec", "deepmvi", "deepmvi-no-fg"),
+        scenarios=("mcar_points",),
+        sweep_name="block_size",
+        sweep_values=(1, 2, 4, 6, 8, 10),
+    ),
+    "figure9": ExperimentSpec(
+        experiment_id="figure9",
+        description="Multidimensional kernel regression on JanataHack "
+                    "(DeepMVI vs DeepMVI1D vs conventional)",
+        datasets=("janatahack",),
+        methods=("cdrec", "dynammo", "trmf", "svdimp", "deepmvi1d", "deepmvi"),
+        scenarios=("mcar",),
+        sweep_name="incomplete_percent",
+        sweep_values=(20, 60, 100),
+    ),
+    "figure10a": ExperimentSpec(
+        experiment_id="figure10a",
+        description="Absolute runtime per dataset (MCAR, x=100%)",
+        datasets=("airq", "climate", "meteo", "janatahack", "bafu"),
+        methods=("cdrec", "svdimp", "trmf", "dynammo", "transformer", "deepmvi"),
+        scenarios=("mcar",),
+    ),
+    "figure10b": ExperimentSpec(
+        experiment_id="figure10b",
+        description="DeepMVI runtime vs series length (10 series)",
+        datasets=("airq",),
+        methods=("deepmvi",),
+        scenarios=("mcar",),
+        sweep_name="series_length",
+        sweep_values=(256, 512, 1024, 2048),
+    ),
+    "figure11": ExperimentSpec(
+        experiment_id="figure11",
+        description="Downstream analytics: MAE(DropCell) - MAE(method)",
+        datasets=("climate", "electricity", "janatahack", "m5"),
+        methods=("cdrec", "brits", "gpvae", "transformer", "deepmvi"),
+        scenarios=("mcar",),
+    ),
+}
+
+
+def list_experiments() -> List[str]:
+    """Identifiers of every reproduced table/figure."""
+    return sorted(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up one experiment definition."""
+    return EXPERIMENTS[experiment_id]
+
+
+def scenario_for(name: str, **overrides) -> MissingScenario:
+    """Build a standard scenario, optionally overriding its parameters."""
+    base = STANDARD_SCENARIOS[name]
+    params = dict(base.params)
+    params.update(overrides)
+    return MissingScenario(base.name, params)

@@ -1,0 +1,80 @@
+"""Imputation error metrics (Eqn. 1 of the paper).
+
+All metrics compare the imputed tensor with the ground truth *only at the
+cells that were hidden* (the evaluation mask); observed cells are identical
+by construction and would otherwise dilute the error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.data.tensor import TimeSeriesTensor
+from repro.exceptions import ShapeError
+
+ArrayOrTensor = Union[np.ndarray, TimeSeriesTensor]
+
+
+def _values(data: ArrayOrTensor) -> np.ndarray:
+    if isinstance(data, TimeSeriesTensor):
+        return data.values
+    return np.asarray(data, dtype=np.float64)
+
+
+def _select(imputed: ArrayOrTensor, truth: ArrayOrTensor,
+            mask: Optional[np.ndarray]):
+    imputed_values = _values(imputed)
+    truth_values = _values(truth)
+    if imputed_values.shape != truth_values.shape:
+        raise ShapeError(
+            f"shape mismatch: imputed {imputed_values.shape} vs truth {truth_values.shape}")
+    if mask is None:
+        return imputed_values.ravel(), truth_values.ravel()
+    mask = np.asarray(mask)
+    if mask.shape != truth_values.shape:
+        raise ShapeError(
+            f"mask shape {mask.shape} != value shape {truth_values.shape}")
+    selector = mask == 1
+    return imputed_values[selector], truth_values[selector]
+
+
+def mae(imputed: ArrayOrTensor, truth: ArrayOrTensor,
+        mask: Optional[np.ndarray] = None) -> float:
+    """Mean absolute error over the cells where ``mask == 1`` (or all cells)."""
+    predicted, actual = _select(imputed, truth, mask)
+    if predicted.size == 0:
+        return 0.0
+    return float(np.abs(predicted - actual).mean())
+
+
+def rmse(imputed: ArrayOrTensor, truth: ArrayOrTensor,
+         mask: Optional[np.ndarray] = None) -> float:
+    """Root mean squared error over the masked cells."""
+    predicted, actual = _select(imputed, truth, mask)
+    if predicted.size == 0:
+        return 0.0
+    return float(np.sqrt(((predicted - actual) ** 2).mean()))
+
+
+def nrmse(imputed: ArrayOrTensor, truth: ArrayOrTensor,
+          mask: Optional[np.ndarray] = None) -> float:
+    """RMSE normalised by the standard deviation of the true values."""
+    predicted, actual = _select(imputed, truth, mask)
+    if predicted.size == 0:
+        return 0.0
+    scale = actual.std()
+    if scale < 1e-12:
+        scale = 1.0
+    return float(np.sqrt(((predicted - actual) ** 2).mean()) / scale)
+
+
+def masked_errors(imputed: ArrayOrTensor, truth: ArrayOrTensor,
+                  mask: Optional[np.ndarray] = None) -> Dict[str, float]:
+    """All metrics in one dictionary (``mae``, ``rmse``, ``nrmse``)."""
+    return {
+        "mae": mae(imputed, truth, mask),
+        "rmse": rmse(imputed, truth, mask),
+        "nrmse": nrmse(imputed, truth, mask),
+    }

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ShapeError(ReproError):
+    """A tensor or mask had an incompatible shape."""
+
+
+class DimensionError(ReproError):
+    """A dimension specification was invalid or inconsistent."""
+
+
+class ScenarioError(ReproError):
+    """A missing-value scenario could not be generated with the given parameters."""
+
+
+class NotFittedError(ReproError):
+    """An imputer was used before :meth:`fit` was called."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class DatasetError(ReproError):
+    """An unknown dataset name or invalid dataset specification."""

@@ -1,0 +1,74 @@
+"""Multi-head attention used by the transformer-based models."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor, as_tensor
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head scaled dot-product attention.
+
+    Queries, keys and values are projected to ``n_heads`` subspaces of size
+    ``model_dim // n_heads``, attended independently, concatenated and
+    projected back to ``model_dim``.  An optional boolean/0-1 ``mask`` of
+    shape ``(..., Lq, Lk)`` restricts which key positions may be attended.
+    """
+
+    def __init__(self, model_dim: int, n_heads: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if model_dim % n_heads != 0:
+            raise ValueError(
+                f"model_dim {model_dim} must be divisible by n_heads {n_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.model_dim = model_dim
+        self.n_heads = n_heads
+        self.head_dim = model_dim // n_heads
+        self.query_proj = Linear(model_dim, model_dim, rng=rng)
+        self.key_proj = Linear(model_dim, model_dim, rng=rng)
+        self.value_proj = Linear(model_dim, model_dim, rng=rng)
+        self.output_proj = Linear(model_dim, model_dim, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        """(B, L, D) -> (B, H, L, d)."""
+        batch, length, _ = x.shape
+        return x.reshape(batch, length, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        """(B, H, L, d) -> (B, L, D)."""
+        batch, heads, length, dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, length, heads * dim)
+
+    def forward(self, query: Tensor, key: Tensor, value: Tensor,
+                mask: Optional[np.ndarray] = None) -> Tuple[Tensor, np.ndarray]:
+        """Attend and return ``(output, attention_weights)``.
+
+        ``query``/``key``/``value`` are ``(B, L, model_dim)`` tensors; the
+        returned output is ``(B, Lq, model_dim)`` and the weights are a
+        plain numpy array ``(B, n_heads, Lq, Lk)`` for inspection.
+        """
+        query = as_tensor(query)
+        key = as_tensor(key)
+        value = as_tensor(value)
+        batch, len_q, _ = query.shape
+        len_k = key.shape[1]
+
+        q = self._split_heads(self.query_proj(query))
+        k = self._split_heads(self.key_proj(key))
+        v = self._split_heads(self.value_proj(value))
+
+        if mask is None:
+            mask = np.ones((batch, 1, len_q, len_k))
+        else:
+            mask = np.asarray(mask, dtype=np.float64)
+            if mask.ndim == 3:
+                mask = mask[:, None, :, :]
+        out, weights = F.batched_attention(q, k, v, mask)
+        merged = self._merge_heads(out)
+        return self.output_proj(merged), weights.data

@@ -1,0 +1,34 @@
+"""Weight initialisers for :mod:`repro.nn` layers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a weight of ``shape``."""
+    fan_in = shape[0] if len(shape) >= 1 else 1
+    fan_out = shape[1] if len(shape) >= 2 else shape[0]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    fan_in = shape[0] if len(shape) >= 1 else 1
+    fan_out = shape[1] if len(shape) >= 2 else shape[0]
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal(shape: Tuple[int, ...], rng: np.random.Generator,
+           std: float = 0.02) -> np.ndarray:
+    """Plain Gaussian initialisation with the given standard deviation."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)

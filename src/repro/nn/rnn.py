@@ -1,0 +1,84 @@
+"""Recurrent cells used by the BRITS and MRNN baselines."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor, as_tensor
+
+
+class GRUCell(Module):
+    """A gated recurrent unit cell.
+
+    Implements the standard GRU update::
+
+        r = sigmoid(x W_xr + h W_hr + b_r)
+        z = sigmoid(x W_xz + h W_hz + b_z)
+        n = tanh(x W_xn + (r * h) W_hn + b_n)
+        h' = (1 - z) * n + z * h
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.reset_x = Linear(input_dim, hidden_dim, rng=rng)
+        self.reset_h = Linear(hidden_dim, hidden_dim, bias=False, rng=rng)
+        self.update_x = Linear(input_dim, hidden_dim, rng=rng)
+        self.update_h = Linear(hidden_dim, hidden_dim, bias=False, rng=rng)
+        self.new_x = Linear(input_dim, hidden_dim, rng=rng)
+        self.new_h = Linear(hidden_dim, hidden_dim, bias=False, rng=rng)
+
+    def init_state(self, batch_size: int) -> Tensor:
+        """Return an all-zero hidden state for ``batch_size`` sequences."""
+        return Tensor(np.zeros((batch_size, self.hidden_dim)))
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        x = as_tensor(x)
+        hidden = as_tensor(hidden)
+        reset = (self.reset_x(x) + self.reset_h(hidden)).sigmoid()
+        update = (self.update_x(x) + self.update_h(hidden)).sigmoid()
+        candidate = (self.new_x(x) + self.new_h(reset * hidden)).tanh()
+        one = Tensor(np.ones_like(update.data))
+        return (one - update) * candidate + update * hidden
+
+
+class BidirectionalGRU(Module):
+    """Run a forward and a backward GRU over a sequence and return both state tracks.
+
+    Input is ``(B, T, input_dim)``; output is a pair of ``(B, T, hidden_dim)``
+    tensors where the forward track at time ``t`` summarises ``x[:t]`` and the
+    backward track summarises ``x[t+1:]`` — exactly the decomposition BRITS
+    uses so that the value at ``t`` is never leaked into its own prediction.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.forward_cell = GRUCell(input_dim, hidden_dim, rng=rng)
+        self.backward_cell = GRUCell(input_dim, hidden_dim, rng=rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        x = as_tensor(x)
+        batch, length, _ = x.shape
+        forward_states = []
+        state = self.forward_cell.init_state(batch)
+        for t in range(length):
+            forward_states.append(state)
+            state = self.forward_cell(x[:, t, :], state)
+        backward_states: list = [None] * length
+        state = self.backward_cell.init_state(batch)
+        for t in reversed(range(length)):
+            backward_states[t] = state
+            state = self.backward_cell(x[:, t, :], state)
+        forward_track = F.stack(forward_states, axis=1)
+        backward_track = F.stack(backward_states, axis=1)
+        return forward_track, backward_track

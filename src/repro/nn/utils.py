@@ -1,0 +1,54 @@
+"""Utilities for the nn substrate: seeding, gradient checking, batching."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def seeded_rng(seed: int) -> np.random.Generator:
+    """A numpy Generator with a fixed seed (the only RNG source in repro)."""
+    return np.random.default_rng(seed)
+
+
+def numerical_gradient(func: Callable[[np.ndarray], float], x: np.ndarray,
+                       eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array.
+
+    Used by the test suite to validate the analytic gradients of
+    :mod:`repro.nn`.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func(x)
+        flat[i] = original - eps
+        minus = func(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def minibatches(n_items: int, batch_size: int,
+                rng: np.random.Generator) -> Iterator[np.ndarray]:
+    """Yield shuffled index arrays covering ``range(n_items)`` in batches."""
+    order = rng.permutation(n_items)
+    for start in range(0, n_items, batch_size):
+        yield order[start:start + batch_size]
+
+
+def exponential_moving_average(values: Sequence[float], alpha: float = 0.1) -> List[float]:
+    """Smooth a loss curve (used for logging/early-stopping diagnostics)."""
+    smoothed: List[float] = []
+    current = None
+    for value in values:
+        current = value if current is None else alpha * value + (1 - alpha) * current
+        smoothed.append(current)
+    return smoothed

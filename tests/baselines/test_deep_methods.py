@@ -1,0 +1,130 @@
+"""Behavioural tests of the deep-learning baselines and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brits import BRITSImputer
+from repro.baselines.gpvae import GPVAEImputer, _temporal_smoothing_matrix
+from repro.baselines.mrnn import MRNNImputer
+from repro.baselines.registry import create_imputer, list_methods, register_method
+from repro.baselines.simple import MeanImputer
+from repro.baselines.transformer import TransformerImputer
+from repro.core.imputer import DeepMVIImputer
+from repro.data.missing import MissingScenario, apply_scenario
+from repro.data.synthetic import generate_correlated_groups
+from repro.evaluation.metrics import mae
+from repro.exceptions import ConfigError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def deep_task():
+    panel = generate_correlated_groups(2, 4, 120, seed=6, noise_std=0.1)
+    panel.name = "deep"
+    scenario = MissingScenario("mcar", {"incomplete_fraction": 1.0, "block_size": 5})
+    incomplete, mask = apply_scenario(panel, scenario, seed=7)
+    return panel, incomplete, mask
+
+
+class TestBRITS:
+    def test_impute_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            BRITSImputer().impute()
+
+    def test_training_improves_over_untrained(self, deep_task):
+        truth, incomplete, mask = deep_task
+        untrained = BRITSImputer(n_epochs=0, hidden_dim=8, crop_length=24)
+        trained = BRITSImputer(n_epochs=20, hidden_dim=8, crop_length=24, seed=0)
+        error_untrained = mae(untrained.fit_impute(incomplete), truth, mask)
+        error_trained = mae(trained.fit_impute(incomplete), truth, mask)
+        assert error_trained < error_untrained
+
+    def test_handles_series_longer_than_crop(self, deep_task):
+        truth, incomplete, _ = deep_task
+        imputer = BRITSImputer(n_epochs=1, hidden_dim=4, crop_length=16)
+        completed = imputer.fit_impute(incomplete)
+        assert completed.missing_fraction == 0.0
+
+
+class TestGPVAE:
+    def test_smoothing_matrix_rows_sum_to_one(self):
+        smoothing = _temporal_smoothing_matrix(20, length_scale=3.0)
+        np.testing.assert_allclose(smoothing.sum(axis=1), np.ones(20), atol=1e-12)
+
+    def test_smoothing_matrix_favours_nearby_steps(self):
+        smoothing = _temporal_smoothing_matrix(20, length_scale=3.0)
+        assert smoothing[10, 10] > smoothing[10, 15]
+
+    def test_fit_impute_runs(self, deep_task):
+        truth, incomplete, mask = deep_task
+        imputer = GPVAEImputer(n_epochs=10, latent_dim=4, hidden_dim=8, crop_length=40)
+        completed = imputer.fit_impute(incomplete)
+        assert mae(completed, truth, mask) < 2.0
+
+    def test_impute_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GPVAEImputer().impute()
+
+
+class TestTransformerBaseline:
+    def test_fit_impute_runs(self, deep_task):
+        truth, incomplete, mask = deep_task
+        imputer = TransformerImputer(n_epochs=5, model_dim=8, crop_length=48)
+        completed = imputer.fit_impute(incomplete)
+        assert completed.missing_fraction == 0.0
+
+    def test_training_improves_over_untrained(self, deep_task):
+        truth, incomplete, mask = deep_task
+        untrained = TransformerImputer(n_epochs=0, model_dim=8, crop_length=48)
+        trained = TransformerImputer(n_epochs=30, model_dim=8, crop_length=48, seed=0)
+        assert (mae(trained.fit_impute(incomplete), truth, mask)
+                < mae(untrained.fit_impute(incomplete), truth, mask))
+
+    def test_impute_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            TransformerImputer().impute()
+
+
+class TestMRNN:
+    def test_fit_impute_runs(self, deep_task):
+        truth, incomplete, mask = deep_task
+        imputer = MRNNImputer(n_epochs=2, hidden_dim=4, crop_length=16, batch_size=2)
+        completed = imputer.fit_impute(incomplete)
+        assert completed.missing_fraction == 0.0
+        assert mae(completed, truth, mask) < 3.0
+
+
+class TestRegistry:
+    def test_all_paper_methods_listed(self):
+        methods = list_methods()
+        for name in ["cdrec", "dynammo", "trmf", "svdimp", "stmvl", "tkcm",
+                     "brits", "mrnn", "gpvae", "transformer", "deepmvi", "deepmvi1d"]:
+            assert name in methods
+
+    def test_create_by_name_returns_right_class(self):
+        assert isinstance(create_imputer("mean"), MeanImputer)
+        assert isinstance(create_imputer("brits", n_epochs=1), BRITSImputer)
+
+    def test_create_deepmvi_lazily(self):
+        imputer = create_imputer("deepmvi")
+        assert isinstance(imputer, DeepMVIImputer)
+
+    def test_create_deepmvi1d_sets_flatten_flag(self):
+        imputer = create_imputer("deepmvi1d")
+        assert imputer.config.flatten_dimensions
+
+    def test_deepmvi_kwargs_become_config(self):
+        imputer = create_imputer("deepmvi", n_filters=8, window=5)
+        assert imputer.config.n_filters == 8
+        assert imputer.config.window == 5
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigError):
+            create_imputer("quantum-imputer")
+
+    def test_register_custom_method(self):
+        class Custom(MeanImputer):
+            name = "Custom"
+
+        register_method("custom-mean", Custom)
+        assert isinstance(create_imputer("custom-mean"), Custom)
+        assert "custom-mean" in list_methods()

@@ -1,0 +1,234 @@
+"""Behavioural tests of the matrix-completion and statistical baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import (
+    MatrixImputer,
+    fill_with_interpolation,
+    fill_with_row_means,
+    truncated_svd,
+)
+from repro.baselines.cdrec import CDRecImputer, centroid_decomposition
+from repro.baselines.dynammo import DynaMMoImputer, _LinearDynamicalSystem
+from repro.baselines.simple import LinearInterpolationImputer, LOCFImputer, MeanImputer
+from repro.baselines.stmvl import STMVLImputer
+from repro.baselines.svd import SoftImputeImputer, SVDImputer, SVTImputer
+from repro.baselines.tkcm import TKCMImputer
+from repro.baselines.trmf import TRMFImputer
+from repro.data.dimensions import Dimension
+from repro.data.tensor import TimeSeriesTensor
+from repro.evaluation.metrics import mae
+from repro.exceptions import NotFittedError
+
+
+def _low_rank_task(rng, n_series=12, length=150, rank=2, missing_fraction=0.2):
+    """A genuinely low-rank matrix with random missing entries."""
+    u = rng.normal(size=(n_series, rank))
+    v = rng.normal(size=(rank, length))
+    values = u @ v
+    mask = (rng.random(values.shape) > missing_fraction).astype(float)
+    truth = TimeSeriesTensor(values=values,
+                             dimensions=[Dimension.categorical("s", n_series)])
+    hidden = truth.with_missing(1.0 - mask)
+    return truth, hidden, 1.0 - mask
+
+
+class TestHelpers:
+    def test_fill_with_row_means(self):
+        matrix = np.array([[1.0, 0.0, 3.0]])
+        mask = np.array([[1.0, 0.0, 1.0]])
+        np.testing.assert_allclose(fill_with_row_means(matrix, mask), [[1.0, 2.0, 3.0]])
+
+    def test_fill_with_row_means_empty_row(self):
+        filled = fill_with_row_means(np.array([[5.0, 5.0]]), np.zeros((1, 2)))
+        np.testing.assert_allclose(filled, [[0.0, 0.0]])
+
+    def test_fill_with_interpolation_interior(self):
+        matrix = np.array([[0.0, 99.0, 2.0]])
+        mask = np.array([[1.0, 0.0, 1.0]])
+        np.testing.assert_allclose(fill_with_interpolation(matrix, mask), [[0.0, 1.0, 2.0]])
+
+    def test_fill_with_interpolation_extrapolates_edges(self):
+        matrix = np.array([[99.0, 1.0, 2.0, 99.0]])
+        mask = np.array([[0.0, 1.0, 1.0, 0.0]])
+        filled = fill_with_interpolation(matrix, mask)
+        np.testing.assert_allclose(filled, [[1.0, 1.0, 2.0, 2.0]])
+
+    def test_truncated_svd_rank_clipped(self, rng):
+        matrix = rng.normal(size=(4, 6))
+        u, s, vt = truncated_svd(matrix, rank=10)
+        assert s.shape[0] == 4
+
+    def test_matrix_imputer_requires_fit(self):
+        class Dummy(MatrixImputer):
+            def _impute_matrix(self, matrix, mask):
+                return matrix
+
+        with pytest.raises(NotFittedError):
+            Dummy().impute()
+
+
+class TestSimpleImputers:
+    def test_mean_imputer_value(self, tiny_tensor):
+        completed = MeanImputer().fit_impute(tiny_tensor)
+        observed_mean = tiny_tensor.values[0][tiny_tensor.mask[0] == 1].mean()
+        np.testing.assert_allclose(completed.values[0, 5:8], observed_mean)
+
+    def test_interpolation_exact_on_linear_series(self, tiny_tensor):
+        # tiny_tensor rows are arithmetic sequences -> interpolation is exact.
+        completed = LinearInterpolationImputer().fit_impute(tiny_tensor)
+        np.testing.assert_allclose(completed.values[0, 5:8], [5.0, 6.0, 7.0])
+
+    def test_locf_carries_last_value(self):
+        values = np.array([[1.0, np.nan, np.nan, 4.0]])
+        tensor = TimeSeriesTensor(values=values,
+                                  dimensions=[Dimension.categorical("s", 1)])
+        completed = LOCFImputer().fit_impute(tensor)
+        np.testing.assert_allclose(completed.values, [[1.0, 1.0, 1.0, 4.0]])
+
+    def test_locf_backfills_leading_gap(self):
+        values = np.array([[np.nan, 2.0, 3.0]])
+        tensor = TimeSeriesTensor(values=values,
+                                  dimensions=[Dimension.categorical("s", 1)])
+        completed = LOCFImputer().fit_impute(tensor)
+        assert completed.values[0, 0] == 2.0
+
+
+class TestSVDFamily:
+    def test_svdimp_recovers_low_rank(self, rng):
+        truth, hidden, mask = _low_rank_task(rng)
+        completed = SVDImputer(rank=2).fit_impute(hidden)
+        assert mae(completed, truth, mask) < 0.1
+
+    def test_softimpute_recovers_low_rank(self, rng):
+        truth, hidden, mask = _low_rank_task(rng)
+        completed = SoftImputeImputer(shrinkage=0.5).fit_impute(hidden)
+        assert mae(completed, truth, mask) < 0.3
+
+    def test_svt_recovers_low_rank(self, rng):
+        truth, hidden, mask = _low_rank_task(rng)
+        completed = SVTImputer().fit_impute(hidden)
+        assert mae(completed, truth, mask) < 0.5
+
+    def test_svdimp_rank_one_still_works(self, rng):
+        truth, hidden, mask = _low_rank_task(rng, rank=1)
+        completed = SVDImputer(rank=1).fit_impute(hidden)
+        assert mae(completed, truth, mask) < 0.1
+
+    def test_svdimp_better_than_mean_on_low_rank(self, rng):
+        truth, hidden, mask = _low_rank_task(rng)
+        svd_error = mae(SVDImputer(rank=2).fit_impute(hidden), truth, mask)
+        mean_error = mae(MeanImputer().fit_impute(hidden), truth, mask)
+        assert svd_error < mean_error
+
+
+class TestCDRec:
+    def test_centroid_decomposition_reconstructs(self, rng):
+        matrix = rng.normal(size=(6, 40))
+        loadings, relevance = centroid_decomposition(matrix, rank=6)
+        np.testing.assert_allclose(loadings @ relevance.T, matrix, atol=1e-6)
+
+    def test_centroid_relevance_columns_are_unit_norm(self, rng):
+        matrix = rng.normal(size=(5, 30))
+        _, relevance = centroid_decomposition(matrix, rank=3)
+        norms = np.linalg.norm(relevance, axis=0)
+        np.testing.assert_allclose(norms[norms > 1e-9], 1.0, atol=1e-9)
+
+    def test_cdrec_recovers_low_rank(self, rng):
+        truth, hidden, mask = _low_rank_task(rng)
+        completed = CDRecImputer(rank=2).fit_impute(hidden)
+        assert mae(completed, truth, mask) < 0.15
+
+    def test_cdrec_handles_no_missing(self, small_panel):
+        completed = CDRecImputer().fit_impute(small_panel)
+        np.testing.assert_allclose(completed.values, small_panel.values)
+
+
+class TestTRMFAndSTMVL:
+    def test_trmf_recovers_low_rank(self, rng):
+        truth, hidden, mask = _low_rank_task(rng)
+        completed = TRMFImputer(rank=3, n_iters=40).fit_impute(hidden)
+        assert mae(completed, truth, mask) < 0.6
+
+    def test_trmf_lags_longer_than_series_are_dropped(self, rng):
+        truth, hidden, mask = _low_rank_task(rng, length=30)
+        completed = TRMFImputer(lags=(1, 100)).fit_impute(hidden)
+        assert np.isfinite(completed.values).all()
+
+    def test_stmvl_uses_correlated_neighbours(self):
+        from repro.data.synthetic import generate_correlated_groups
+        panel = generate_correlated_groups(2, 5, 150, seed=2, noise_std=0.05)
+        panel.name = "stmvl"
+        missing = np.zeros_like(panel.values)
+        missing[0, 40:60] = 1
+        hidden = panel.with_missing(missing)
+        stmvl_error = mae(STMVLImputer().fit_impute(hidden), panel, missing)
+        mean_error = mae(MeanImputer().fit_impute(hidden), panel, missing)
+        assert stmvl_error < mean_error
+
+    def test_stmvl_blend_weights_fit(self, rng):
+        truth, hidden, mask = _low_rank_task(rng)
+        imputer = STMVLImputer()
+        completed = imputer.fit_impute(hidden)
+        assert np.isfinite(completed.values).all()
+
+
+class TestDynaMMo:
+    def test_lds_smoothing_shapes(self, rng):
+        lds = _LinearDynamicalSystem(obs_dim=3, latent_dim=2, seed=0)
+        observations = rng.normal(size=(20, 3))
+        observed = np.ones((20, 3))
+        means, covs = lds.smooth(observations, observed)
+        assert means.shape == (20, 2)
+        assert covs.shape == (20, 2, 2)
+
+    def test_lds_handles_fully_missing_steps(self, rng):
+        lds = _LinearDynamicalSystem(obs_dim=2, latent_dim=2, seed=0)
+        observations = rng.normal(size=(15, 2))
+        observed = np.ones((15, 2))
+        observed[5:8] = 0.0
+        means, _ = lds.smooth(observations, observed)
+        assert np.isfinite(means).all()
+
+    def test_grouping_puts_similar_series_together(self):
+        from repro.data.synthetic import generate_correlated_groups
+        panel = generate_correlated_groups(2, 4, 120, seed=1, noise_std=0.05)
+        matrix, mask = panel.to_matrix()
+        imputer = DynaMMoImputer(group_size=4)
+        groups = imputer._group_series(matrix, mask)
+        assert all(len(group) <= 4 for group in groups)
+        assert sorted(int(i) for group in groups for i in group) == list(range(8))
+        # the first group seeded by series 0 should contain only series 0-3
+        assert set(int(i) for i in groups[0]).issubset(set(range(4)))
+
+    def test_dynammo_imputes_coevolving_series(self):
+        from repro.data.synthetic import generate_correlated_groups
+        panel = generate_correlated_groups(2, 4, 150, seed=4, noise_std=0.05)
+        panel.name = "dyn"
+        missing = np.zeros_like(panel.values)
+        missing[0, 50:70] = 1
+        hidden = panel.with_missing(missing)
+        error = mae(DynaMMoImputer(n_em_iters=4).fit_impute(hidden), panel, missing)
+        mean_error = mae(MeanImputer().fit_impute(hidden), panel, missing)
+        assert error < mean_error
+
+
+class TestTKCM:
+    def test_tkcm_finds_repeating_pattern(self):
+        # A strictly periodic series: the matched historical window gives an
+        # accurate value for the missing position.
+        t = np.arange(300, dtype=float)
+        series = np.sin(2 * np.pi * t / 25.0)
+        values = np.stack([series, np.cos(2 * np.pi * t / 25.0)])
+        tensor = TimeSeriesTensor(values=values,
+                                  dimensions=[Dimension.categorical("s", 2)])
+        missing = np.zeros_like(values)
+        missing[0, 100:110] = 1
+        hidden = tensor.with_missing(missing)
+        error = mae(TKCMImputer(pattern_length=25).fit_impute(hidden), tensor, missing)
+        assert error < 0.2
+
+    def test_tkcm_pearson_constant_window(self):
+        from repro.baselines.tkcm import _pearson
+        assert _pearson(np.ones(5), np.arange(5, dtype=float)) == 0.0

@@ -1,0 +1,44 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import load_dataset
+from repro.data.dimensions import Dimension
+from repro.data.tensor import TimeSeriesTensor
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_panel():
+    """A small 1-dimensional panel (8 series x 120 steps), fully observed."""
+    return load_dataset("airq", size="tiny", seed=7, length=120, shape=(8,))
+
+
+@pytest.fixture
+def small_multidim_panel():
+    """A small 2-dimensional panel (4 stores x 3 items x 96 steps)."""
+    return load_dataset("janatahack", size="tiny", seed=11, length=96, shape=(4, 3))
+
+
+@pytest.fixture
+def tiny_tensor():
+    """A tiny hand-built tensor with a known missing pattern."""
+    values = np.arange(3 * 20, dtype=float).reshape(3, 20)
+    mask = np.ones_like(values)
+    mask[0, 5:8] = 0
+    mask[2, 0] = 0
+    values = np.where(mask == 1, values, np.nan)
+    return TimeSeriesTensor(
+        values=values,
+        dimensions=[Dimension.categorical("sensor", 3)],
+        mask=mask,
+        name="tiny",
+    )

@@ -1,0 +1,92 @@
+"""Tests of the forecasting extension (future-work reduction to imputation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DeepMVIConfig
+from repro.core.forecasting import (
+    DeepMVIForecaster,
+    SeasonalNaiveForecaster,
+    extend_with_horizon,
+)
+from repro.data.dimensions import Dimension
+from repro.data.tensor import TimeSeriesTensor
+from repro.exceptions import ConfigError, NotFittedError
+
+
+def _periodic_panel(n_series=4, length=200, period=20, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    rows = []
+    for i in range(n_series):
+        phase = rng.uniform(0, 2 * np.pi)
+        rows.append(np.sin(2 * np.pi * t / period + phase) + rng.normal(0, 0.05, length))
+    return TimeSeriesTensor(values=np.stack(rows),
+                            dimensions=[Dimension.categorical("sensor", n_series)],
+                            name="periodic")
+
+
+class TestExtendWithHorizon:
+    def test_appends_missing_steps(self, small_panel):
+        extended = extend_with_horizon(small_panel, 12)
+        assert extended.n_time == small_panel.n_time + 12
+        assert extended.mask[..., -12:].sum() == 0
+        np.testing.assert_allclose(extended.values[..., :small_panel.n_time],
+                                   small_panel.values)
+
+    def test_invalid_horizon(self, small_panel):
+        with pytest.raises(ConfigError):
+            extend_with_horizon(small_panel, 0)
+
+
+class TestSeasonalNaive:
+    def test_perfectly_periodic_series_forecast_exactly(self):
+        panel = _periodic_panel(seed=1)
+        truth_future = panel.values[:, -20:]
+        history = TimeSeriesTensor(values=panel.values[:, :-20],
+                                   dimensions=list(panel.dimensions))
+        forecaster = SeasonalNaiveForecaster(horizon=20, period=20)
+        prediction = forecaster.fit_forecast(history)
+        assert prediction.shape == truth_future.shape
+        # noise-limited accuracy
+        assert np.abs(prediction - truth_future).mean() < 0.2
+
+    def test_forecast_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            SeasonalNaiveForecaster(horizon=5, period=10).forecast()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            SeasonalNaiveForecaster(horizon=0, period=10)
+        with pytest.raises(ConfigError):
+            SeasonalNaiveForecaster(horizon=5, period=0)
+
+
+class TestDeepMVIForecaster:
+    def test_forecast_shape_and_finiteness(self):
+        panel = _periodic_panel(length=160, seed=2)
+        forecaster = DeepMVIForecaster(
+            horizon=10, config=DeepMVIConfig.fast(max_epochs=4, samples_per_epoch=128))
+        prediction = forecaster.fit_forecast(panel)
+        assert prediction.shape == (4, 10)
+        assert np.isfinite(prediction).all()
+
+    def test_forecast_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            DeepMVIForecaster(horizon=5).forecast()
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ConfigError):
+            DeepMVIForecaster(horizon=0)
+
+    def test_beats_predicting_zero_on_periodic_data(self):
+        panel = _periodic_panel(length=200, period=20, seed=3)
+        truth_future = panel.values[:, -10:]
+        history = TimeSeriesTensor(values=panel.values[:, :-10],
+                                   dimensions=list(panel.dimensions),
+                                   name="periodic")
+        config = DeepMVIConfig.fast(max_epochs=10, samples_per_epoch=256, patience=10)
+        prediction = DeepMVIForecaster(horizon=10, config=config).fit_forecast(history)
+        deep_error = np.abs(prediction - truth_future).mean()
+        zero_error = np.abs(truth_future).mean()
+        assert deep_error < zero_error

@@ -1,0 +1,178 @@
+"""Tests of the assembled DeepMVI model, its training loop, and the imputer API."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DeepMVIConfig
+from repro.core.context import DatasetContext
+from repro.core.imputer import DeepMVIImputer
+from repro.core.model import DeepMVIModel
+from repro.core.sampling import MissingShapeSampler, TrainingSampler
+from repro.core.training import DeepMVITrainer
+from repro.data.missing import MissingScenario, apply_scenario
+from repro.evaluation.metrics import mae
+from repro.exceptions import NotFittedError
+
+
+def _training_setup(panel, config, seed=0):
+    scenario = MissingScenario("mcar", {"incomplete_fraction": 0.5, "block_size": 5})
+    incomplete, mask = apply_scenario(panel, scenario, seed=seed)
+    context = DatasetContext(incomplete, window=config.window,
+                             max_context_windows=config.max_context_windows)
+    model = DeepMVIModel(config, context.dimension_sizes,
+                         max_position=context.n_windows + 1)
+    return incomplete, mask, context, model
+
+
+class TestDeepMVIModel:
+    def test_forward_shape(self, small_panel):
+        config = DeepMVIConfig.fast()
+        _, _, context, model = _training_setup(small_panel, config)
+        sampler = TrainingSampler(
+            context,
+            MissingShapeSampler(1.0 - context.avail, context.index_table,
+                                context.dimension_sizes),
+            np.random.default_rng(0))
+        batch = sampler.sample_batch(6)
+        out = model(batch)
+        assert out.shape == (6,)
+        assert np.isfinite(out.data).all()
+
+    def test_initial_prediction_is_zero(self, small_panel):
+        """The zero-initialised output layer predicts the normalised mean."""
+        config = DeepMVIConfig.fast()
+        _, _, context, model = _training_setup(small_panel, config)
+        batch = context.build_batch(np.array([0, 1]), np.array([10, 20]))
+        np.testing.assert_allclose(model.predict(batch), [0.0, 0.0], atol=1e-12)
+
+    def test_all_modules_disabled_rejected(self, small_panel):
+        config = DeepMVIConfig.fast().ablated(
+            use_temporal_transformer=False,
+            use_kernel_regression=False,
+            use_fine_grained=False)
+        with pytest.raises(ValueError):
+            DeepMVIModel(config, [small_panel.n_series])
+
+    @pytest.mark.parametrize("flags,expected_dim", [
+        ({}, 8 + 1 + 3),
+        ({"use_temporal_transformer": False}, 1 + 3),
+        ({"use_kernel_regression": False}, 8 + 1),
+        ({"use_fine_grained": False}, 8 + 3),
+    ])
+    def test_ablations_change_feature_dimension(self, small_panel, flags, expected_dim):
+        config = DeepMVIConfig.fast().ablated(**flags)
+        model = DeepMVIModel(config, [small_panel.n_series])
+        assert model.output_dim == expected_dim
+
+    def test_flatten_dimensions_uses_double_embedding(self, small_multidim_panel):
+        config = DeepMVIConfig.fast(flatten_dimensions=True)
+        context = DatasetContext(small_multidim_panel, window=config.window,
+                                 flatten_dimensions=True)
+        model = DeepMVIModel(config, context.dimension_sizes)
+        assert model.kernel_regression.embedding_dim == 2 * config.embedding_dim
+
+    def test_predict_builds_no_graph(self, small_panel):
+        config = DeepMVIConfig.fast()
+        _, _, context, model = _training_setup(small_panel, config)
+        batch = context.build_batch(np.array([0]), np.array([5]))
+        model.predict(batch)
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestTrainer:
+    def test_training_reduces_validation_loss(self, small_panel):
+        config = DeepMVIConfig.fast(max_epochs=8, samples_per_epoch=128, patience=8)
+        incomplete, _, context, model = _training_setup(small_panel, config)
+        trainer = DeepMVITrainer(model, context, config, 1.0 - context.avail)
+        history = trainer.fit()
+        assert history.n_epochs >= 2
+        assert history.validation_losses[-1] <= history.validation_losses[0]
+        assert history.best_epoch >= 0
+        assert history.wall_time_seconds > 0
+
+    def test_early_stopping_triggers_with_zero_patience_margin(self, small_panel):
+        config = DeepMVIConfig.fast(max_epochs=30, samples_per_epoch=32,
+                                    patience=1, min_epochs=1)
+        incomplete, _, context, model = _training_setup(small_panel, config)
+        trainer = DeepMVITrainer(model, context, config, 1.0 - context.avail)
+        history = trainer.fit()
+        assert history.n_epochs <= 30
+
+    def test_best_parameters_restored(self, small_panel):
+        config = DeepMVIConfig.fast(max_epochs=5, samples_per_epoch=64, patience=5)
+        incomplete, _, context, model = _training_setup(small_panel, config)
+        trainer = DeepMVITrainer(model, context, config, 1.0 - context.avail)
+        history = trainer.fit()
+        # After fit, re-evaluating the validation batch must reproduce the
+        # best validation loss (parameters of the best epoch were reloaded).
+        assert history.best_validation_loss <= min(history.validation_losses) + 1e-9
+
+
+class TestDeepMVIImputer:
+    def test_impute_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            DeepMVIImputer().impute()
+
+    def test_fit_impute_completes_and_preserves_observed(self, small_panel):
+        scenario = MissingScenario("mcar", {"incomplete_fraction": 0.5, "block_size": 5})
+        incomplete, mask = apply_scenario(small_panel, scenario, seed=1)
+        imputer = DeepMVIImputer(config=DeepMVIConfig.fast())
+        completed = imputer.fit_impute(incomplete)
+        assert completed.missing_fraction == 0.0
+        observed = incomplete.mask == 1
+        np.testing.assert_allclose(completed.values[observed],
+                                   incomplete.values[observed])
+        assert np.isfinite(completed.values).all()
+
+    def test_beats_trivial_mean_imputation_on_related_series(self):
+        from repro.data.synthetic import generate_correlated_groups
+        from repro.baselines.simple import MeanImputer
+
+        panel = generate_correlated_groups(2, 5, 240, seed=3, noise_std=0.05)
+        panel.name = "groups"
+        scenario = MissingScenario("mcar", {"incomplete_fraction": 1.0, "block_size": 10})
+        incomplete, mask = apply_scenario(panel, scenario, seed=5)
+        config = DeepMVIConfig.fast(max_epochs=10, samples_per_epoch=256, patience=10)
+        deep_error = mae(DeepMVIImputer(config=config).fit_impute(incomplete), panel, mask)
+        mean_error = mae(MeanImputer().fit_impute(incomplete), panel, mask)
+        assert deep_error < mean_error
+
+    def test_auto_window_rule_applied_for_long_blocks(self, small_panel):
+        scenario = MissingScenario("blackout", {"block_size": 110})
+        panel = small_panel
+        if panel.n_time <= 120:
+            panel = panel  # fixture has 120 steps; 110-blackout still fits
+        incomplete, _ = apply_scenario(panel, scenario, seed=0)
+        imputer = DeepMVIImputer(config=DeepMVIConfig.fast(max_epochs=1,
+                                                           samples_per_epoch=16))
+        imputer.fit(incomplete)
+        assert imputer.config.window == 20
+
+    def test_window_shrunk_for_very_short_series(self):
+        from repro.data.synthetic import SyntheticSeriesConfig, generate_panel
+        panel = generate_panel(SyntheticSeriesConfig(shape=(4,), length=16, seed=0))
+        panel.name = "short"
+        missing = np.zeros_like(panel.values)
+        missing[:, 5:7] = 1
+        incomplete = panel.with_missing(missing)
+        config = DeepMVIConfig.fast(window=20, max_epochs=1, samples_per_epoch=16)
+        imputer = DeepMVIImputer(config=config, auto_window=False)
+        completed = imputer.fit_impute(incomplete)
+        assert imputer.config.window < 16
+        assert completed.missing_fraction == 0.0
+
+    def test_multidimensional_dataset_supported(self, small_multidim_panel):
+        scenario = MissingScenario("mcar", {"incomplete_fraction": 0.5, "block_size": 4})
+        incomplete, mask = apply_scenario(small_multidim_panel, scenario, seed=2)
+        imputer = DeepMVIImputer(config=DeepMVIConfig.fast())
+        completed = imputer.fit_impute(incomplete)
+        assert completed.missing_fraction == 0.0
+        assert mae(completed, small_multidim_panel, mask) < 2.0
+
+    def test_history_available_after_fit(self, small_panel):
+        scenario = MissingScenario("mcar", {"incomplete_fraction": 0.5, "block_size": 5})
+        incomplete, _ = apply_scenario(small_panel, scenario, seed=1)
+        imputer = DeepMVIImputer(config=DeepMVIConfig.fast())
+        imputer.fit(incomplete)
+        assert imputer.history is not None
+        assert imputer.history.n_epochs >= 1

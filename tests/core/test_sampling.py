@@ -1,0 +1,144 @@
+"""Tests of missing-shape estimation and the self-supervised training sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import DatasetContext
+from repro.core.sampling import (
+    BlockShape,
+    MissingShapeSampler,
+    TrainingSampler,
+    _extent_through,
+    _run_lengths,
+)
+from repro.data.missing import MissingScenario, apply_scenario
+
+
+class TestRunHelpers:
+    def test_run_lengths(self):
+        assert _run_lengths(np.array([0, 1, 1, 0, 1, 1, 1, 0])) == [2, 3]
+
+    def test_run_lengths_trailing_run(self):
+        assert _run_lengths(np.array([1, 0, 1, 1])) == [1, 2]
+
+    def test_run_lengths_empty(self):
+        assert _run_lengths(np.zeros(5)) == []
+
+    def test_extent_through_inside_run(self):
+        mask = np.array([0, 1, 1, 1, 0])
+        assert _extent_through(mask, 2) == 3
+
+    def test_extent_through_outside_run(self):
+        assert _extent_through(np.array([0, 1, 0]), 0) == 1
+
+    def test_extent_through_full_row(self):
+        assert _extent_through(np.ones(6), 3) == 6
+
+
+class TestMissingShapeSampler:
+    def _sampler(self, panel, scenario, seed=0):
+        incomplete, mask = apply_scenario(panel, scenario, seed=seed)
+        context = DatasetContext(incomplete, window=8)
+        flat_missing = 1.0 - context.avail
+        return MissingShapeSampler(flat_missing, context.index_table,
+                                   context.dimension_sizes), context
+
+    def test_no_missing_defaults(self, small_panel, rng):
+        sampler = MissingShapeSampler(
+            np.zeros((small_panel.n_series, small_panel.n_time)),
+            np.arange(small_panel.n_series)[:, None], [small_panel.n_series])
+        assert not sampler.has_missing()
+        shape = sampler.sample_shape(rng)
+        assert 1 <= shape.time_extent <= 10
+        assert shape.member_extents == (1,)
+        assert sampler.average_time_extent() == 1.0
+
+    def test_mcar_shapes_match_block_size(self, small_panel, rng):
+        scenario = MissingScenario("mcar", {"incomplete_fraction": 1.0, "block_size": 5})
+        sampler, _ = self._sampler(small_panel, scenario)
+        assert sampler.has_missing()
+        assert sampler.average_time_extent() == pytest.approx(5.0, abs=2.0)
+        for _ in range(10):
+            shape = sampler.sample_shape(rng)
+            assert shape.time_extent >= 1
+
+    def test_blackout_shapes_span_all_series(self, small_panel, rng):
+        scenario = MissingScenario("blackout", {"block_size": 12})
+        sampler, _ = self._sampler(small_panel, scenario)
+        shape = sampler.sample_shape(rng)
+        assert shape.time_extent == 12
+        # Every series is missing at that time, so the member extent is the
+        # whole dimension.
+        assert shape.member_extents[0] == small_panel.n_series
+
+    def test_multidim_member_extent(self, small_multidim_panel, rng):
+        scenario = MissingScenario("blackout", {"block_size": 6})
+        sampler, context = self._sampler(small_multidim_panel, scenario)
+        shape = sampler.sample_shape(rng)
+        assert shape.member_extents == tuple(context.dimension_sizes)
+
+
+class TestTrainingSampler:
+    def _training_sampler(self, panel, scenario=None, seed=0):
+        if scenario is not None:
+            incomplete, _ = apply_scenario(panel, scenario, seed=seed)
+        else:
+            incomplete = panel
+        context = DatasetContext(incomplete, window=8, max_context_windows=8)
+        shape_sampler = MissingShapeSampler(
+            1.0 - context.avail, context.index_table, context.dimension_sizes)
+        return TrainingSampler(context, shape_sampler, np.random.default_rng(seed)), context
+
+    def test_batch_targets_are_true_observed_values(self, small_panel):
+        scenario = MissingScenario("mcar", {"incomplete_fraction": 0.5, "block_size": 5})
+        sampler, context = self._training_sampler(small_panel, scenario)
+        batch = sampler.sample_batch(16)
+        np.testing.assert_allclose(
+            batch.targets, context.matrix[batch.series_rows, batch.target_times])
+        assert np.all(context.avail[batch.series_rows, batch.target_times] == 1)
+
+    def test_target_cell_hidden_from_its_own_series(self, small_panel):
+        sampler, context = self._training_sampler(small_panel)
+        batch = sampler.sample_batch(32)
+        rows = np.arange(32)
+        target_avail = batch.window_avail[rows, batch.target_window, batch.target_offset]
+        assert np.all(target_avail == 0)
+
+    def test_synthetic_block_hides_a_contiguous_range(self, small_panel):
+        scenario = MissingScenario("mcar", {"incomplete_fraction": 1.0, "block_size": 8})
+        sampler, context = self._training_sampler(small_panel, scenario)
+        batch = sampler.sample_batch(8)
+        # At least one sample should have more than just the target hidden
+        # (block size 8 > 1) compared to the dataset availability.
+        hidden_counts = []
+        for i in range(8):
+            dataset_avail = context.padded_avail[batch.series_rows[i]]
+            window_avail_full = dataset_avail.reshape(context.n_windows, context.window)
+            sample_windows = batch.window_avail[i]
+            absolute = batch.absolute_index[i]
+            extra_hidden = (window_avail_full[absolute] - sample_windows).sum()
+            hidden_counts.append(extra_hidden)
+        assert max(hidden_counts) >= 2
+
+    def test_member_exclusion_marks_siblings(self, small_multidim_panel):
+        scenario = MissingScenario("blackout", {"block_size": 6})
+        sampler, _ = self._training_sampler(small_multidim_panel, scenario)
+        batch = sampler.sample_batch(16)
+        # Blackout shapes cover the whole member dimension, so siblings should
+        # frequently be excluded during training.
+        total_excluded = sum(
+            float((avail == 0).sum()) for avail in batch.sibling_avail)
+        assert total_excluded > 0
+
+    def test_raises_on_fully_missing_dataset(self, small_panel):
+        everything = np.ones_like(small_panel.values)
+        incomplete = small_panel.with_missing(everything)
+        context = DatasetContext(incomplete, window=8)
+        shape_sampler = MissingShapeSampler(
+            1.0 - context.avail, context.index_table, context.dimension_sizes)
+        with pytest.raises(ValueError):
+            TrainingSampler(context, shape_sampler, np.random.default_rng(0))
+
+    def test_batch_size_respected(self, small_panel):
+        sampler, _ = self._training_sampler(small_panel)
+        assert sampler.sample_batch(5).size == 5

@@ -1,0 +1,76 @@
+"""Tests of Dimension metadata."""
+
+import numpy as np
+import pytest
+
+from repro.data.dimensions import Dimension
+from repro.exceptions import DimensionError
+
+
+class TestCategoricalDimension:
+    def test_factory_creates_named_members(self):
+        dim = Dimension.categorical("store", 4)
+        assert dim.size == 4
+        assert dim.members[0] == "store_0"
+        assert not dim.is_vector_valued
+
+    def test_index_of(self):
+        dim = Dimension("item", members=["a", "b", "c"])
+        assert dim.index_of("b") == 1
+
+    def test_index_of_unknown_raises(self):
+        dim = Dimension("item", members=["a", "b"])
+        with pytest.raises(DimensionError):
+            dim.index_of("z")
+
+    def test_member_matrix_is_numeric(self):
+        dim = Dimension.categorical("item", 3)
+        matrix = dim.member_matrix()
+        assert matrix.shape == (3, 1)
+
+    def test_len(self):
+        assert len(Dimension.categorical("x", 5)) == 5
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(DimensionError):
+            Dimension("x", members=[])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DimensionError):
+            Dimension("", members=["a"])
+
+    def test_custom_prefix(self):
+        dim = Dimension.categorical("region", 2, prefix="r")
+        assert dim.members == ["r_0", "r_1"]
+
+
+class TestVectorDimension:
+    def test_factory(self):
+        dim = Dimension.vector("store", [np.array([0.0, 1.0]), np.array([2.0, 3.0])])
+        assert dim.is_vector_valued
+        assert dim.vector_dim == 2
+
+    def test_index_of_vector_member(self):
+        vectors = [np.array([0.0, 1.0]), np.array([2.0, 3.0])]
+        dim = Dimension.vector("store", vectors)
+        assert dim.index_of(np.array([2.0, 3.0])) == 1
+
+    def test_index_of_missing_vector_raises(self):
+        dim = Dimension.vector("store", [np.array([0.0, 1.0])])
+        with pytest.raises(DimensionError):
+            dim.index_of(np.array([9.0, 9.0]))
+
+    def test_member_matrix_stacks_vectors(self):
+        dim = Dimension.vector("store", [np.array([0.0, 1.0]), np.array([2.0, 3.0])])
+        np.testing.assert_allclose(dim.member_matrix(), [[0.0, 1.0], [2.0, 3.0]])
+
+    def test_mixed_vector_lengths_rejected(self):
+        with pytest.raises(DimensionError):
+            Dimension("x", members=[np.array([1.0]), np.array([1.0, 2.0])])
+
+    def test_mixed_vector_and_categorical_rejected(self):
+        with pytest.raises(DimensionError):
+            Dimension("x", members=[np.array([1.0, 2.0]), "a"])
+
+    def test_categorical_vector_dim_is_none(self):
+        assert Dimension.categorical("x", 2).vector_dim is None

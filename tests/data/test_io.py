@@ -1,0 +1,100 @@
+"""Tests of dataset persistence (NPZ and long-format CSV)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dimensions import Dimension
+from repro.data.io import load_csv, load_npz, save_csv, save_npz
+from repro.data.tensor import TimeSeriesTensor
+from repro.exceptions import DatasetError
+
+
+class TestNPZ:
+    def test_roundtrip_preserves_values_mask_and_metadata(self, tmp_path, small_multidim_panel):
+        path = tmp_path / "panel.npz"
+        save_npz(small_multidim_panel, path)
+        loaded = load_npz(path)
+        np.testing.assert_allclose(loaded.values, small_multidim_panel.values)
+        np.testing.assert_array_equal(loaded.mask, small_multidim_panel.mask)
+        assert loaded.name == small_multidim_panel.name
+        assert [d.name for d in loaded.dimensions] == \
+               [d.name for d in small_multidim_panel.dimensions]
+        assert loaded.dimensions[0].members == small_multidim_panel.dimensions[0].members
+
+    def test_roundtrip_with_missing_values(self, tmp_path, tiny_tensor):
+        path = tmp_path / "tiny.npz"
+        save_npz(tiny_tensor, path)
+        loaded = load_npz(path)
+        assert loaded.missing_fraction == tiny_tensor.missing_fraction
+        observed = tiny_tensor.mask == 1
+        np.testing.assert_allclose(loaded.values[observed], tiny_tensor.values[observed])
+
+    def test_roundtrip_vector_dimension(self, tmp_path):
+        stores = Dimension.vector("store", [np.array([0.0, 1.0]), np.array([2.0, 3.0])])
+        tensor = TimeSeriesTensor(values=np.zeros((2, 10)), dimensions=[stores])
+        path = tmp_path / "vector.npz"
+        save_npz(tensor, path)
+        loaded = load_npz(path)
+        assert loaded.dimensions[0].is_vector_valued
+        np.testing.assert_allclose(loaded.dimensions[0].members[1], [2.0, 3.0])
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_npz(tmp_path / "absent.npz")
+
+
+class TestCSV:
+    def test_roundtrip_dense(self, tmp_path, small_multidim_panel):
+        path = tmp_path / "panel.csv"
+        save_csv(small_multidim_panel, path)
+        loaded = load_csv(path, name=small_multidim_panel.name)
+        assert loaded.shape == small_multidim_panel.shape
+        np.testing.assert_allclose(loaded.values, small_multidim_panel.values)
+
+    def test_missing_cells_roundtrip(self, tmp_path, tiny_tensor):
+        path = tmp_path / "tiny.csv"
+        save_csv(tiny_tensor, path)
+        loaded = load_csv(path)
+        np.testing.assert_array_equal(loaded.mask, tiny_tensor.mask)
+
+    def test_include_missing_writes_empty_values(self, tmp_path, tiny_tensor):
+        path = tmp_path / "tiny.csv"
+        save_csv(tiny_tensor, path, include_missing=True)
+        text = path.read_text()
+        assert text.count("\n") == 1 + tiny_tensor.values.size  # header + all cells
+        loaded = load_csv(path)
+        np.testing.assert_array_equal(loaded.mask, tiny_tensor.mask)
+
+    def test_header_validation(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_dimension_name_mismatch_rejected(self, tmp_path, tiny_tensor):
+        path = tmp_path / "tiny.csv"
+        save_csv(tiny_tensor, path)
+        with pytest.raises(DatasetError):
+            load_csv(path, dimension_names=["warehouse"])
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("sensor,time,value\na,0,1.0\na,1\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_non_integer_time_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("sensor,time,value\na,zero,1.0\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("sensor,time,value\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_csv(tmp_path / "absent.csv")

@@ -1,0 +1,150 @@
+"""Tests of the missing-value scenario generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.missing import (
+    MissingScenario,
+    apply_scenario,
+    blackout,
+    list_scenarios,
+    mcar,
+    mcar_points,
+    miss_disj,
+    miss_over,
+)
+from repro.exceptions import ScenarioError
+
+
+def _runs(row):
+    """Lengths of contiguous 1-runs in a 0/1 vector."""
+    lengths, run = [], 0
+    for value in row:
+        if value == 1:
+            run += 1
+        elif run:
+            lengths.append(run)
+            run = 0
+    if run:
+        lengths.append(run)
+    return lengths
+
+
+class TestMCAR:
+    def test_only_selected_fraction_of_series_affected(self, small_panel, rng):
+        mask = mcar(small_panel, incomplete_fraction=0.5, block_size=5, rng=rng)
+        flat = mask.reshape(small_panel.n_series, -1)
+        affected = (flat.sum(axis=1) > 0).sum()
+        assert affected == 4  # 50% of 8 series
+
+    def test_missing_rate_respected(self, small_panel, rng):
+        mask = mcar(small_panel, incomplete_fraction=1.0, missing_rate=0.1,
+                    block_size=5, rng=rng)
+        flat = mask.reshape(small_panel.n_series, -1)
+        for row in flat:
+            assert 0 < row.sum() <= 0.15 * small_panel.n_time
+
+    def test_blocks_have_requested_size(self, small_panel, rng):
+        mask = mcar(small_panel, incomplete_fraction=1.0, block_size=6, rng=rng)
+        flat = mask.reshape(small_panel.n_series, -1)
+        for row in flat:
+            for run in _runs(row):
+                assert run % 6 == 0  # runs are unions of size-6 blocks
+
+    def test_never_hides_already_missing_cells(self, tiny_tensor, rng):
+        mask = mcar(tiny_tensor, incomplete_fraction=1.0, block_size=3, rng=rng)
+        assert np.all(mask[tiny_tensor.mask == 0] == 0)
+
+    def test_rejects_block_larger_than_series(self, tiny_tensor, rng):
+        with pytest.raises(ScenarioError):
+            mcar(tiny_tensor, block_size=50, rng=rng)
+
+    def test_rejects_bad_fraction(self, tiny_tensor, rng):
+        with pytest.raises(ScenarioError):
+            mcar(tiny_tensor, incomplete_fraction=0.0, rng=rng)
+        with pytest.raises(ScenarioError):
+            mcar(tiny_tensor, missing_rate=1.5, rng=rng)
+
+    def test_points_variant_single_cells(self, small_panel, rng):
+        mask = mcar_points(small_panel, block_size=1, rng=rng)
+        flat = mask.reshape(small_panel.n_series, -1)
+        assert flat.sum() > 0
+
+
+class TestDisjointAndOverlap:
+    def test_miss_disj_blocks_do_not_overlap(self, small_panel):
+        mask = miss_disj(small_panel).reshape(small_panel.n_series, -1)
+        # At any time index at most one series is missing.
+        assert mask.sum(axis=0).max() <= 1
+
+    def test_miss_disj_block_size(self, small_panel):
+        mask = miss_disj(small_panel).reshape(small_panel.n_series, -1)
+        block = small_panel.n_time // small_panel.n_series
+        for row in mask:
+            assert row.sum() == block
+
+    def test_miss_over_blocks_overlap_neighbours(self, small_panel):
+        mask = miss_over(small_panel).reshape(small_panel.n_series, -1)
+        block = small_panel.n_time // small_panel.n_series
+        # Series 0 and 1 share the second half of series 0's block.
+        shared = (mask[0] * mask[1]).sum()
+        assert shared == block
+
+    def test_miss_over_last_series_has_single_block(self, small_panel):
+        mask = miss_over(small_panel).reshape(small_panel.n_series, -1)
+        block = small_panel.n_time // small_panel.n_series
+        assert mask[-1].sum() == block
+
+    def test_incomplete_fraction_limits_series(self, small_panel):
+        mask = miss_disj(small_panel, incomplete_fraction=0.25)
+        flat = mask.reshape(small_panel.n_series, -1)
+        assert (flat.sum(axis=1) > 0).sum() == 2
+
+
+class TestBlackout:
+    def test_same_range_missing_everywhere(self, small_panel):
+        mask = blackout(small_panel, block_size=12).reshape(small_panel.n_series, -1)
+        start = int(round(0.05 * small_panel.n_time))
+        for row in mask:
+            np.testing.assert_array_equal(np.where(row == 1)[0],
+                                          np.arange(start, start + 12))
+
+    def test_block_size_larger_than_series_rejected(self, small_panel):
+        with pytest.raises(ScenarioError):
+            blackout(small_panel, block_size=small_panel.n_time + 1)
+
+    def test_start_fraction_clipped(self, small_panel):
+        mask = blackout(small_panel, block_size=20, start_fraction=0.99)
+        flat = mask.reshape(small_panel.n_series, -1)
+        assert flat.sum() == 20 * small_panel.n_series
+
+
+class TestScenarioWrapper:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ScenarioError):
+            MissingScenario("bogus")
+
+    def test_generate_is_deterministic_per_seed(self, small_panel):
+        scenario = MissingScenario("mcar", {"incomplete_fraction": 0.5})
+        a = scenario.generate(small_panel, seed=3)
+        b = scenario.generate(small_panel, seed=3)
+        c = scenario.generate(small_panel, seed=4)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_describe_mentions_params(self):
+        scenario = MissingScenario("blackout", {"block_size": 10})
+        assert "blackout" in scenario.describe()
+        assert "block_size=10" in scenario.describe()
+
+    def test_apply_scenario_returns_consistent_pair(self, small_panel):
+        scenario = MissingScenario("miss_disj")
+        incomplete, mask = apply_scenario(small_panel, scenario, seed=1)
+        assert incomplete.mask[mask == 1].sum() == 0
+        np.testing.assert_allclose(
+            incomplete.values[mask == 0], small_panel.values[mask == 0])
+
+    def test_list_scenarios_contains_all_five(self):
+        names = list_scenarios()
+        for expected in ["mcar", "mcar_points", "miss_disj", "miss_over", "blackout"]:
+            assert expected in names

@@ -1,0 +1,76 @@
+"""Property-based tests of scenario generators and tensor mask algebra."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data.dimensions import Dimension
+from repro.data.missing import MissingScenario, apply_scenario
+from repro.data.tensor import TimeSeriesTensor
+
+_settings = settings(max_examples=20, deadline=None)
+
+
+@st.composite
+def complete_panels(draw):
+    n_series = draw(st.integers(2, 6))
+    length = draw(st.integers(40, 120))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=(n_series, length))
+    return TimeSeriesTensor(
+        values=values,
+        dimensions=[Dimension.categorical("series", n_series)],
+        name="prop",
+    )
+
+
+@st.composite
+def scenarios(draw):
+    name = draw(st.sampled_from(["mcar", "miss_disj", "miss_over", "blackout",
+                                 "mcar_points"]))
+    params = {}
+    if name == "mcar":
+        params = {"incomplete_fraction": draw(st.sampled_from([0.25, 0.5, 1.0])),
+                  "block_size": draw(st.integers(2, 8))}
+    elif name == "mcar_points":
+        params = {"block_size": 1}
+    elif name == "blackout":
+        params = {"block_size": draw(st.integers(2, 15))}
+    return MissingScenario(name, params)
+
+
+@_settings
+@given(complete_panels(), scenarios(), st.integers(0, 100))
+def test_scenario_mask_is_binary_and_inside_observed(panel, scenario, seed):
+    mask = scenario.generate(panel, seed=seed)
+    assert mask.shape == panel.values.shape
+    assert set(np.unique(mask)).issubset({0.0, 1.0})
+    # Scenario only hides observed cells.
+    assert np.all(mask[panel.mask == 0] == 0)
+    # Something is hidden.
+    assert mask.sum() > 0
+
+
+@_settings
+@given(complete_panels(), scenarios(), st.integers(0, 100))
+def test_apply_scenario_partitions_cells(panel, scenario, seed):
+    incomplete, mask = apply_scenario(panel, scenario, seed=seed)
+    # Hidden cells are missing in the incomplete tensor ...
+    assert np.all(incomplete.mask[mask == 1] == 0)
+    # ... and every other cell keeps its original availability and value.
+    untouched = mask == 0
+    np.testing.assert_array_equal(incomplete.mask[untouched], panel.mask[untouched])
+    np.testing.assert_allclose(incomplete.values[untouched], panel.values[untouched])
+    # Masks partition: available + newly-missing + originally-missing = all.
+    assert (incomplete.mask.sum() + mask.sum() + (panel.mask == 0).sum()
+            == panel.values.size)
+
+
+@_settings
+@given(complete_panels(), scenarios(), st.integers(0, 50))
+def test_fill_after_scenario_restores_completeness(panel, scenario, seed):
+    incomplete, _ = apply_scenario(panel, scenario, seed=seed)
+    filled = incomplete.fill(np.zeros_like(panel.values))
+    assert filled.missing_fraction == 0.0
+    observed = incomplete.mask == 1
+    np.testing.assert_allclose(filled.values[observed], panel.values[observed])

@@ -1,0 +1,146 @@
+"""Tests of the synthetic generators and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    DatasetProfile,
+    get_profile,
+    list_datasets,
+    load_dataset,
+    table1_summary,
+)
+from repro.data.synthetic import (
+    SyntheticSeriesConfig,
+    generate_correlated_groups,
+    generate_panel,
+    _level,
+)
+from repro.exceptions import ConfigError, DatasetError
+
+
+class TestSyntheticGenerator:
+    def test_shape_matches_config(self):
+        config = SyntheticSeriesConfig(shape=(4, 3), length=64, seed=1)
+        panel = generate_panel(config)
+        assert panel.shape == (4, 3, 64)
+        assert panel.n_dims == 2
+
+    def test_reproducible_from_seed(self):
+        a = generate_panel(SyntheticSeriesConfig(shape=(3,), length=50, seed=5))
+        b = generate_panel(SyntheticSeriesConfig(shape=(3,), length=50, seed=5))
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        a = generate_panel(SyntheticSeriesConfig(shape=(3,), length=50, seed=5))
+        b = generate_panel(SyntheticSeriesConfig(shape=(3,), length=50, seed=6))
+        assert not np.allclose(a.values, b.values)
+
+    def test_series_are_z_normalised(self):
+        panel = generate_panel(SyntheticSeriesConfig(shape=(5,), length=200, seed=0))
+        matrix, _ = panel.to_matrix()
+        np.testing.assert_allclose(matrix.mean(axis=1), np.zeros(5), atol=1e-9)
+        np.testing.assert_allclose(matrix.std(axis=1), np.ones(5), atol=1e-9)
+
+    def test_no_missing_values(self):
+        panel = generate_panel(SyntheticSeriesConfig(shape=(3,), length=80, seed=2))
+        assert panel.missing_fraction == 0.0
+
+    def test_high_relatedness_increases_cross_correlation(self):
+        def mean_abs_corr(relatedness):
+            panel = generate_panel(SyntheticSeriesConfig(
+                shape=(8,), length=400, relatedness=relatedness,
+                seasonality="low", noise_std=0.05, seed=3))
+            matrix, _ = panel.to_matrix()
+            corr = np.corrcoef(matrix)
+            off_diag = corr[~np.eye(8, dtype=bool)]
+            return np.abs(off_diag).mean()
+
+        assert mean_abs_corr("high") > mean_abs_corr("none") + 0.1
+
+    def test_seasonality_increases_autocorrelation_structure(self):
+        def periodicity_score(seasonality):
+            panel = generate_panel(SyntheticSeriesConfig(
+                shape=(4,), length=400, seasonality=seasonality,
+                relatedness="none", trend_strength=0.0, noise_std=0.3, seed=9))
+            matrix, _ = panel.to_matrix()
+            spectra = np.abs(np.fft.rfft(matrix, axis=1)) ** 2
+            return float(spectra[:, 1:].max(axis=1).mean() / spectra[:, 1:].mean())
+
+        assert periodicity_score("high") > periodicity_score(0.0)
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ConfigError):
+            _level("extreme")
+        with pytest.raises(ConfigError):
+            _level(1.5)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            SyntheticSeriesConfig(length=2)
+        with pytest.raises(ConfigError):
+            SyntheticSeriesConfig(shape=(0,))
+        with pytest.raises(ConfigError):
+            SyntheticSeriesConfig(noise_std=-1.0)
+
+    def test_correlated_groups_structure(self):
+        panel = generate_correlated_groups(n_groups=3, series_per_group=4,
+                                           length=200, seed=1, noise_std=0.05)
+        matrix, _ = panel.to_matrix()
+        corr = np.corrcoef(matrix)
+        within = corr[0, 1]            # same group
+        across = abs(corr[0, 5])       # different group
+        assert within > 0.8
+        assert within > across
+
+
+class TestDatasetRegistry:
+    def test_ten_datasets_registered(self):
+        assert len(list_datasets()) == 10
+
+    def test_profiles_match_table1_dimensionality(self):
+        assert len(get_profile("janatahack").shape) == 2
+        assert len(get_profile("m5").shape) == 2
+        assert len(get_profile("airq").shape) == 1
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            get_profile("not-a-dataset")
+        with pytest.raises(DatasetError):
+            load_dataset("not-a-dataset")
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("airq", size="huge")
+
+    def test_load_dataset_sets_name(self):
+        assert load_dataset("climate", size="tiny").name == "climate"
+
+    def test_size_presets_scale_length(self):
+        tiny = load_dataset("bafu", size="tiny")
+        small = load_dataset("bafu", size="small")
+        assert tiny.n_time < small.n_time
+
+    def test_explicit_overrides(self):
+        panel = load_dataset("m5", length=100, shape=(3, 4))
+        assert panel.shape == (3, 4, 100)
+
+    def test_deterministic_per_seed(self):
+        a = load_dataset("gas", size="tiny", seed=2)
+        b = load_dataset("gas", size="tiny", seed=2)
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_table1_summary_rows(self):
+        rows = table1_summary()
+        assert len(rows) == 10
+        by_name = {row["dataset"]: row for row in rows}
+        assert by_name["bafu"]["paper_length"] == 50000
+        assert by_name["janatahack"]["dimensions"] == 2
+        for row in rows:
+            assert {"repetition_within", "relatedness_across"} <= set(row)
+
+    def test_profile_config_respects_overrides(self):
+        profile = get_profile("airq")
+        config = profile.config(length=77, seed=3)
+        assert config.length == 77
+        assert config.seed == 3

@@ -1,0 +1,84 @@
+"""Property-based tests of the TimeSeriesTensor container."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data.dimensions import Dimension
+from repro.data.tensor import TimeSeriesTensor
+
+_settings = settings(max_examples=25, deadline=None)
+
+
+@st.composite
+def tensors_with_missing(draw):
+    n_series = draw(st.integers(1, 5))
+    length = draw(st.integers(5, 40))
+    seed = draw(st.integers(0, 10_000))
+    missing_rate = draw(st.floats(0.0, 0.6))
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=(n_series, length)) * draw(st.floats(0.5, 20.0))
+    mask = (rng.random(values.shape) >= missing_rate).astype(float)
+    # guarantee at least one observed cell
+    mask[0, 0] = 1.0
+    values = np.where(mask == 1, values, np.nan)
+    return TimeSeriesTensor(values=values, mask=mask,
+                            dimensions=[Dimension.categorical("s", n_series)])
+
+
+@_settings
+@given(tensors_with_missing())
+def test_missing_plus_available_counts_cover_all_cells(tensor):
+    assert (tensor.missing_indices().shape[0] + tensor.available_indices().shape[0]
+            == tensor.values.size)
+    assert 0.0 <= tensor.missing_fraction <= 1.0
+
+
+@_settings
+@given(tensors_with_missing())
+def test_normalisation_roundtrip_preserves_observed_values(tensor):
+    normalised, mean, std = tensor.normalised()
+    restored = normalised.values * std + mean
+    observed = tensor.mask == 1
+    np.testing.assert_allclose(restored[observed], tensor.values[observed], atol=1e-9)
+    assert std > 0
+
+
+@_settings
+@given(tensors_with_missing())
+def test_fill_never_changes_observed_cells_and_completes(tensor):
+    filled = tensor.fill(np.zeros_like(tensor.values))
+    observed = tensor.mask == 1
+    np.testing.assert_allclose(filled.values[observed], tensor.values[observed])
+    assert filled.missing_fraction == 0.0
+    np.testing.assert_allclose(filled.values[~observed], 0.0)
+
+
+@_settings
+@given(tensors_with_missing())
+def test_matrix_roundtrip_is_lossless(tensor):
+    matrix, mask = tensor.to_matrix()
+    rebuilt = tensor.with_matrix(matrix)
+    observed = tensor.mask == 1
+    np.testing.assert_allclose(rebuilt.values[observed], tensor.values[observed])
+    np.testing.assert_array_equal(rebuilt.mask, tensor.mask)
+
+
+@_settings
+@given(tensors_with_missing())
+def test_aggregate_over_is_within_observed_range(tensor):
+    aggregate = tensor.aggregate_over(axis=0)
+    observed = tensor.values[tensor.mask == 1]
+    finite = aggregate[np.isfinite(aggregate)]
+    if finite.size and observed.size:
+        assert finite.max() <= observed.max() + 1e-9
+        assert finite.min() >= observed.min() - 1e-9
+
+
+@_settings
+@given(tensors_with_missing())
+def test_with_missing_is_monotone_in_availability(tensor):
+    extra = np.zeros_like(tensor.values)
+    extra[0, 0] = 1.0
+    hidden = tensor.with_missing(extra)
+    assert hidden.mask.sum() <= tensor.mask.sum()
+    assert hidden.mask[0, 0] == 0.0

@@ -1,0 +1,57 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.evaluation.cli import main
+
+
+class TestListCommand:
+    def test_lists_datasets_methods_and_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "airq" in output
+        assert "deepmvi" in output
+        assert "figure5" in output
+        assert "blackout" in output
+
+
+class TestRunCommand:
+    def test_runs_fast_methods(self, capsys):
+        code = main(["run", "--dataset", "airq", "--scenario", "mcar",
+                     "--methods", "mean", "interpolation", "--size", "tiny"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Mean" in output and "LinearInterp" in output
+        assert "runtimes" in output
+
+    def test_blackout_scenario_parameters(self, capsys):
+        code = main(["run", "--dataset", "airq", "--scenario", "blackout",
+                     "--methods", "mean", "--size", "tiny", "--block-size", "5"])
+        assert code == 0
+        assert "Mean" in capsys.readouterr().out
+
+    def test_disjoint_scenario(self, capsys):
+        code = main(["run", "--dataset", "chlorine", "--scenario", "miss_disj",
+                     "--methods", "svdimp", "--size", "tiny"])
+        assert code == 0
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--dataset", "nope", "--scenario", "mcar",
+                  "--methods", "mean"])
+
+    def test_rejects_missing_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestExperimentCommand:
+    def test_table1_experiment(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "dataset" in output
+        assert "bafu" in output
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure99"])

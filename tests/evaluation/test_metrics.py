@@ -1,0 +1,97 @@
+"""Tests of the error metrics, including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.dimensions import Dimension
+from repro.data.tensor import TimeSeriesTensor
+from repro.evaluation.metrics import mae, masked_errors, nrmse, rmse
+from repro.exceptions import ShapeError
+
+
+class TestBasics:
+    def test_mae_matches_manual(self):
+        assert mae(np.array([1.0, 3.0]), np.array([2.0, 1.0])) == pytest.approx(1.5)
+
+    def test_rmse_matches_manual(self):
+        assert rmse(np.array([1.0, 3.0]), np.array([2.0, 1.0])) == pytest.approx(
+            np.sqrt((1 + 4) / 2))
+
+    def test_rmse_at_least_mae(self, rng):
+        a, b = rng.normal(size=20), rng.normal(size=20)
+        assert rmse(a, b) >= mae(a, b) - 1e-12
+
+    def test_mask_restricts_comparison(self):
+        imputed = np.array([[0.0, 100.0]])
+        truth = np.array([[0.0, 1.0]])
+        mask = np.array([[1.0, 0.0]])
+        assert mae(imputed, truth, mask) == 0.0
+
+    def test_empty_mask_gives_zero(self):
+        assert mae(np.ones((2, 2)), np.zeros((2, 2)), np.zeros((2, 2))) == 0.0
+
+    def test_accepts_tensors(self, tiny_tensor):
+        other = tiny_tensor.fill(np.zeros_like(tiny_tensor.values))
+        value = mae(other, other)
+        assert value == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            mae(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_mask_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            mae(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_nrmse_scale_invariant(self, rng):
+        truth = rng.normal(size=100)
+        imputed = truth + rng.normal(size=100) * 0.1
+        assert nrmse(imputed * 10, truth * 10) == pytest.approx(
+            nrmse(imputed, truth), rel=1e-9)
+
+    def test_nrmse_constant_truth_does_not_blow_up(self):
+        assert np.isfinite(nrmse(np.array([1.0, 2.0]), np.array([3.0, 3.0])))
+
+    def test_masked_errors_bundle(self, rng):
+        a, b = rng.normal(size=10), rng.normal(size=10)
+        bundle = masked_errors(a, b)
+        assert set(bundle) == {"mae", "rmse", "nrmse"}
+        assert bundle["mae"] == pytest.approx(mae(a, b))
+
+
+_settings = settings(max_examples=30, deadline=None)
+_arrays = hnp.arrays(dtype=np.float64, shape=st.integers(1, 40),
+                     elements=st.floats(-100, 100, allow_nan=False))
+
+
+class TestProperties:
+    @_settings
+    @given(_arrays)
+    def test_identity_gives_zero_error(self, values):
+        assert mae(values, values) == 0.0
+        assert rmse(values, values) == 0.0
+
+    @_settings
+    @given(_arrays, _arrays)
+    def test_symmetry(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert mae(a, b) == pytest.approx(mae(b, a))
+        assert rmse(a, b) == pytest.approx(rmse(b, a))
+
+    @_settings
+    @given(_arrays, st.floats(-50, 50, allow_nan=False))
+    def test_translation_invariance(self, values, shift):
+        noisy = values + 1.0
+        assert mae(noisy + shift, values + shift) == pytest.approx(
+            mae(noisy, values), abs=1e-9)
+
+    @_settings
+    @given(_arrays, _arrays)
+    def test_non_negative(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert mae(a, b) >= 0.0
+        assert rmse(a, b) >= 0.0

@@ -1,0 +1,123 @@
+"""Integration tests: full pipelines across modules and the paper's headline
+qualitative claims at test scale."""
+
+import numpy as np
+import pytest
+
+from repro import DeepMVIConfig, DeepMVIImputer, load_dataset, mae
+from repro.baselines import CDRecImputer, MeanImputer, SVDImputer
+from repro.baselines.registry import create_imputer
+from repro.data.missing import MissingScenario, apply_scenario
+from repro.evaluation.analytics import downstream_comparison
+from repro.evaluation.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def trained_cells():
+    """DeepMVI + conventional baselines on one dataset under two scenarios."""
+    data = load_dataset("airq", size="small", seed=1)
+    config = DeepMVIConfig(max_epochs=15, samples_per_epoch=384, patience=4)
+    results = {}
+    for scenario_name, scenario in {
+        "mcar": MissingScenario("mcar", {"incomplete_fraction": 1.0, "block_size": 10}),
+        "blackout": MissingScenario("blackout", {"block_size": 20}),
+    }.items():
+        incomplete, mask = apply_scenario(data, scenario, seed=2)
+        cell = {}
+        cell["DeepMVI"] = mae(DeepMVIImputer(config=config).fit_impute(incomplete),
+                              data, mask)
+        cell["CDRec"] = mae(CDRecImputer().fit_impute(incomplete), data, mask)
+        cell["SVDImp"] = mae(SVDImputer().fit_impute(incomplete), data, mask)
+        cell["Mean"] = mae(MeanImputer().fit_impute(incomplete), data, mask)
+        results[scenario_name] = cell
+    return results
+
+
+class TestHeadlineClaims:
+    """Scaled-down versions of the paper's main qualitative findings."""
+
+    def test_deepmvi_beats_mean_everywhere(self, trained_cells):
+        for cell in trained_cells.values():
+            assert cell["DeepMVI"] < cell["Mean"]
+
+    def test_deepmvi_competitive_with_matrix_methods_on_mcar(self, trained_cells):
+        cell = trained_cells["mcar"]
+        best_conventional = min(cell["CDRec"], cell["SVDImp"])
+        # Figure 5/6: DeepMVI is better or comparable; allow 15% slack at
+        # this tiny scale.
+        assert cell["DeepMVI"] <= best_conventional * 1.15
+
+    def test_deepmvi_clearly_wins_blackout(self, trained_cells):
+        """The paper's largest gains are in the Blackout scenario, where
+        matrix methods cannot exploit cross-series correlation."""
+        cell = trained_cells["blackout"]
+        best_conventional = min(cell["CDRec"], cell["SVDImp"])
+        assert cell["DeepMVI"] < best_conventional
+
+
+class TestRunnerIntegration:
+    def test_grid_with_deepmvi_and_conventional(self):
+        data = load_dataset("chlorine", size="tiny", seed=3)
+        runner = ExperimentRunner(
+            methods=["mean", "svdimp", "deepmvi"],
+            method_kwargs={"deepmvi": {"config": DeepMVIConfig.fast()}},
+        )
+        scenarios = [MissingScenario("mcar", {"incomplete_fraction": 0.5, "block_size": 5})]
+        results = runner.run_grid([data], scenarios)
+        assert len(results) == 3
+        assert all(np.isfinite(r.mae) for r in results)
+        assert all(r.runtime_seconds > 0 for r in results)
+
+    def test_matrix_methods_faster_than_deepmvi(self):
+        """Figure 10a: matrix-factorisation methods are much faster."""
+        data = load_dataset("airq", size="tiny", seed=4)
+        runner = ExperimentRunner(
+            methods=["svdimp", "deepmvi"],
+            method_kwargs={"deepmvi": {"config": DeepMVIConfig.fast()}},
+        )
+        scenario = MissingScenario("mcar", {"incomplete_fraction": 1.0, "block_size": 5})
+        svd = runner.run_cell(data, scenario, "svdimp")
+        deep = runner.run_cell(data, scenario, "deepmvi")
+        assert svd.runtime_seconds < deep.runtime_seconds
+
+
+class TestMultidimensionalPipeline:
+    def test_deepmvi_on_two_dimensional_panel(self):
+        data = load_dataset("janatahack", seed=5, shape=(4, 3), length=96)
+        scenario = MissingScenario("mcar", {"incomplete_fraction": 1.0, "block_size": 6})
+        incomplete, mask = apply_scenario(data, scenario, seed=6)
+        config = DeepMVIConfig.fast(max_epochs=6, samples_per_epoch=128)
+        structured = mae(DeepMVIImputer(config=config).fit_impute(incomplete), data, mask)
+        mean_error = mae(MeanImputer().fit_impute(incomplete), data, mask)
+        assert structured < mean_error
+
+    def test_downstream_analytics_pipeline(self):
+        data = load_dataset("janatahack", seed=7, shape=(4, 3), length=96)
+        scenario = MissingScenario("mcar", {"incomplete_fraction": 1.0, "block_size": 6})
+        incomplete, _ = apply_scenario(data, scenario, seed=8)
+        comparison = downstream_comparison(
+            data, incomplete,
+            {"deepmvi": DeepMVIImputer(config=DeepMVIConfig.fast()),
+             "mean": MeanImputer()})
+        assert set(comparison) == {"dropcell_mae", "deepmvi", "mean"}
+        assert np.isfinite(list(comparison.values())).all()
+
+
+class TestAblationPipeline:
+    def test_all_ablation_variants_run(self):
+        data = load_dataset("airq", size="tiny", seed=9)
+        scenario = MissingScenario("mcar", {"incomplete_fraction": 0.5, "block_size": 5})
+        incomplete, mask = apply_scenario(data, scenario, seed=10)
+        flags = [
+            {},
+            {"use_temporal_transformer": False},
+            {"use_context_window": False},
+            {"use_kernel_regression": False},
+            {"use_fine_grained": False},
+        ]
+        errors = []
+        for flag in flags:
+            config = DeepMVIConfig.fast().ablated(**flag)
+            errors.append(mae(DeepMVIImputer(config=config).fit_impute(incomplete),
+                              data, mask))
+        assert all(np.isfinite(error) for error in errors)

@@ -1,0 +1,30 @@
+"""Smoke tests that every example script runs end-to-end in --fast mode."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_in_fast_mode(script):
+    completed = subprocess.run(
+        [sys.executable, str(script), "--fast"],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "MAE" in completed.stdout or "method" in completed.stdout
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_module_docstring(script):
+    source = script.read_text()
+    assert source.lstrip().startswith('"""'), f"{script.name} is missing a docstring"

@@ -1,0 +1,115 @@
+"""Tests of MultiHeadAttention and the GRU recurrent cells."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.rnn import BidirectionalGRU, GRUCell
+from repro.nn.tensor import Tensor
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        attention = MultiHeadAttention(model_dim=8, n_heads=2, rng=rng)
+        x = Tensor(rng.normal(size=(3, 5, 8)))
+        out, weights = attention(x, x, x)
+        assert out.shape == (3, 5, 8)
+        assert weights.shape == (3, 2, 5, 5)
+
+    def test_rejects_indivisible_heads(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(model_dim=7, n_heads=2, rng=rng)
+
+    def test_attention_weights_normalised(self, rng):
+        attention = MultiHeadAttention(model_dim=8, n_heads=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 4, 8)))
+        _, weights = attention(x, x, x)
+        np.testing.assert_allclose(weights.sum(axis=-1), np.ones((2, 2, 4)), atol=1e-6)
+
+    def test_mask_blocks_positions(self, rng):
+        attention = MultiHeadAttention(model_dim=8, n_heads=2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        mask = np.ones((1, 4, 4))
+        mask[:, :, 2] = 0.0
+        _, weights = attention(x, x, x, mask=mask)
+        assert np.all(weights[:, :, :, 2] == 0.0)
+
+    def test_masking_changes_output(self, rng):
+        attention = MultiHeadAttention(model_dim=8, n_heads=2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        full, _ = attention(x, x, x)
+        mask = np.ones((1, 4, 4))
+        mask[:, :, 0] = 0.0
+        masked, _ = attention(x, x, x, mask=mask)
+        assert not np.allclose(full.data, masked.data)
+
+    def test_gradients_reach_all_projections(self, rng):
+        attention = MultiHeadAttention(model_dim=8, n_heads=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 8)))
+        out, _ = attention(x, x, x)
+        out.sum().backward()
+        for _, parameter in attention.named_parameters():
+            assert parameter.grad is not None
+
+
+class TestGRUCell:
+    def test_state_shape(self, rng):
+        cell = GRUCell(3, 6, rng=rng)
+        state = cell.init_state(4)
+        new_state = cell(Tensor(rng.normal(size=(4, 3))), state)
+        assert new_state.shape == (4, 6)
+
+    def test_state_bounded_by_tanh(self, rng):
+        cell = GRUCell(3, 6, rng=rng)
+        state = cell.init_state(2)
+        for _ in range(20):
+            state = cell(Tensor(rng.normal(size=(2, 3)) * 10), state)
+        assert np.all(np.abs(state.data) <= 1.0 + 1e-9)
+
+    def test_zero_update_gate_keeps_candidate(self, rng):
+        cell = GRUCell(2, 2, rng=rng)
+        # Force the update gate towards 0 by setting its biases very negative.
+        cell.update_x.bias.data[:] = -50.0
+        state = Tensor(np.ones((1, 2)) * 0.7)
+        new_state = cell(Tensor(np.zeros((1, 2))), state)
+        # With z ~ 0, h' ~ candidate, so it should move away from the old state.
+        assert not np.allclose(new_state.data, state.data)
+
+    def test_gradients_flow_through_time(self, rng):
+        cell = GRUCell(2, 3, rng=rng)
+        state = cell.init_state(1)
+        x = Tensor(rng.normal(size=(1, 2)), requires_grad=True)
+        for _ in range(3):
+            state = cell(x, state)
+        state.sum().backward()
+        assert x.grad is not None and np.any(x.grad != 0)
+
+
+class TestBidirectionalGRU:
+    def test_track_shapes(self, rng):
+        encoder = BidirectionalGRU(input_dim=4, hidden_dim=5, rng=rng)
+        forward_track, backward_track = encoder(Tensor(rng.normal(size=(2, 7, 4))))
+        assert forward_track.shape == (2, 7, 5)
+        assert backward_track.shape == (2, 7, 5)
+
+    def test_forward_state_never_sees_current_or_future(self, rng):
+        """The forward track at time t must not depend on x[t:] — the
+        property BRITS relies on to avoid leaking the value being imputed."""
+        encoder = BidirectionalGRU(input_dim=1, hidden_dim=4, rng=rng)
+        x = rng.normal(size=(1, 6, 1))
+        forward_track, _ = encoder(Tensor(x))
+        modified = x.copy()
+        modified[0, 3:, 0] += 100.0          # change the present and future
+        forward_modified, _ = encoder(Tensor(modified))
+        np.testing.assert_allclose(forward_track.data[0, :4],
+                                    forward_modified.data[0, :4], atol=1e-12)
+
+    def test_backward_state_never_sees_current_or_past(self, rng):
+        encoder = BidirectionalGRU(input_dim=1, hidden_dim=4, rng=rng)
+        x = rng.normal(size=(1, 6, 1))
+        _, backward_track = encoder(Tensor(x))
+        modified = x.copy()
+        modified[0, :3, 0] += 100.0          # change the past and present
+        _, backward_modified = encoder(Tensor(modified))
+        np.testing.assert_allclose(backward_track.data[0, 3:],
+                                    backward_modified.data[0, 3:], atol=1e-12)

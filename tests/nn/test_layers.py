@@ -1,0 +1,179 @@
+"""Tests of Module, Linear, Embedding, LayerNorm, Dropout, Sequential."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        x = rng.normal(size=(3, 4))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_batched_3d_input(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 2)
+
+    def test_gradients_reach_weight_and_bias(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        layer(Tensor(rng.normal(size=(4, 3)))).sum().backward()
+        assert layer.weight.grad is not None and np.any(layer.weight.grad != 0)
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, [4.0, 4.0])
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(7, 4, rng=rng)
+        out = emb(np.array([[1, 2], [3, 6]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_parameters_registered(self, rng):
+        emb = Embedding(7, 4, rng=rng)
+        assert emb.num_parameters() == 28
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self, rng):
+        layer = LayerNorm(6)
+        out = layer(Tensor(rng.normal(size=(3, 6)) * 5 + 2)).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(3), atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(3), atol=1e-2)
+
+    def test_gamma_beta_trainable(self):
+        layer = LayerNorm(4)
+        names = dict(layer.named_parameters())
+        assert "gamma" in names and "beta" in names
+
+
+class TestActivationsAndDropout:
+    def test_relu_module(self):
+        np.testing.assert_allclose(ReLU()(Tensor([-1.0, 2.0])).data, [0.0, 2.0])
+
+    def test_tanh_module(self):
+        np.testing.assert_allclose(Tanh()(Tensor([0.0])).data, [0.0])
+
+    def test_sigmoid_module(self):
+        np.testing.assert_allclose(Sigmoid()(Tensor([0.0])).data, [0.5])
+
+    def test_dropout_eval_mode_is_identity(self, rng):
+        layer = Dropout(0.9, rng=rng)
+        layer.eval()
+        x = rng.normal(size=(20,))
+        np.testing.assert_allclose(layer(Tensor(x)).data, x)
+
+    def test_dropout_train_mode_zeroes_units(self, rng):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones(500))).data
+        assert (out == 0).sum() > 100
+
+
+class TestModuleInfrastructure:
+    def _nested_module(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.layer1 = Linear(3, 4, rng=rng)
+                self.blocks = [Linear(4, 4, rng=rng), Linear(4, 4, rng=rng)]
+                self.lookup = {"emb": Embedding(5, 2, rng=rng)}
+                self.scale = Parameter(np.ones(1))
+
+            def forward(self, x):
+                return self.blocks[1](self.blocks[0](self.layer1(x))) * self.scale
+
+        return Net()
+
+    def test_named_parameters_cover_nested_containers(self, rng):
+        net = self._nested_module(rng)
+        names = dict(net.named_parameters())
+        assert "layer1.weight" in names
+        assert "blocks.0.weight" in names
+        assert "blocks.1.bias" in names
+        assert "lookup.emb.weight" in names
+        assert "scale" in names
+
+    def test_num_parameters_counts_scalars(self, rng):
+        net = self._nested_module(rng)
+        expected = (3 * 4 + 4) + 2 * (4 * 4 + 4) + 5 * 2 + 1
+        assert net.num_parameters() == expected
+
+    def test_zero_grad_clears_all(self, rng):
+        net = self._nested_module(rng)
+        net(Tensor(rng.normal(size=(2, 3)))).sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_train_eval_propagates(self, rng):
+        net = self._nested_module(rng)
+        net.eval()
+        assert not net.layer1.training
+        assert not net.blocks[0].training
+        net.train()
+        assert net.lookup["emb"].training
+
+    def test_state_dict_roundtrip(self, rng):
+        net = self._nested_module(rng)
+        state = net.state_dict()
+        for parameter in net.parameters():
+            parameter.data += 1.0
+        net.load_state_dict(state)
+        for name, parameter in net.named_parameters():
+            np.testing.assert_allclose(parameter.data, state[name])
+
+    def test_state_dict_is_a_copy(self, rng):
+        net = self._nested_module(rng)
+        state = net.state_dict()
+        net.layer1.weight.data += 5.0
+        assert not np.allclose(state["layer1.weight"], net.layer1.weight.data)
+
+    def test_load_state_dict_rejects_unknown_key(self, rng):
+        net = self._nested_module(rng)
+        with pytest.raises(KeyError):
+            net.load_state_dict({"nope": np.zeros(1)})
+
+    def test_load_state_dict_rejects_shape_mismatch(self, rng):
+        net = self._nested_module(rng)
+        with pytest.raises(ValueError):
+            net.load_state_dict({"scale": np.zeros(3)})
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestSequential:
+    def test_applies_in_order(self, rng):
+        model = Sequential(Linear(3, 5, rng=rng), ReLU(), Linear(5, 2, rng=rng))
+        out = model(Tensor(rng.normal(size=(4, 3))))
+        assert out.shape == (4, 2)
+
+    def test_parameters_collected_from_all_stages(self, rng):
+        model = Sequential(Linear(3, 5, rng=rng), ReLU(), Linear(5, 2, rng=rng))
+        assert len(model.parameters()) == 4

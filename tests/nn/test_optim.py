@@ -1,0 +1,114 @@
+"""Tests of the SGD and Adam optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Parameter
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam, SGD
+from repro.nn.tensor import Tensor
+
+
+def _quadratic_step(optimizer, parameter, target):
+    optimizer.zero_grad()
+    loss = ((parameter - target) ** 2).sum()
+    loss.backward()
+    optimizer.step()
+    return float(loss.item())
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 2.0])
+        optimizer = SGD([parameter], lr=0.1)
+        for _ in range(200):
+            _quadratic_step(optimizer, parameter, target)
+        np.testing.assert_allclose(parameter.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            parameter = Parameter(np.array([10.0]))
+            optimizer = SGD([parameter], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                _quadratic_step(optimizer, parameter, np.array([0.0]))
+            return abs(float(parameter.data[0]))
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=1.0)
+        # Zero loss gradient: only decay acts.
+        optimizer.zero_grad()
+        parameter.grad = np.zeros(1)
+        optimizer.step()
+        assert parameter.data[0] < 1.0
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_skips_parameters_without_grad(self):
+        a = Parameter(np.array([1.0]))
+        b = Parameter(np.array([2.0]))
+        optimizer = SGD([a, b], lr=0.1)
+        a.grad = np.array([1.0])
+        optimizer.step()
+        assert a.data[0] != 1.0
+        assert b.data[0] == 2.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 2.0])
+        optimizer = Adam([parameter], lr=0.1)
+        for _ in range(300):
+            _quadratic_step(optimizer, parameter, target)
+        np.testing.assert_allclose(parameter.data, target, atol=1e-2)
+
+    def test_trains_linear_regression(self, rng):
+        true_weight = np.array([[2.0], [-1.0], [0.5]])
+        x = rng.normal(size=(200, 3))
+        y = x @ true_weight
+        layer = Linear(3, 1, rng=rng)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = mse_loss(layer(Tensor(x)), Tensor(y))
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(layer.weight.data, true_weight, atol=0.05)
+
+    def test_step_counter_advances(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = Adam([parameter], lr=0.1)
+        parameter.grad = np.array([1.0])
+        optimizer.step()
+        optimizer.step()
+        assert optimizer._t == 2
+
+    def test_first_step_magnitude_close_to_lr(self):
+        parameter = Parameter(np.array([0.0]))
+        optimizer = Adam([parameter], lr=0.1)
+        parameter.grad = np.array([123.0])
+        optimizer.step()
+        assert abs(parameter.data[0]) == pytest.approx(0.1, rel=1e-3)
+
+
+class TestGradientClipping:
+    def test_clip_reduces_norm(self):
+        parameter = Parameter(np.zeros(4))
+        optimizer = SGD([parameter], lr=0.1)
+        parameter.grad = np.full(4, 10.0)
+        norm_before = optimizer.clip_grad_norm(1.0)
+        assert norm_before == pytest.approx(20.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0)
+
+    def test_clip_noop_when_under_limit(self):
+        parameter = Parameter(np.zeros(2))
+        optimizer = SGD([parameter], lr=0.1)
+        parameter.grad = np.array([0.3, 0.4])
+        optimizer.clip_grad_norm(10.0)
+        np.testing.assert_allclose(parameter.grad, [0.3, 0.4])

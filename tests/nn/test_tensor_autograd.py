@@ -1,0 +1,147 @@
+"""Behavioural tests of the autograd graph machinery."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, as_tensor, no_grad, is_grad_enabled
+
+
+class TestGraphBehaviour:
+    def test_gradient_accumulates_over_reuse(self):
+        x = Tensor([2.0], requires_grad=True)
+        out = (x * 3.0) + (x * 5.0)
+        out.backward()
+        np.testing.assert_allclose(x.grad, [8.0])
+
+    def test_diamond_graph_gradient(self):
+        # f(x) = (x*2) * (x*3) = 6x^2 -> df/dx = 12x
+        x = Tensor([2.0], requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        (a * b).backward()
+        np.testing.assert_allclose(x.grad, [24.0])
+
+    def test_deep_chain_gradient(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.1
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.1 ** 50], rtol=1e-10)
+
+    def test_backward_with_explicit_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        y.backward(np.array([0.5, 2.0]))
+        np.testing.assert_allclose(x.grad, [1.0, 4.0])
+
+    def test_multiple_backward_calls_accumulate(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        (x * 2.0).backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_zero_grad_clears(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_requires_grad_gets_no_gradient(self):
+        x = Tensor([1.0], requires_grad=False)
+        y = Tensor([2.0], requires_grad=True)
+        (x * y).backward()
+        assert x.grad is None
+        np.testing.assert_allclose(y.grad, [1.0])
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([3.0], requires_grad=True)
+        y = (x * 2.0).detach()
+        z = y * 4.0
+        z.backward()
+        assert x.grad is None
+        assert not y.requires_grad
+
+    def test_topological_order_with_shared_subexpression(self):
+        # s = x + x; out = s * s; d out / dx = 2 * s * 2 = 8x
+        x = Tensor([3.0], requires_grad=True)
+        s = x + x
+        (s * s).backward()
+        np.testing.assert_allclose(x.grad, [24.0])
+
+
+class TestNoGrad:
+    def test_no_grad_disables_recording(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+    def test_tensor_created_inside_no_grad_never_requires_grad(self):
+        with no_grad():
+            x = Tensor([1.0], requires_grad=True)
+        assert not x.requires_grad
+
+
+class TestConstruction:
+    def test_as_tensor_passthrough(self):
+        x = Tensor([1.0])
+        assert as_tensor(x) is x
+
+    def test_as_tensor_from_list(self):
+        x = as_tensor([1, 2, 3])
+        assert x.shape == (3,)
+        assert x.data.dtype == np.float64
+
+    def test_tensor_from_tensor_copies_data_reference(self):
+        x = Tensor([1.0, 2.0])
+        y = Tensor(x)
+        np.testing.assert_allclose(y.data, x.data)
+
+    def test_shape_ndim_size_len(self):
+        x = Tensor(np.zeros((3, 4)))
+        assert x.shape == (3, 4)
+        assert x.ndim == 2
+        assert x.size == 12
+        assert len(x) == 3
+
+    def test_item_on_scalar(self):
+        assert Tensor(5.0).item() == 5.0
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad=True" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+
+class TestBroadcastGradients:
+    def test_broadcast_add_sums_over_broadcast_axis(self):
+        bias = Tensor(np.zeros(3), requires_grad=True)
+        x = Tensor(np.ones((5, 3)))
+        (x + bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, [5.0, 5.0, 5.0])
+
+    def test_broadcast_mul_keepdim_axis(self):
+        scale = Tensor(np.ones((1, 3)), requires_grad=True)
+        x = Tensor(np.full((4, 3), 2.0))
+        (x * scale).sum().backward()
+        np.testing.assert_allclose(scale.grad, [[8.0, 8.0, 8.0]])
+
+    def test_scalar_broadcast_gradient(self):
+        scalar = Tensor(2.0, requires_grad=True)
+        x = Tensor(np.ones((2, 2)))
+        (x * scalar).sum().backward()
+        assert scalar.grad.shape == ()
+        assert scalar.grad == pytest.approx(4.0)
