@@ -10,7 +10,7 @@ harness reports and what EXPERIMENTS.md records.
 
 from __future__ import annotations
 
-import time
+import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -18,12 +18,24 @@ import numpy as np
 from repro.baselines.registry import create_imputer
 from repro.core.config import DeepMVIConfig
 from repro.data.datasets import load_dataset
-from repro.data.missing import MissingScenario, apply_scenario
+from repro.data.missing import MissingScenario
 from repro.data.tensor import TimeSeriesTensor
-from repro.evaluation.metrics import mae
+from repro.engine import (
+    DatasetSpec,
+    JobSpec,
+    MethodSpec,
+    ResultCache,
+    execute_job,
+    make_executor,
+)
 
 #: dataset size preset used throughout the benchmarks
 BENCH_SIZE = "small"
+
+#: environment overrides: fan benchmark cells out over N processes and/or
+#: persist per-cell results so interrupted benchmark runs resume for free
+ENV_WORKERS = "REPRO_BENCH_WORKERS"
+ENV_CACHE_DIR = "REPRO_BENCH_CACHE"
 
 #: DeepMVI configuration used by the benchmarks (reduced epochs/capacity
 #: relative to the paper, but enough steps to converge at this data scale)
@@ -42,27 +54,16 @@ BENCH_DEEP_BASELINES: Dict[str, Dict] = {
 
 
 def build_method(name: str, **config_overrides):
-    """Instantiate a method with benchmark-scale settings."""
+    """Instantiate a method with benchmark-scale settings.
+
+    DeepMVI variant names (``deepmvi1d``, ``deepmvi-no-tt``, ...) resolve
+    through the registry, which applies the matching ablation flags.
+    """
     key = name.lower()
-    if key in ("deepmvi", "deepmvi1d"):
+    if key.startswith("deepmvi"):
         params = dict(BENCH_DEEPMVI)
         params.update(config_overrides)
-        config = DeepMVIConfig(**params)
-        if key == "deepmvi1d":
-            config = config.ablated(flatten_dimensions=True)
-        return create_imputer("deepmvi", config=config)
-    if key.startswith("deepmvi-"):
-        # Ablation variants: deepmvi-no-tt / -no-context / -no-kr / -no-fg
-        flag = {
-            "deepmvi-no-tt": {"use_temporal_transformer": False},
-            "deepmvi-no-context": {"use_context_window": False},
-            "deepmvi-no-kr": {"use_kernel_regression": False},
-            "deepmvi-no-fg": {"use_fine_grained": False},
-        }[key]
-        params = dict(BENCH_DEEPMVI)
-        params.update(config_overrides)
-        config = DeepMVIConfig(**params).ablated(**flag)
-        return create_imputer("deepmvi", config=config)
+        return create_imputer(key, config=DeepMVIConfig(**params))
     kwargs = BENCH_DEEP_BASELINES.get(key, {})
     return create_imputer(key, **kwargs)
 
@@ -73,34 +74,70 @@ def bench_dataset(name: str, seed: int = 0, length: Optional[int] = None,
     return load_dataset(name, size=BENCH_SIZE, seed=seed, length=length, shape=shape)
 
 
-def evaluate_cell(truth: TimeSeriesTensor, scenario: MissingScenario,
-                  method: str, seed: int = 0) -> Dict[str, float]:
-    """Run one (dataset, scenario, method) cell and report MAE + runtime."""
-    incomplete, missing_mask = apply_scenario(truth, scenario, seed=seed)
-    imputer = build_method(method)
-    start = time.perf_counter()
-    completed = imputer.fit_impute(incomplete)
-    runtime = time.perf_counter() - start
+def _bench_job(truth: TimeSeriesTensor, scenario: MissingScenario,
+               method: str, seed: int) -> JobSpec:
+    """Compile one benchmark cell to an engine job.
+
+    The method label is the benchmark name (e.g. ``deepmvi-no-tt``), not the
+    imputer's display name, so result tables keep the paper's variant labels.
+    """
+    return JobSpec(
+        dataset=DatasetSpec.from_tensor(truth),
+        scenario=scenario,
+        method=MethodSpec(imputer=build_method(method), label=method),
+        seed=seed,
+    )
+
+
+def _job_to_row(job: JobSpec, result) -> Dict[str, float]:
     return {
-        "dataset": truth.name,
-        "scenario": scenario.name,
-        "method": method,
-        "mae": mae(completed, truth, missing_mask),
-        "runtime": runtime,
-        "missing_cells": int(missing_mask.sum()),
+        "dataset": result.dataset,
+        "scenario": job.scenario.name,
+        "method": result.method,
+        "mae": result.mae,
+        "runtime": result.runtime_seconds,
+        "missing_cells": result.missing_cells,
     }
 
 
+def evaluate_cell(truth: TimeSeriesTensor, scenario: MissingScenario,
+                  method: str, seed: int = 0) -> Dict[str, float]:
+    """Run one (dataset, scenario, method) cell and report MAE + runtime."""
+    job = _bench_job(truth, scenario, method, seed)
+    return _job_to_row(job, execute_job(job, capture_errors=False).result)
+
+
 def evaluate_grid(datasets: Sequence[str], scenarios: Dict[str, MissingScenario],
-                  methods: Sequence[str], seed: int = 0) -> List[Dict[str, float]]:
-    """Evaluate every method on every (dataset, scenario) pair."""
-    rows: List[Dict[str, float]] = []
+                  methods: Sequence[str], seed: int = 0,
+                  workers: Optional[int] = None,
+                  cache_dir: Optional[str] = None) -> List[Dict[str, float]]:
+    """Evaluate every method on every (dataset, scenario) pair.
+
+    Runs through the experiment engine, so figure reproductions pick up
+    process-pool parallelism and resumable caching for free — either via the
+    ``workers``/``cache_dir`` arguments or the ``REPRO_BENCH_WORKERS`` /
+    ``REPRO_BENCH_CACHE`` environment variables.
+    """
+    if workers is None:
+        workers = int(os.environ.get(ENV_WORKERS, "1"))
+    if cache_dir is None:
+        cache_dir = os.environ.get(ENV_CACHE_DIR) or None
+    jobs: List[JobSpec] = []
     for dataset_name in datasets:
         truth = bench_dataset(dataset_name, seed=seed)
         for scenario in scenarios.values():
             for method in methods:
-                rows.append(evaluate_cell(truth, scenario, method, seed=seed))
-    return rows
+                jobs.append(_bench_job(truth, scenario, method, seed))
+
+    executor = make_executor(workers)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    job_results = executor.run(jobs, cache=cache)
+    if executor.last_report.failed:
+        raise RuntimeError(
+            f"benchmark grid failed ({executor.last_report.describe()}):\n"
+            f"{executor.last_report.failures[0].error}")
+    return [_job_to_row(job, job_result.result)
+            for job, job_result in zip(jobs, job_results)]
 
 
 def rows_to_table(rows: Iterable[Dict[str, float]], index: str = "dataset",

@@ -16,6 +16,9 @@ organised as:
     Conventional and deep-learning comparison methods.
 ``repro.evaluation``
     Metrics, the experiment runner, and downstream-analytics tools.
+``repro.engine``
+    The experiment engine: hashable grid-cell jobs, serial/process-pool
+    executors, a resumable result cache, and fitted-imputer artifacts.
 """
 
 from repro.core.config import DeepMVIConfig
@@ -32,8 +35,9 @@ from repro.data.missing import (
 )
 from repro.evaluation.metrics import mae, rmse
 from repro.evaluation.runner import ExperimentRunner
+from repro.engine import load_imputer, save_imputer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DeepMVIConfig",
@@ -50,5 +54,7 @@ __all__ = [
     "mae",
     "rmse",
     "ExperimentRunner",
+    "save_imputer",
+    "load_imputer",
     "__version__",
 ]

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import copy
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -19,10 +20,24 @@ class BaseImputer:
     * the returned tensor has the same shape and dimensions as the input;
     * every cell that was observed in the input keeps its exact value;
     * every cell is observed (mask of all ones) in the output.
+
+    Every imputer is also *serialisable* so it can cross process boundaries
+    (parallel sweeps) and survive on disk (artifacts): :meth:`get_state`
+    snapshots the instance, :meth:`set_state` restores it onto a blank
+    instance, and :meth:`clone` produces a fresh unfitted imputer with the
+    same hyper-parameters.  The defaults cover plain attribute bags; methods
+    with live network objects override them to expose parameter arrays
+    instead (see :class:`repro.core.imputer.DeepMVIImputer`).
     """
 
     #: human-readable method name used in reports
     name: str = "base"
+
+    #: instance attributes holding fitted state; cleared by
+    #: :meth:`reset_fitted_state` (and hence :meth:`clone`).  Subclasses
+    #: that learn more than ``_fitted_tensor`` (trained networks, cached
+    #: matrices, normalisation stats) extend this tuple.
+    _fitted_attributes: Tuple[str, ...] = ("_fitted_tensor",)
 
     def fit(self, tensor: TimeSeriesTensor) -> "BaseImputer":
         """Train / prepare the method on the incomplete dataset."""
@@ -36,6 +51,30 @@ class BaseImputer:
     def fit_impute(self, tensor: TimeSeriesTensor) -> TimeSeriesTensor:
         """Fit on ``tensor`` and return its completed copy."""
         return self.fit(tensor).impute(tensor)
+
+    # -- serialisation -------------------------------------------------- #
+    def get_state(self) -> Dict[str, object]:
+        """Deep-copied snapshot of the configuration and fitted state."""
+        return copy.deepcopy(vars(self))
+
+    def set_state(self, state: Dict[str, object]) -> "BaseImputer":
+        """Restore a :meth:`get_state` snapshot onto this instance."""
+        for key, value in copy.deepcopy(dict(state)).items():
+            setattr(self, key, value)
+        return self
+
+    def reset_fitted_state(self) -> "BaseImputer":
+        """Drop everything learned by :meth:`fit`, keeping hyper-parameters."""
+        for name in self._fitted_attributes:
+            setattr(self, name, None)
+        return self
+
+    def clone(self) -> "BaseImputer":
+        """Fresh unfitted imputer configured identically to this one."""
+        duplicate = type(self).__new__(type(self))
+        duplicate.set_state(self.get_state())
+        duplicate.reset_fitted_state()
+        return duplicate
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

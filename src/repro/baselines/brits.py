@@ -54,6 +54,8 @@ class BRITSImputer(BaseImputer):
     """Bidirectional recurrent imputation for time series."""
 
     name = "BRITS"
+    _fitted_attributes = ("network", "_matrix", "_mask", "_mean", "_std",
+                         "_fitted_tensor")
 
     def __init__(self, hidden_dim: int = 32, crop_length: int = 48,
                  n_epochs: int = 15, batch_size: int = 8,

@@ -78,6 +78,8 @@ class GPVAEImputer(BaseImputer):
     """Deep probabilistic imputation with a GP-smoothed latent space."""
 
     name = "GPVAE"
+    _fitted_attributes = ("network", "_matrix", "_mask", "_mean", "_std",
+                         "_smoothing_crop", "_fitted_tensor")
 
     def __init__(self, latent_dim: int = 8, hidden_dim: int = 32,
                  length_scale: float = 5.0, crop_length: int = 64,

@@ -59,6 +59,8 @@ class MRNNImputer(BaseImputer):
     """Multi-directional recurrent imputation."""
 
     name = "MRNN"
+    _fitted_attributes = ("network", "_matrix", "_mask", "_mean", "_std",
+                         "_fitted_tensor")
 
     def __init__(self, hidden_dim: int = 16, crop_length: int = 32,
                  n_epochs: int = 10, batch_size: int = 4,

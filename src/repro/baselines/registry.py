@@ -37,31 +37,55 @@ _FACTORIES: Dict[str, Callable[..., BaseImputer]] = {
 }
 
 
+#: DeepMVI variant names (Section 5.5): ablation flags applied on top of the
+#: provided config, plus the display name reported in result tables
+DEEPMVI_VARIANTS: Dict[str, Dict[str, bool]] = {
+    "deepmvi": {},
+    "deepmvi1d": {"flatten_dimensions": True},
+    "deepmvi-no-tt": {"use_temporal_transformer": False},
+    "deepmvi-no-context": {"use_context_window": False},
+    "deepmvi-no-kr": {"use_kernel_regression": False},
+    "deepmvi-no-fg": {"use_fine_grained": False},
+}
+
+_DEEPMVI_DISPLAY_NAMES: Dict[str, str] = {
+    "deepmvi": "DeepMVI",
+    "deepmvi1d": "DeepMVI1D",
+    "deepmvi-no-tt": "DeepMVI-NoTT",
+    "deepmvi-no-context": "DeepMVI-NoContext",
+    "deepmvi-no-kr": "DeepMVI-NoKR",
+    "deepmvi-no-fg": "DeepMVI-NoFG",
+}
+
+
 def register_method(name: str, factory: Callable[..., BaseImputer]) -> None:
     """Register an additional imputation method under ``name``."""
     _FACTORIES[name.lower()] = factory
 
 
 def list_methods() -> List[str]:
-    """All registered method names, including ``deepmvi``."""
-    return sorted(list(_FACTORIES) + ["deepmvi", "deepmvi1d"])
+    """All registered method names, including the DeepMVI variants."""
+    return sorted(list(_FACTORIES) + list(DEEPMVI_VARIANTS))
 
 
 def create_imputer(name: str, **kwargs) -> BaseImputer:
     """Instantiate an imputation method by name.
 
-    ``deepmvi`` and ``deepmvi1d`` are resolved lazily to avoid a circular
-    import between the baselines and the core package.
+    The DeepMVI variants are resolved lazily to avoid a circular import
+    between the baselines and the core package.
     """
     key = name.lower()
-    if key in ("deepmvi", "deepmvi1d"):
+    if key in DEEPMVI_VARIANTS:
         from repro.core.config import DeepMVIConfig
         from repro.core.imputer import DeepMVIImputer
 
         config = kwargs.pop("config", None) or DeepMVIConfig(**kwargs)
-        if key == "deepmvi1d":
-            config = config.ablated(flatten_dimensions=True)
-        return DeepMVIImputer(config=config)
+        flags = DEEPMVI_VARIANTS[key]
+        if flags:
+            config = config.ablated(**flags)
+        imputer = DeepMVIImputer(config=config)
+        imputer.name = _DEEPMVI_DISPLAY_NAMES[key]
+        return imputer
     if key not in _FACTORIES:
         raise ConfigError(
             f"unknown method {name!r}; available: {', '.join(list_methods())}")

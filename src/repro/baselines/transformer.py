@@ -79,6 +79,8 @@ class TransformerImputer(BaseImputer):
     """Off-the-shelf transformer applied to missing value imputation."""
 
     name = "Transformer"
+    _fitted_attributes = ("network", "_matrix", "_mask", "_mean", "_std",
+                         "_fitted_tensor")
 
     def __init__(self, model_dim: int = 32, n_heads: int = 4, n_layers: int = 1,
                  crop_length: int = 96, n_epochs: int = 20, batch_size: int = 16,

@@ -16,7 +16,8 @@ and downstream code can treat every method uniformly::
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import asdict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -46,6 +47,7 @@ class DeepMVIImputer(BaseImputer):
     """
 
     name = "DeepMVI"
+    _fitted_attributes = ("model", "context", "history", "_fitted_tensor")
 
     def __init__(self, config: Optional[DeepMVIConfig] = None,
                  auto_window: bool = True):
@@ -78,12 +80,7 @@ class DeepMVIImputer(BaseImputer):
             config.window = max(2, tensor.n_time // 4)
 
         self.config = config
-        self.context = DatasetContext(
-            tensor,
-            window=config.window,
-            max_context_windows=config.max_context_windows,
-            flatten_dimensions=config.flatten_dimensions,
-        )
+        self.context = self._build_context(tensor)
         self.model = DeepMVIModel(
             config=config,
             dimension_sizes=self.context.dimension_sizes,
@@ -106,35 +103,110 @@ class DeepMVIImputer(BaseImputer):
             raise NotFittedError("call fit() before impute()")
         if tensor is None:
             tensor = self._fitted_tensor
-        if tensor is not self._fitted_tensor:
-            # Imputing a different tensor re-uses the trained parameters but
-            # rebuilds the dataset context around the new data.
-            self.context = DatasetContext(
-                tensor,
-                window=self.config.window,
-                max_context_windows=self.config.max_context_windows,
-                flatten_dimensions=self.config.flatten_dimensions,
-            )
-            self._fitted_tensor = tensor
+        if tensor is self._fitted_tensor:
+            context = self.context
+        else:
+            # Imputing a different tensor re-uses the trained parameters with
+            # a dataset context built around the new data.  The context is
+            # local: the fitted state must survive for later no-arg calls.
+            context = self._build_context(tensor)
 
         self.model.eval()
-        missing_cells = np.argwhere(self.context.avail == 0)
+        missing_cells = np.argwhere(context.avail == 0)
         # Ignore cells that fall outside the original (unpadded) time range.
-        missing_cells = missing_cells[missing_cells[:, 1] < self.context.n_time]
-        imputed_matrix = self.context.matrix.copy()
+        missing_cells = missing_cells[missing_cells[:, 1] < context.n_time]
+        imputed_matrix = context.matrix.copy()
 
         batch_size = self.config.impute_batch_size
         for start in range(0, missing_cells.shape[0], batch_size):
             chunk = missing_cells[start:start + batch_size]
-            batch = self.context.build_batch(
+            batch = context.build_batch(
                 series_rows=chunk[:, 0], target_times=chunk[:, 1])
             predictions = self.model.predict(batch)
             imputed_matrix[chunk[:, 0], chunk[:, 1]] = predictions
 
-        filled = self.context.denormalise(imputed_matrix)
+        filled = context.denormalise(imputed_matrix)
         return tensor.fill(filled.reshape(tensor.values.shape))
 
     # ------------------------------------------------------------------ #
     def fit_impute(self, tensor: TimeSeriesTensor) -> TimeSeriesTensor:
         """Convenience: :meth:`fit` then :meth:`impute` on the same tensor."""
         return self.fit(tensor).impute(tensor)
+
+    # ------------------------------------------------------------------ #
+    # serialisation (engine artifacts / process boundaries)
+    # ------------------------------------------------------------------ #
+    def _build_context(self, tensor: TimeSeriesTensor) -> DatasetContext:
+        return DatasetContext(
+            tensor,
+            window=self.config.window,
+            max_context_windows=self.config.max_context_windows,
+            flatten_dimensions=self.config.flatten_dimensions,
+        )
+
+    def get_state(self) -> Dict[str, object]:
+        """Snapshot config + trained parameters as arrays and plain values.
+
+        The network itself is not stored — only its ``state_dict`` plus the
+        structural facts needed to rebuild it — so the snapshot is picklable
+        and artifact-serialisable.
+        """
+        state: Dict[str, object] = {
+            "name": self.name,
+            "config": asdict(self.config),
+            "auto_window": self.auto_window,
+            "fitted_tensor": (self._fitted_tensor.copy()
+                              if self._fitted_tensor is not None else None),
+            "model": None,
+            "history": None,
+        }
+        if self.model is not None:
+            state["model"] = {
+                "dimension_sizes": list(self.model.dimension_sizes),
+                "max_position": int(self.model.max_position),
+                "state_dict": self.model.state_dict(),
+            }
+        if self.history is not None:
+            state["history"] = {
+                "train_losses": list(self.history.train_losses),
+                "validation_losses": list(self.history.validation_losses),
+                "best_epoch": self.history.best_epoch,
+                "best_validation_loss": self.history.best_validation_loss,
+                "stopped_early": self.history.stopped_early,
+                "wall_time_seconds": self.history.wall_time_seconds,
+            }
+        return state
+
+    def set_state(self, state: Dict[str, object]) -> "DeepMVIImputer":
+        """Rebuild the imputer — network, context and all — from a snapshot."""
+        self.name = state.get("name", type(self).name)
+        self.config = DeepMVIConfig(**state["config"])
+        self.auto_window = bool(state["auto_window"])
+        self._fitted_tensor = state.get("fitted_tensor")
+        self.model = None
+        self.context = None
+        self.history = None
+
+        model_state = state.get("model")
+        if model_state is not None:
+            self.model = DeepMVIModel(
+                config=self.config,
+                dimension_sizes=list(model_state["dimension_sizes"]),
+                max_position=int(model_state["max_position"]),
+            )
+            self.model.load_state_dict(model_state["state_dict"])
+        if self._fitted_tensor is not None and self.model is not None:
+            self.context = self._build_context(self._fitted_tensor)
+
+        history_state = state.get("history")
+        if history_state is not None:
+            self.history = TrainingHistory(
+                train_losses=list(history_state["train_losses"]),
+                validation_losses=list(history_state["validation_losses"]),
+                best_epoch=int(history_state["best_epoch"]),
+                best_validation_loss=float(history_state["best_validation_loss"]),
+                stopped_early=bool(history_state["stopped_early"]),
+                wall_time_seconds=float(history_state["wall_time_seconds"]),
+            )
+        return self
+

@@ -49,6 +49,7 @@ class DeepMVIModel(Module):
         rng = rng or np.random.default_rng(config.seed)
         self.config = config
         self.dimension_sizes = list(dimension_sizes)
+        self.max_position = max_position
 
         self.temporal_transformer: Optional[TemporalTransformer] = None
         if config.use_temporal_transformer:

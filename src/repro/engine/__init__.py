@@ -1,0 +1,46 @@
+"""Experiment engine: jobs, executors, result cache and model artifacts.
+
+The engine is the seam between experiment *definitions* (grids of
+dataset × scenario × method cells) and experiment *execution*.  Grids are
+compiled to hashable :class:`~repro.engine.jobs.JobSpec` objects; an
+:class:`~repro.engine.executor.Executor` runs them serially or across a
+process pool with per-job error capture; a
+:class:`~repro.engine.cache.ResultCache` persists completed cells so sweeps
+are resumable; and :mod:`repro.engine.artifacts` saves/loads fitted
+imputers so a model trained once can impute many scenarios.
+"""
+
+from repro.engine.artifacts import load_imputer, save_imputer
+from repro.engine.cache import ResultCache
+from repro.engine.executor import (
+    ExecutionReport,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.engine.jobs import (
+    DatasetSpec,
+    ExperimentResult,
+    JobResult,
+    JobSpec,
+    MethodSpec,
+    execute_job,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "ExperimentResult",
+    "ExecutionReport",
+    "Executor",
+    "JobResult",
+    "JobSpec",
+    "MethodSpec",
+    "ParallelExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "execute_job",
+    "load_imputer",
+    "make_executor",
+    "save_imputer",
+]

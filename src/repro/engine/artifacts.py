@@ -1,0 +1,158 @@
+"""Save/load fitted imputers to disk.
+
+An artifact is a directory holding ``manifest.json`` (the imputer class and
+its structural state) plus ``arrays.npz`` (every numpy array in that state,
+including the model's ``state_dict`` parameters).  The state itself comes
+from :meth:`BaseImputer.get_state` and is restored with
+:meth:`BaseImputer.set_state`, so an imputer trained once in one process —
+or one sweep — can be reloaded anywhere and keep imputing::
+
+    from repro.engine import save_imputer, load_imputer
+
+    imputer.fit(incomplete)
+    save_imputer(imputer, "artifacts/deepmvi-climate")
+    ...
+    restored = load_imputer("artifacts/deepmvi-climate")
+    completed = restored.impute(other_scenario_tensor)
+
+Only JSON values, numpy arrays, :class:`TimeSeriesTensor` and
+:class:`Dimension` objects (arbitrarily nested in dicts/lists/tuples) are
+serialisable; methods whose state holds live network objects must override
+``get_state``/``set_state`` to expose parameter arrays instead (as
+:class:`~repro.core.imputer.DeepMVIImputer` does via ``state_dict``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.baselines.base import BaseImputer
+from repro.data.dimensions import Dimension
+from repro.data.tensor import TimeSeriesTensor
+
+MANIFEST_FILENAME = "manifest.json"
+ARRAYS_FILENAME = "arrays.npz"
+ARTIFACT_FORMAT = 1
+
+
+class _ArrayVault:
+    """Assigns stable names to arrays hoisted out of the state tree."""
+
+    def __init__(self) -> None:
+        self.arrays: Dict[str, np.ndarray] = {}
+
+    def store(self, array: np.ndarray) -> str:
+        key = f"a{len(self.arrays)}"
+        self.arrays[key] = array
+        return key
+
+
+def _encode(value, vault: _ArrayVault):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": vault.store(value)}
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode(item, vault) for item in value]}
+    if isinstance(value, list):
+        return [_encode(item, vault) for item in value]
+    if isinstance(value, dict):
+        encoded = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"artifact state keys must be strings, got {key!r}")
+            encoded[key] = _encode(item, vault)
+        return {"__dict__": encoded}
+    if isinstance(value, TimeSeriesTensor):
+        return {"__timeseries__": {
+            "name": value.name,
+            "values": _encode(value.values, vault),
+            "mask": _encode(value.mask, vault),
+            "dimensions": [_encode(d, vault) for d in value.dimensions],
+        }}
+    if isinstance(value, Dimension):
+        return {"__dimension__": {
+            "name": value.name,
+            "members": [_encode(m, vault) for m in value.members],
+        }}
+    raise TypeError(
+        f"cannot serialise {type(value).__name__!r} in imputer state; "
+        "override get_state()/set_state() to expose plain arrays "
+        "(see DeepMVIImputer)")
+
+
+def _decode(value, arrays: Dict[str, np.ndarray]):
+    if isinstance(value, list):
+        return [_decode(item, arrays) for item in value]
+    if not isinstance(value, dict):
+        return value
+    if "__ndarray__" in value:
+        return arrays[value["__ndarray__"]].copy()
+    if "__tuple__" in value:
+        return tuple(_decode(item, arrays) for item in value["__tuple__"])
+    if "__dict__" in value:
+        return {key: _decode(item, arrays)
+                for key, item in value["__dict__"].items()}
+    if "__timeseries__" in value:
+        payload = value["__timeseries__"]
+        return TimeSeriesTensor(
+            values=_decode(payload["values"], arrays),
+            dimensions=[_decode(d, arrays) for d in payload["dimensions"]],
+            mask=_decode(payload["mask"], arrays),
+            name=payload["name"],
+        )
+    if "__dimension__" in value:
+        payload = value["__dimension__"]
+        return Dimension(name=payload["name"],
+                         members=[_decode(m, arrays) for m in payload["members"]])
+    raise ValueError(f"unrecognised artifact node: {sorted(value)}")
+
+
+# ---------------------------------------------------------------------- #
+def save_imputer(imputer: BaseImputer, path: Union[str, os.PathLike]) -> Path:
+    """Serialise ``imputer`` (fitted or not) into the directory ``path``."""
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    vault = _ArrayVault()
+    state = _encode(imputer.get_state(), vault)
+    manifest = {
+        "format": ARTIFACT_FORMAT,
+        "class": f"{type(imputer).__module__}:{type(imputer).__qualname__}",
+        "state": state,
+    }
+    np.savez_compressed(directory / ARRAYS_FILENAME, **vault.arrays)
+    (directory / MANIFEST_FILENAME).write_text(
+        json.dumps(manifest), encoding="utf-8")
+    return directory
+
+
+def load_imputer(path: Union[str, os.PathLike]) -> BaseImputer:
+    """Restore an imputer previously written by :func:`save_imputer`."""
+    directory = Path(path)
+    manifest = json.loads(
+        (directory / MANIFEST_FILENAME).read_text(encoding="utf-8"))
+    if manifest.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(f"unsupported artifact format {manifest.get('format')!r}")
+    arrays_path = directory / ARRAYS_FILENAME
+    arrays: Dict[str, np.ndarray] = {}
+    if arrays_path.exists():
+        with np.load(arrays_path, allow_pickle=False) as payload:
+            arrays = {key: payload[key] for key in payload.files}
+    module_name, _, qualname = manifest["class"].partition(":")
+    target = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    imputer = target.__new__(target)
+    imputer.set_state(_decode(manifest["state"], arrays))
+    return imputer

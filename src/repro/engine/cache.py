@@ -1,0 +1,71 @@
+"""JSONL-backed result store keyed by job hash.
+
+The cache makes sweeps resumable: every completed cell is appended to
+``results.jsonl`` under its deterministic :meth:`JobSpec.key`, and an
+executor consults the cache before running a job — matching cells are
+served from disk and never re-executed.  Failed jobs are *not* cached, so a
+re-run retries exactly the cells that are still missing.
+
+The file is append-only and each line is self-contained, so a sweep killed
+mid-write loses at most its final (truncated) line, which is skipped on the
+next load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.engine.jobs import JobResult
+
+RESULTS_FILENAME = "results.jsonl"
+
+
+class ResultCache:
+    """Persistent map ``job key -> JobResult`` stored as JSON lines."""
+
+    def __init__(self, directory: Union[str, os.PathLike]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / RESULTS_FILENAME
+        self._records: Dict[str, JobResult] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated tail line from an interrupted run
+                result = JobResult.from_record(record, from_cache=True)
+                if result.ok:
+                    self._records[result.key] = result
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[JobResult]:
+        """Cached result for ``key``, or ``None``."""
+        return self._records.get(key)
+
+    def put(self, job_result: JobResult) -> None:
+        """Persist a successful result; errors and duplicates are ignored."""
+        if not job_result.ok or job_result.key in self._records:
+            return
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(job_result.to_record()) + "\n")
+            handle.flush()
+        self._records[job_result.key] = JobResult(
+            key=job_result.key, result=job_result.result, from_cache=True)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)

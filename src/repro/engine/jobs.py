@@ -1,0 +1,387 @@
+"""Hashable job specifications for (dataset × scenario × method) grid cells.
+
+A :class:`JobSpec` is the unit of work of the experiment engine: it names a
+dataset (either a registry entry or an inline tensor payload), a missing-value
+scenario, a method, and the mask seed.  Every spec has a deterministic cache
+key — a SHA-256 digest of a canonical JSON rendering of its content — that is
+stable across processes and interpreter runs (no reliance on ``hash()`` or
+``PYTHONHASHSEED``), so a result store keyed by it supports resumable sweeps.
+
+:func:`execute_job` is a module-level function so that it can be pickled and
+shipped to :class:`concurrent.futures.ProcessPoolExecutor` workers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import re
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BaseImputer
+from repro.data.missing import MissingScenario, apply_scenario
+from repro.data.tensor import TimeSeriesTensor
+from repro.nn.layers import Module
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one (dataset, scenario, method) cell."""
+
+    dataset: str
+    scenario: str
+    method: str
+    mae: float
+    rmse: float
+    runtime_seconds: float
+    missing_cells: int
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        row = {
+            "dataset": self.dataset,
+            "scenario": self.scenario,
+            "method": self.method,
+            "mae": self.mae,
+            "rmse": self.rmse,
+            "runtime_seconds": self.runtime_seconds,
+            "missing_cells": self.missing_cells,
+        }
+        row.update(self.params)
+        return row
+
+    def to_record(self) -> Dict[str, object]:
+        """JSON-safe rendering with scenario params kept separate."""
+        return {
+            "dataset": self.dataset,
+            "scenario": self.scenario,
+            "method": self.method,
+            "mae": float(self.mae),
+            "rmse": float(self.rmse),
+            "runtime_seconds": float(self.runtime_seconds),
+            "missing_cells": int(self.missing_cells),
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "ExperimentResult":
+        return cls(
+            dataset=record["dataset"],
+            scenario=record["scenario"],
+            method=record["method"],
+            mae=float(record["mae"]),
+            rmse=float(record["rmse"]),
+            runtime_seconds=float(record["runtime_seconds"]),
+            missing_cells=int(record["missing_cells"]),
+            params=dict(record.get("params", {})),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# canonical fingerprints
+# ---------------------------------------------------------------------- #
+def _canonical(value) -> object:
+    """Reduce ``value`` to a deterministic JSON-able structure.
+
+    Numpy arrays are replaced by a digest of their raw bytes so large
+    payloads (inline dataset tensors, fitted parameters) fingerprint quickly
+    and stably.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return repr(float(value))
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest()
+        return {"__array__": digest, "shape": list(value.shape),
+                "dtype": str(value.dtype)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _canonical(value[key]) for key in sorted(value, key=str)}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: getattr(value, f.name) for f in dataclasses.fields(value)}
+        return {"__dataclass__": type(value).__name__, **_canonical(fields)}
+    if isinstance(value, Module):
+        # Networks fingerprint by their trained parameters, not identity.
+        return {"__nn_module__": type(value).__name__,
+                "state": _canonical(value.state_dict())}
+    # Default object reprs embed memory addresses, which would make the key
+    # differ between interpreter runs; strip them.
+    return {"__repr__": re.sub(r"0x[0-9a-fA-F]+", "0x", repr(value))}
+
+
+def fingerprint_digest(payload: object) -> str:
+    """SHA-256 hex digest of the canonical JSON rendering of ``payload``."""
+    canonical = json.dumps(_canonical(payload), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# dataset / method references
+# ---------------------------------------------------------------------- #
+@dataclass
+class DatasetSpec:
+    """A dataset reference: a registry entry or an inline tensor payload.
+
+    Registry references (``DatasetSpec.named``) stay tiny when pickled to
+    worker processes and fingerprint by their loading parameters; inline
+    payloads (``DatasetSpec.from_tensor``) carry the tensor itself and
+    fingerprint by its content.
+    """
+
+    name: str
+    size: str = "small"
+    seed: int = 0
+    length: Optional[int] = None
+    shape: Optional[Tuple[int, ...]] = None
+    tensor: Optional[TimeSeriesTensor] = None
+
+    @classmethod
+    def named(cls, name: str, size: str = "small", seed: int = 0,
+              length: Optional[int] = None,
+              shape: Optional[Tuple[int, ...]] = None) -> "DatasetSpec":
+        return cls(name=name, size=size, seed=seed, length=length, shape=shape)
+
+    @classmethod
+    def from_tensor(cls, tensor: TimeSeriesTensor) -> "DatasetSpec":
+        return cls(name=tensor.name, tensor=tensor)
+
+    def load(self) -> TimeSeriesTensor:
+        """Materialise the ground-truth tensor."""
+        if self.tensor is not None:
+            return self.tensor
+        from repro.data.datasets import load_dataset
+
+        return load_dataset(self.name, size=self.size, seed=self.seed,
+                            length=self.length, shape=self.shape)
+
+    def fingerprint(self) -> Dict[str, object]:
+        if self.tensor is not None:
+            return {
+                "kind": "inline",
+                "name": self.tensor.name,
+                "values": _canonical(self.tensor.values),
+                "mask": _canonical(self.tensor.mask),
+            }
+        return {
+            "kind": "named",
+            "name": self.name,
+            "size": self.size,
+            "seed": self.seed,
+            "length": self.length,
+            "shape": list(self.shape) if self.shape is not None else None,
+        }
+
+
+@dataclass
+class MethodSpec:
+    """A method reference: a registry name + kwargs, or a prototype imputer.
+
+    Prototype imputers are cloned (:meth:`BaseImputer.clone`) before every
+    job so a shared instance is never fitted twice, and fingerprint by their
+    configuration state so cache keys survive process boundaries.
+    """
+
+    name: Optional[str] = None
+    kwargs: Dict[str, object] = field(default_factory=dict)
+    imputer: Optional[BaseImputer] = None
+    label: Optional[str] = None
+
+    @classmethod
+    def from_any(cls, method, method_kwargs: Optional[Dict[str, Dict]] = None,
+                 label: Optional[str] = None) -> "MethodSpec":
+        """Build a spec from a method name or a ready imputer instance."""
+        if isinstance(method, MethodSpec):
+            return method
+        if isinstance(method, BaseImputer):
+            return cls(imputer=method, label=label)
+        kwargs = (method_kwargs or {}).get(str(method).lower(), {})
+        return cls(name=str(method), kwargs=dict(kwargs), label=label)
+
+    def build(self) -> BaseImputer:
+        """Instantiate a fresh, unfitted imputer for one job."""
+        if self.imputer is not None:
+            return self.imputer.clone()
+        from repro.baselines.registry import create_imputer
+
+        return create_imputer(self.name, **self.kwargs)
+
+    def display_name(self, imputer: Optional[BaseImputer] = None) -> str:
+        """Name reported in result rows."""
+        if self.label:
+            return self.label
+        if imputer is not None and getattr(imputer, "name", None):
+            return imputer.name
+        return self.name or type(self.imputer).__name__
+
+    def fingerprint(self) -> Dict[str, object]:
+        if self.imputer is not None:
+            return {
+                "kind": "instance",
+                "class": f"{type(self.imputer).__module__}:"
+                         f"{type(self.imputer).__qualname__}",
+                "state": _canonical(self.imputer.get_state()),
+            }
+        return {"kind": "registry", "name": self.name.lower(),
+                "kwargs": _canonical(self.kwargs)}
+
+
+# ---------------------------------------------------------------------- #
+# jobs
+# ---------------------------------------------------------------------- #
+@dataclass
+class JobSpec:
+    """One (dataset, scenario, method, seed) grid cell.
+
+    ``artifact_path`` optionally names a directory where the fitted imputer
+    is saved (via :mod:`repro.engine.artifacts`) after the job completes, so
+    an expensive model trained on one scenario can be reloaded and reused.
+    """
+
+    dataset: DatasetSpec
+    scenario: MissingScenario
+    method: MethodSpec
+    seed: int = 0
+    artifact_path: Optional[str] = None
+
+    def key(self) -> str:
+        """Deterministic cache key identifying this cell's outcome.
+
+        ``artifact_path`` is deliberately excluded: it names a side effect,
+        not an input, so the same cell keeps one cache entry wherever its
+        artifact goes (see :meth:`needs_execution`).
+        """
+        return fingerprint_digest({
+            "dataset": self.dataset.fingerprint(),
+            "scenario": {"name": self.scenario.name,
+                         "params": _canonical(self.scenario.params)},
+            "method": self.method.fingerprint(),
+            "seed": self.seed,
+        })
+
+    def needs_execution(self) -> bool:
+        """True when a cache hit may not be used for this job.
+
+        A job that must save an artifact which does not exist yet has to run
+        even if its metrics are cached — otherwise the fitted imputer would
+        silently never be written.
+        """
+        if not self.artifact_path:
+            return False
+        from repro.engine.artifacts import MANIFEST_FILENAME
+
+        return not (Path(self.artifact_path) / MANIFEST_FILENAME).exists()
+
+
+@dataclass
+class JobResult:
+    """Outcome of executing (or cache-loading) one :class:`JobSpec`."""
+
+    key: str
+    result: Optional[ExperimentResult] = None
+    error: Optional[str] = None
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "result": self.result.to_record() if self.result else None,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object],
+                    from_cache: bool = False) -> "JobResult":
+        result = record.get("result")
+        return cls(
+            key=record["key"],
+            result=ExperimentResult.from_record(result) if result else None,
+            error=record.get("error"),
+            from_cache=from_cache,
+        )
+
+
+def execute_job(spec: JobSpec, capture_errors: bool = True,
+                key: Optional[str] = None) -> JobResult:
+    """Run one grid cell and report its metrics.
+
+    With ``capture_errors`` (the executor default) any exception raised by
+    the dataset loader, scenario generator or method is folded into the
+    returned :class:`JobResult` instead of aborting the sweep; pass
+    ``False`` to let exceptions propagate (single-cell APIs).  ``key`` lets
+    callers that already computed :meth:`JobSpec.key` (executors probing a
+    cache) skip re-hashing inline dataset payloads.
+    """
+    key = spec.key() if key is None else key
+    try:
+        # Imported lazily: repro.evaluation imports the engine at package
+        # init, so a module-level import here would be circular.
+        from repro.evaluation.metrics import mae, rmse
+
+        truth = spec.dataset.load()
+        incomplete, missing_mask = apply_scenario(truth, spec.scenario,
+                                                  seed=spec.seed)
+        imputer = spec.method.build()
+        start = time.perf_counter()
+        completed = imputer.fit_impute(incomplete)
+        runtime = time.perf_counter() - start
+        if spec.artifact_path:
+            from repro.engine.artifacts import save_imputer
+
+            save_imputer(imputer, spec.artifact_path)
+        result = ExperimentResult(
+            dataset=truth.name,
+            scenario=spec.scenario.describe(),
+            method=spec.method.display_name(imputer),
+            mae=mae(completed, truth, missing_mask),
+            rmse=rmse(completed, truth, missing_mask),
+            runtime_seconds=runtime,
+            missing_cells=int(missing_mask.sum()),
+            params=dict(spec.scenario.params),
+        )
+        return JobResult(key=key, result=result)
+    except Exception:
+        if not capture_errors:
+            raise
+        return JobResult(key=key, error=traceback.format_exc())
+
+
+def compile_grid(datasets, scenarios, methods,
+                 seed: int = 0,
+                 method_kwargs: Optional[Dict[str, Dict]] = None) -> List[JobSpec]:
+    """Expand (datasets × scenarios × methods) into a flat job list.
+
+    ``datasets`` may mix :class:`TimeSeriesTensor` instances (wrapped as
+    inline specs) and :class:`DatasetSpec` references; ``methods`` may mix
+    registry names, imputer instances and ready :class:`MethodSpec`\\ s.
+    """
+    jobs: List[JobSpec] = []
+    for dataset in datasets:
+        if isinstance(dataset, TimeSeriesTensor):
+            dataset = DatasetSpec.from_tensor(dataset)
+        for scenario in scenarios:
+            for method in methods:
+                jobs.append(JobSpec(
+                    dataset=dataset,
+                    scenario=scenario,
+                    method=MethodSpec.from_any(method, method_kwargs),
+                    seed=seed,
+                ))
+    return jobs

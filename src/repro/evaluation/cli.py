@@ -1,5 +1,12 @@
 """Command-line interface for running imputation experiments.
 
+Sweeps run through the experiment engine (:mod:`repro.engine`): every
+(dataset, scenario, method) cell is a hashable job, ``--workers N`` fans the
+jobs out over a process pool, and ``--cache-dir DIR`` persists each completed
+cell to a JSONL store so an interrupted sweep can be resumed — re-running the
+same command (or using the ``resume`` subcommand) executes only the cells
+that are still missing.
+
 Examples
 --------
 List what is available::
@@ -12,9 +19,15 @@ Run one (dataset, scenario, method) cell::
         --methods deepmvi cdrec svdimp --size tiny
 
 Regenerate one of the paper's experiments (same grids the benchmark harness
-uses, printed as a table)::
+uses, printed as a table), four cells at a time with a persistent cache::
 
-    python -m repro.evaluation.cli experiment figure5 --size tiny
+    python -m repro.evaluation.cli experiment figure5 --size tiny \
+        --workers 4 --cache-dir ~/.cache/repro/figure5
+
+Resume that sweep after an interruption (only missing cells execute)::
+
+    python -m repro.evaluation.cli resume figure5 --size tiny \
+        --workers 4 --cache-dir ~/.cache/repro/figure5
 """
 
 from __future__ import annotations
@@ -45,6 +58,14 @@ def _deepmvi_kwargs(size: str) -> dict:
     return {"config": DeepMVIConfig(max_epochs=20, samples_per_epoch=512, patience=4)}
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool width; 1 runs serially")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persist per-cell results here and skip "
+                             "already-completed cells on re-runs")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro-eval", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -59,6 +80,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--block-size", type=int, default=10)
     run.add_argument("--incomplete-fraction", type=float, default=1.0)
     run.add_argument("--seed", type=int, default=0)
+    _add_engine_arguments(run)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's experiments")
@@ -66,6 +88,18 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--size", default="tiny",
                             choices=["tiny", "small", "default"])
     experiment.add_argument("--seed", type=int, default=0)
+    _add_engine_arguments(experiment)
+
+    resume = subparsers.add_parser(
+        "resume", help="resume an interrupted experiment sweep from its cache")
+    resume.add_argument("experiment_id", choices=list_experiments())
+    resume.add_argument("--size", default="tiny",
+                        choices=["tiny", "small", "default"])
+    resume.add_argument("--seed", type=int, default=0)
+    resume.add_argument("--workers", type=int, default=1,
+                        help="process-pool width; 1 runs serially")
+    resume.add_argument("--cache-dir", required=True,
+                        help="cache directory of the interrupted sweep")
     return parser
 
 
@@ -91,16 +125,18 @@ def _command_run(args: argparse.Namespace) -> int:
 
     runner = ExperimentRunner(
         methods=args.methods,
-        method_kwargs={"deepmvi": _deepmvi_kwargs(args.size),
-                       "deepmvi1d": _deepmvi_kwargs(args.size)},
+        method_kwargs={m.lower(): _deepmvi_kwargs(args.size)
+                       for m in args.methods
+                       if m.lower().startswith("deepmvi")},
         seed=args.seed)
-    results = [runner.run_cell(data, scenario, method, seed=args.seed)
-               for method in args.methods]
+    results = runner.run_grid([data], [scenario], seed=args.seed,
+                              workers=args.workers, cache_dir=args.cache_dir)
+    _report_failures(runner)
     print(format_table(pivot(results, index="method", columns="scenario", value="mae"),
                        index_name="method"))
     runtimes = ", ".join(f"{r.method}={r.runtime_seconds:.2f}s" for r in results)
     print(f"\nruntimes: {runtimes}")
-    return 0
+    return 0 if not runner.last_report.failed else 1
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
@@ -114,8 +150,8 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
     runner = ExperimentRunner(
         methods=list(spec.methods),
-        method_kwargs={"deepmvi": _deepmvi_kwargs(args.size),
-                       "deepmvi1d": _deepmvi_kwargs(args.size)},
+        method_kwargs={name: _deepmvi_kwargs(args.size) for name in spec.methods
+                       if name.startswith("deepmvi")},
         seed=args.seed)
     datasets = [load_dataset(name, size=args.size, seed=args.seed)
                 for name in spec.datasets]
@@ -123,9 +159,20 @@ def _command_experiment(args: argparse.Namespace) -> int:
                  if name in STANDARD_SCENARIOS]
     if not scenarios:
         scenarios = [scenario_for("mcar")]
-    results = runner.run_grid(datasets, scenarios, seed=args.seed)
+    results = runner.run_grid(datasets, scenarios, seed=args.seed,
+                              workers=args.workers, cache_dir=args.cache_dir)
+    print(f"[engine] {runner.last_report.describe()}")
+    _report_failures(runner)
     print(format_table(pivot(results, index="dataset", columns="method", value="mae")))
-    return 0
+    return 0 if not runner.last_report.failed else 1
+
+
+def _report_failures(runner: ExperimentRunner) -> None:
+    report = runner.last_report
+    if report is None or not report.failed:
+        return
+    print(f"[engine] {report.failed} cell(s) failed; last error:", file=sys.stderr)
+    print(report.failures[-1].error, file=sys.stderr)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -135,7 +182,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(args)
-    if args.command == "experiment":
+    if args.command in ("experiment", "resume"):
         return _command_experiment(args)
     return 1
 

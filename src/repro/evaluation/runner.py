@@ -4,58 +4,39 @@ The runner mirrors the role of the VLDB imputation benchmark the paper uses:
 it hides a scenario's cells from a complete dataset, lets every method fill
 them back in, and reports the error against the hidden ground truth together
 with the wall-clock time of the method.
+
+Since the engine refactor the runner is a thin façade: grids are compiled to
+:class:`repro.engine.jobs.JobSpec` cells and delegated to an
+:class:`repro.engine.executor.Executor`, which brings process-pool
+parallelism (``workers=N``), per-job error capture (a diverging method no
+longer aborts the sweep) and resumable sweeps through a persistent
+:class:`repro.engine.cache.ResultCache` (``cache_dir=...`` skips every cell
+already completed by an earlier run).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+import math
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-import numpy as np
-
 from repro.baselines.base import BaseImputer
-from repro.baselines.registry import create_imputer
-from repro.data.missing import MissingScenario, apply_scenario
+from repro.data.missing import MissingScenario
 from repro.data.tensor import TimeSeriesTensor
-from repro.evaluation.metrics import mae, rmse
+from repro.engine.cache import ResultCache
+from repro.engine.executor import ExecutionReport, Executor, make_executor
+from repro.engine.jobs import (
+    DatasetSpec,
+    ExperimentResult,
+    JobSpec,
+    MethodSpec,
+    compile_grid,
+    execute_job,
+)
 
+__all__ = ["ExperimentResult", "ExperimentRunner", "MethodSpec"]
 
-@dataclass
-class ExperimentResult:
-    """Outcome of one (dataset, scenario, method) cell."""
-
-    dataset: str
-    scenario: str
-    method: str
-    mae: float
-    rmse: float
-    runtime_seconds: float
-    missing_cells: int
-    params: Dict[str, object] = field(default_factory=dict)
-
-    def as_dict(self) -> Dict[str, object]:
-        row = {
-            "dataset": self.dataset,
-            "scenario": self.scenario,
-            "method": self.method,
-            "mae": self.mae,
-            "rmse": self.rmse,
-            "runtime_seconds": self.runtime_seconds,
-            "missing_cells": self.missing_cells,
-        }
-        row.update(self.params)
-        return row
-
-
-MethodSpec = Union[str, BaseImputer]
-
-
-def _resolve_method(spec: MethodSpec, method_kwargs: Dict[str, Dict]) -> BaseImputer:
-    if isinstance(spec, BaseImputer):
-        return spec
-    kwargs = method_kwargs.get(spec.lower(), {})
-    return create_imputer(spec, **kwargs)
+#: accepted method designators: registry names or ready imputer instances
+MethodLike = Union[str, BaseImputer, MethodSpec]
 
 
 class ExperimentRunner:
@@ -65,62 +46,93 @@ class ExperimentRunner:
     ----------
     methods:
         Method names (resolved through the registry) or ready imputer
-        instances.
+        instances (cloned per cell, never fitted in place).
     method_kwargs:
         Optional per-method-name constructor overrides, e.g.
         ``{"deepmvi": {"config": DeepMVIConfig.fast()}}``.
     seed:
         Seed used to generate scenario masks (data seeds are fixed by the
         dataset loader).
+    workers:
+        Default executor width for :meth:`run_grid`; ``1`` runs serially,
+        ``N > 1`` fans cells out over a process pool.
+    cache_dir:
+        Default result-cache directory for :meth:`run_grid`; completed cells
+        found there are never re-executed.
     """
 
-    def __init__(self, methods: Sequence[MethodSpec],
+    def __init__(self, methods: Sequence[MethodLike],
                  method_kwargs: Optional[Dict[str, Dict]] = None,
-                 seed: int = 0):
+                 seed: int = 0, workers: int = 1,
+                 cache_dir: Optional[str] = None):
         self.methods = list(methods)
         self.method_kwargs = {k.lower(): v for k, v in (method_kwargs or {}).items()}
         self.seed = seed
+        self.workers = workers
+        self.cache_dir = cache_dir
+        #: summary of the most recent :meth:`run_grid` sweep
+        self.last_report: Optional[ExecutionReport] = None
+
+    # ------------------------------------------------------------------ #
+    def _method_spec(self, method: MethodLike) -> MethodSpec:
+        return MethodSpec.from_any(method, self.method_kwargs)
+
+    def compile_grid(self, datasets: Iterable[TimeSeriesTensor],
+                     scenarios: Iterable[MissingScenario],
+                     seed: Optional[int] = None) -> List[JobSpec]:
+        """Expand (datasets × scenarios × methods) into engine job specs."""
+        seed = self.seed if seed is None else seed
+        return compile_grid(datasets, scenarios, self.methods, seed=seed,
+                            method_kwargs=self.method_kwargs)
 
     # ------------------------------------------------------------------ #
     def run_cell(self, truth: TimeSeriesTensor, scenario: MissingScenario,
-                 method: MethodSpec, seed: Optional[int] = None) -> ExperimentResult:
-        """Run a single (dataset, scenario, method) combination."""
+                 method: MethodLike, seed: Optional[int] = None) -> ExperimentResult:
+        """Run a single (dataset, scenario, method) combination.
+
+        Unlike :meth:`run_grid`, failures propagate as exceptions.
+        """
         seed = self.seed if seed is None else seed
-        incomplete, missing_mask = apply_scenario(truth, scenario, seed=seed)
-        imputer = _resolve_method(method, self.method_kwargs)
-
-        start = time.perf_counter()
-        completed = imputer.fit_impute(incomplete)
-        runtime = time.perf_counter() - start
-
-        return ExperimentResult(
-            dataset=truth.name,
-            scenario=scenario.describe(),
-            method=getattr(imputer, "name", str(method)),
-            mae=mae(completed, truth, missing_mask),
-            rmse=rmse(completed, truth, missing_mask),
-            runtime_seconds=runtime,
-            missing_cells=int(missing_mask.sum()),
-            params=dict(scenario.params),
-        )
+        spec = JobSpec(dataset=DatasetSpec.from_tensor(truth),
+                       scenario=scenario, method=self._method_spec(method),
+                       seed=seed)
+        return execute_job(spec, capture_errors=False).result
 
     def run_grid(self, datasets: Iterable[TimeSeriesTensor],
                  scenarios: Iterable[MissingScenario],
-                 seed: Optional[int] = None) -> List[ExperimentResult]:
-        """Run every method on every (dataset, scenario) pair."""
-        results: List[ExperimentResult] = []
-        for truth in datasets:
-            for scenario in scenarios:
-                for method in self.methods:
-                    results.append(self.run_cell(truth, scenario, method, seed=seed))
-        return results
+                 seed: Optional[int] = None,
+                 workers: Optional[int] = None,
+                 cache_dir: Optional[str] = None,
+                 executor: Optional[Executor] = None,
+                 progress=None) -> List[ExperimentResult]:
+        """Run every method on every (dataset, scenario) pair.
+
+        Returns the successful cell results in grid order.  Failed cells are
+        captured (not raised) and listed in ``self.last_report.failures``;
+        cached cells are served from ``cache_dir`` without re-executing.
+        """
+        jobs = self.compile_grid(datasets, scenarios, seed=seed)
+        if executor is None:
+            executor = make_executor(self.workers if workers is None else workers)
+        cache_dir = self.cache_dir if cache_dir is None else cache_dir
+        cache = ResultCache(cache_dir) if cache_dir else None
+        job_results = executor.run(jobs, cache=cache, progress=progress)
+        self.last_report = executor.last_report
+        return [job.result for job in job_results if job.ok]
 
     # ------------------------------------------------------------------ #
     @staticmethod
     def best_method_per_cell(results: Sequence[ExperimentResult]) -> Dict[tuple, str]:
-        """Map (dataset, scenario) -> method with the lowest MAE."""
+        """Map (dataset, scenario) -> method with the lowest finite MAE.
+
+        Diverged methods (NaN/inf MAE) are skipped so they can neither win a
+        cell nor poison the comparison; a cell where every method diverged is
+        absent from the map.
+        """
         best: Dict[tuple, ExperimentResult] = {}
         for result in results:
+            if not math.isfinite(result.mae):
+                continue
             key = (result.dataset, result.scenario)
             if key not in best or result.mae < best[key].mae:
                 best[key] = result

@@ -95,3 +95,34 @@ def test_methods_handle_multidimensional_input(small_multidim_panel, name):
     completed = create_imputer(name, **kwargs).fit_impute(incomplete)
     assert completed.shape == small_multidim_panel.shape
     assert completed.missing_fraction == 0.0
+
+
+class TestRegistryVariants:
+    """DeepMVI variant names resolve through the registry with the right
+    ablation flags and distinct display names (so result tables and the CLI
+    experiments for Figures 7-9 can tell the variants apart)."""
+
+    def test_ablation_variants_resolve(self):
+        from repro.baselines.registry import DEEPMVI_VARIANTS
+
+        expectations = {
+            "deepmvi1d": ("flatten_dimensions", "DeepMVI1D"),
+            "deepmvi-no-tt": ("use_temporal_transformer", "DeepMVI-NoTT"),
+            "deepmvi-no-context": ("use_context_window", "DeepMVI-NoContext"),
+            "deepmvi-no-kr": ("use_kernel_regression", "DeepMVI-NoKR"),
+            "deepmvi-no-fg": ("use_fine_grained", "DeepMVI-NoFG"),
+        }
+        assert set(expectations) | {"deepmvi"} == set(DEEPMVI_VARIANTS)
+        for name, (flag, display) in expectations.items():
+            imputer = create_imputer(name, config=DeepMVIConfig.fast())
+            value = getattr(imputer.config, flag)
+            assert value is (flag == "flatten_dimensions")
+            assert imputer.name == display
+
+    def test_variant_name_survives_clone(self):
+        imputer = create_imputer("deepmvi-no-kr", config=DeepMVIConfig.fast())
+        assert imputer.clone().name == "DeepMVI-NoKR"
+
+    def test_variants_are_listed(self):
+        from repro.baselines.registry import list_methods
+        assert "deepmvi-no-fg" in list_methods()

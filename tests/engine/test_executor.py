@@ -1,0 +1,205 @@
+"""Executor tests: serial/parallel equivalence, caching, resume, errors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import BaseImputer
+from repro.data.missing import MissingScenario
+from repro.engine.cache import ResultCache
+from repro.engine.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.engine.jobs import DatasetSpec, JobSpec, MethodSpec, compile_grid
+from repro.evaluation.runner import ExperimentRunner
+
+
+class BombImputer(BaseImputer):
+    name = "Bomb"
+
+    def fit_impute(self, tensor):
+        raise RuntimeError("boom")
+
+
+def _grid(small_panel, methods=("mean", "interpolation")):
+    scenarios = [MissingScenario("miss_disj"),
+                 MissingScenario("blackout", {"block_size": 5})]
+    return compile_grid([small_panel], scenarios, list(methods), seed=0)
+
+
+def _cell(result):
+    return (result.dataset, result.scenario, result.method,
+            result.mae, result.rmse)
+
+
+class TestSerialExecutor:
+    def test_results_in_job_order(self, small_panel):
+        jobs = _grid(small_panel)
+        results = SerialExecutor().run(jobs)
+        assert [job_result.key for job_result in results] == \
+            [job.key() for job in jobs]
+        assert all(job_result.ok for job_result in results)
+
+    def test_error_capture_does_not_abort_sweep(self, small_panel):
+        jobs = _grid(small_panel, methods=["mean", BombImputer()])
+        executor = SerialExecutor()
+        results = executor.run(jobs)
+        assert executor.last_report.failed == 2
+        assert sum(job_result.ok for job_result in results) == 2
+        assert all("boom" in job_result.error
+                   for job_result in results if not job_result.ok)
+
+    def test_progress_callback_fires_per_job(self, small_panel):
+        jobs = _grid(small_panel)
+        seen = []
+        SerialExecutor().run(jobs, progress=lambda done, total, jr:
+                             seen.append((done, total, jr.ok)))
+        assert seen == [(1, 4, True), (2, 4, True), (3, 4, True), (4, 4, True)]
+
+
+class TestParallelExecutor:
+    def test_matches_serial_results(self, small_panel):
+        jobs = _grid(small_panel)
+        serial = SerialExecutor().run(jobs)
+        parallel = ParallelExecutor(workers=2).run(jobs)
+        for a, b in zip(serial, parallel):
+            assert a.key == b.key
+            assert _cell(a.result) == _cell(b.result)
+
+    def test_worker_errors_are_captured(self, small_panel):
+        jobs = _grid(small_panel, methods=["mean", BombImputer()])
+        executor = ParallelExecutor(workers=2)
+        results = executor.run(jobs)
+        assert executor.last_report.failed == 2
+        assert sum(job_result.ok for job_result in results) == 2
+
+    def test_make_executor_picks_by_width(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(4), ParallelExecutor)
+
+
+class TestCacheAndResume:
+    def test_rerun_executes_zero_jobs(self, small_panel, tmp_path):
+        jobs = _grid(small_panel)
+        cache = ResultCache(tmp_path)
+        first = SerialExecutor()
+        before = first.run(jobs, cache=cache)
+        assert first.last_report.executed == 4
+
+        second = SerialExecutor()
+        after = second.run(jobs, cache=ResultCache(tmp_path))
+        assert second.last_report.executed == 0
+        assert second.last_report.from_cache == 4
+        for a, b in zip(before, after):
+            assert b.from_cache
+            assert _cell(a.result) == _cell(b.result)
+
+    def test_resume_after_partial_failure_retries_only_failures(
+            self, small_panel, tmp_path):
+        jobs = _grid(small_panel, methods=["mean", BombImputer()])
+        first = SerialExecutor()
+        first.run(jobs, cache=ResultCache(tmp_path))
+        assert first.last_report.executed == 4
+        assert first.last_report.failed == 2
+
+        # Failed cells were not cached: a resume retries exactly those.
+        second = SerialExecutor()
+        second.run(jobs, cache=ResultCache(tmp_path))
+        assert second.last_report.from_cache == 2
+        assert second.last_report.executed == 2
+        assert second.last_report.failed == 2
+
+    def test_parallel_run_fills_and_reads_cache(self, small_panel, tmp_path):
+        jobs = _grid(small_panel)
+        executor = ParallelExecutor(workers=2)
+        executor.run(jobs, cache=ResultCache(tmp_path))
+        assert executor.last_report.executed == 4
+
+        resumed = ParallelExecutor(workers=2)
+        resumed.run(jobs, cache=ResultCache(tmp_path))
+        assert resumed.last_report.executed == 0
+        assert resumed.last_report.from_cache == 4
+
+    def test_cache_ignores_truncated_tail_line(self, small_panel, tmp_path):
+        jobs = _grid(small_panel)
+        cache = ResultCache(tmp_path)
+        SerialExecutor().run(jobs, cache=cache)
+        with cache.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "half-written')
+        assert len(ResultCache(tmp_path)) == 4
+
+
+class TestRunnerFacade:
+    def test_run_grid_serial_parallel_equal(self, small_panel):
+        runner = ExperimentRunner(methods=["mean", "interpolation"])
+        scenarios = [MissingScenario("miss_disj"),
+                     MissingScenario("blackout", {"block_size": 5})]
+        serial = runner.run_grid([small_panel], scenarios)
+        parallel = runner.run_grid([small_panel], scenarios, workers=2)
+        assert [_cell(r) for r in serial] == [_cell(r) for r in parallel]
+
+    def test_run_grid_cache_dir_resumes(self, small_panel, tmp_path):
+        runner = ExperimentRunner(methods=["mean"], cache_dir=str(tmp_path))
+        scenarios = [MissingScenario("miss_disj")]
+        runner.run_grid([small_panel], scenarios)
+        assert runner.last_report.executed == 1
+        runner.run_grid([small_panel], scenarios)
+        assert runner.last_report.executed == 0
+        assert runner.last_report.from_cache == 1
+
+    def test_run_grid_survives_failing_method(self, small_panel):
+        runner = ExperimentRunner(methods=["mean", BombImputer()])
+        results = runner.run_grid([small_panel], [MissingScenario("miss_disj")])
+        assert [r.method for r in results] == ["Mean"]
+        assert runner.last_report.failed == 1
+        assert "boom" in runner.last_report.failures[0].error
+
+    def test_run_cell_propagates_errors(self, small_panel):
+        runner = ExperimentRunner(methods=["mean"])
+        with pytest.raises(RuntimeError, match="boom"):
+            runner.run_cell(small_panel, MissingScenario("miss_disj"),
+                            BombImputer())
+
+    def test_best_method_per_cell_skips_non_finite(self):
+        from repro.engine.jobs import ExperimentResult
+        results = [
+            ExperimentResult("d", "s", "Diverged", mae=float("nan"), rmse=1.0,
+                             runtime_seconds=1, missing_cells=5),
+            ExperimentResult("d", "s", "Exploded", mae=float("inf"), rmse=1.0,
+                             runtime_seconds=1, missing_cells=5),
+            ExperimentResult("d", "s", "Fine", mae=0.4, rmse=0.5,
+                             runtime_seconds=1, missing_cells=5),
+            ExperimentResult("d2", "s", "Diverged", mae=float("nan"), rmse=1.0,
+                             runtime_seconds=1, missing_cells=5),
+        ]
+        assert ExperimentRunner.best_method_per_cell(results) == \
+            {("d", "s"): "Fine"}
+
+
+class TestArtifactJobsBypassCache:
+    def test_cached_metrics_do_not_skip_artifact_write(self, small_panel,
+                                                       tmp_path):
+        """A job that must save an artifact re-executes on a cache hit, so
+        the fitted imputer is actually written."""
+        from repro.engine.jobs import DatasetSpec, JobSpec, MethodSpec
+
+        plain = JobSpec(dataset=DatasetSpec.from_tensor(small_panel),
+                        scenario=MissingScenario("miss_disj"),
+                        method=MethodSpec(name="mean"))
+        cache = ResultCache(tmp_path / "cache")
+        SerialExecutor().run([plain], cache=cache)
+
+        artifact_dir = tmp_path / "artifact"
+        saving = JobSpec(dataset=plain.dataset, scenario=plain.scenario,
+                         method=plain.method, artifact_path=str(artifact_dir))
+        executor = SerialExecutor()
+        executor.run([saving], cache=ResultCache(tmp_path / "cache"))
+        assert executor.last_report.executed == 1
+        assert (artifact_dir / "manifest.json").exists()
+
+        # With the artifact in place, the cache hit is honoured again.
+        resumed = SerialExecutor()
+        resumed.run([saving], cache=ResultCache(tmp_path / "cache"))
+        assert resumed.last_report.from_cache == 1

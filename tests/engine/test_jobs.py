@@ -1,0 +1,206 @@
+"""Tests of job specs, deterministic cache keys, and job execution."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import BaseImputer
+from repro.data.missing import MissingScenario
+from repro.engine.jobs import (
+    DatasetSpec,
+    ExperimentResult,
+    JobResult,
+    JobSpec,
+    MethodSpec,
+    compile_grid,
+    execute_job,
+)
+
+
+def _named_spec(seed=0, block_size=5, method_kwargs=None):
+    return JobSpec(
+        dataset=DatasetSpec.named("airq", size="tiny", seed=7, length=120,
+                                  shape=(8,)),
+        scenario=MissingScenario("mcar", {"incomplete_fraction": 0.5,
+                                          "block_size": block_size}),
+        method=MethodSpec(name="svdimp", kwargs=method_kwargs or {"rank": 2}),
+        seed=seed,
+    )
+
+
+class BombImputer(BaseImputer):
+    name = "Bomb"
+
+    def fit_impute(self, tensor):
+        raise RuntimeError("boom")
+
+
+class TestCacheKeys:
+    def test_key_is_deterministic_within_process(self):
+        assert _named_spec().key() == _named_spec().key()
+
+    def test_key_stable_across_processes(self):
+        """The key must not depend on PYTHONHASHSEED or interpreter state."""
+        code = (
+            "from repro.data.missing import MissingScenario\n"
+            "from repro.engine.jobs import DatasetSpec, JobSpec, MethodSpec\n"
+            "spec = JobSpec(\n"
+            "    dataset=DatasetSpec.named('airq', size='tiny', seed=7,\n"
+            "                              length=120, shape=(8,)),\n"
+            "    scenario=MissingScenario('mcar', {'incomplete_fraction': 0.5,\n"
+            "                                      'block_size': 5}),\n"
+            "    method=MethodSpec(name='svdimp', kwargs={'rank': 2}),\n"
+            "    seed=0)\n"
+            "print(spec.key())\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        for _ in range(2):
+            out = subprocess.run([sys.executable, "-c", code], env=env,
+                                 capture_output=True, text=True, check=True)
+            assert out.stdout.strip() == _named_spec().key()
+            env["PYTHONHASHSEED"] = "999"
+
+    def test_key_changes_with_every_input(self):
+        base = _named_spec().key()
+        assert _named_spec(seed=1).key() != base
+        assert _named_spec(block_size=7).key() != base
+        assert _named_spec(method_kwargs={"rank": 3}).key() != base
+
+    def test_inline_tensor_keys_track_content(self, small_panel):
+        by_content = JobSpec(dataset=DatasetSpec.from_tensor(small_panel),
+                             scenario=MissingScenario("miss_disj"),
+                             method=MethodSpec(name="mean"))
+        twin = JobSpec(dataset=DatasetSpec.from_tensor(small_panel.copy()),
+                       scenario=MissingScenario("miss_disj"),
+                       method=MethodSpec(name="mean"))
+        assert by_content.key() == twin.key()
+
+        perturbed = small_panel.copy()
+        perturbed.values[0, 0] += 1.0
+        other = JobSpec(dataset=DatasetSpec.from_tensor(perturbed),
+                        scenario=MissingScenario("miss_disj"),
+                        method=MethodSpec(name="mean"))
+        assert other.key() != by_content.key()
+
+    def test_instance_methods_fingerprint_by_state(self):
+        from repro.baselines.svd import SVDImputer
+        a = MethodSpec(imputer=SVDImputer(rank=2)).fingerprint()
+        b = MethodSpec(imputer=SVDImputer(rank=2)).fingerprint()
+        c = MethodSpec(imputer=SVDImputer(rank=3)).fingerprint()
+        assert a == b
+        assert a != c
+
+
+class TestExecuteJob:
+    def test_runs_cell_and_reports_metrics(self, small_panel):
+        spec = JobSpec(dataset=DatasetSpec.from_tensor(small_panel),
+                       scenario=MissingScenario("miss_disj"),
+                       method=MethodSpec(name="mean"))
+        job_result = execute_job(spec)
+        assert job_result.ok
+        result = job_result.result
+        assert result.dataset == small_panel.name
+        assert result.method == "Mean"
+        assert result.mae > 0 and result.rmse >= result.mae
+        assert result.missing_cells > 0
+
+    def test_captures_errors_instead_of_raising(self, small_panel):
+        spec = JobSpec(dataset=DatasetSpec.from_tensor(small_panel),
+                       scenario=MissingScenario("miss_disj"),
+                       method=MethodSpec(imputer=BombImputer()))
+        job_result = execute_job(spec)
+        assert not job_result.ok
+        assert job_result.result is None
+        assert "boom" in job_result.error
+
+    def test_capture_errors_false_propagates(self, small_panel):
+        spec = JobSpec(dataset=DatasetSpec.from_tensor(small_panel),
+                       scenario=MissingScenario("miss_disj"),
+                       method=MethodSpec(imputer=BombImputer()))
+        with pytest.raises(RuntimeError, match="boom"):
+            execute_job(spec, capture_errors=False)
+
+    def test_label_overrides_method_name(self, small_panel):
+        spec = JobSpec(dataset=DatasetSpec.from_tensor(small_panel),
+                       scenario=MissingScenario("miss_disj"),
+                       method=MethodSpec(name="mean", label="mean-variant"))
+        assert execute_job(spec).result.method == "mean-variant"
+
+    def test_saves_artifact_when_requested(self, small_panel, tmp_path):
+        from repro.engine.artifacts import load_imputer
+        spec = JobSpec(dataset=DatasetSpec.from_tensor(small_panel),
+                       scenario=MissingScenario("miss_disj"),
+                       method=MethodSpec(name="mean"),
+                       artifact_path=str(tmp_path / "mean-artifact"))
+        assert execute_job(spec).ok
+        restored = load_imputer(tmp_path / "mean-artifact")
+        assert restored.impute().mask.all()
+
+
+class TestRecords:
+    def test_job_result_record_round_trip(self):
+        result = ExperimentResult("d", "s", "m", 0.1, 0.2, 1.5, 7,
+                                  params={"block_size": 5})
+        job_result = JobResult(key="k", result=result)
+        restored = JobResult.from_record(job_result.to_record(), from_cache=True)
+        assert restored.from_cache and restored.ok
+        assert restored.result == result
+
+    def test_compile_grid_covers_product(self, small_panel):
+        jobs = compile_grid([small_panel],
+                            [MissingScenario("miss_disj"),
+                             MissingScenario("blackout", {"block_size": 5})],
+                            ["mean", "interpolation"], seed=3)
+        assert len(jobs) == 4
+        assert len({job.key() for job in jobs}) == 4
+        assert all(job.seed == 3 for job in jobs)
+
+
+class TestFingerprintStability:
+    """Regression tests: fingerprints must be identity-free so cache keys
+    survive interpreter restarts."""
+
+    def _fitted_prototype(self, small_panel, seed=0):
+        from repro.baselines.brits import BRITSImputer
+        imputer = BRITSImputer(hidden_dim=4, crop_length=8, n_epochs=1,
+                               seed=seed)
+        imputer.fit(small_panel)
+        return imputer
+
+    def test_fitted_network_fingerprints_by_parameters(self, small_panel):
+        a = MethodSpec(imputer=self._fitted_prototype(small_panel)).fingerprint()
+        b = MethodSpec(imputer=self._fitted_prototype(small_panel)).fingerprint()
+        assert a == b  # two live objects, same training -> same fingerprint
+
+    def test_no_memory_addresses_leak_into_fingerprints(self, small_panel):
+        import json
+        import re
+        fingerprint = MethodSpec(
+            imputer=self._fitted_prototype(small_panel)).fingerprint()
+        assert not re.search(r"0x[0-9a-fA-F]{4,}", json.dumps(fingerprint))
+
+
+class TestArtifactVsCache:
+    def test_needs_execution_until_artifact_exists(self, small_panel, tmp_path):
+        spec = JobSpec(dataset=DatasetSpec.from_tensor(small_panel),
+                       scenario=MissingScenario("miss_disj"),
+                       method=MethodSpec(name="mean"),
+                       artifact_path=str(tmp_path / "art"))
+        assert spec.needs_execution()
+        execute_job(spec)
+        assert not spec.needs_execution()
+        twin = JobSpec(dataset=spec.dataset, scenario=spec.scenario,
+                       method=spec.method)
+        assert not twin.needs_execution()
+
+    def test_artifact_path_does_not_change_key(self, small_panel, tmp_path):
+        plain = JobSpec(dataset=DatasetSpec.from_tensor(small_panel),
+                        scenario=MissingScenario("miss_disj"),
+                        method=MethodSpec(name="mean"))
+        with_artifact = JobSpec(dataset=plain.dataset, scenario=plain.scenario,
+                                method=plain.method,
+                                artifact_path=str(tmp_path / "art"))
+        assert plain.key() == with_artifact.key()
