@@ -15,7 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.registry import create_imputer
+from repro.baselines.registry import get_registry
 from repro.core.config import DeepMVIConfig
 from repro.data.datasets import load_dataset
 from repro.data.missing import MissingScenario
@@ -63,9 +63,9 @@ def build_method(name: str, **config_overrides):
     if key.startswith("deepmvi"):
         params = dict(BENCH_DEEPMVI)
         params.update(config_overrides)
-        return create_imputer(key, config=DeepMVIConfig(**params))
+        return get_registry().create(key, config=DeepMVIConfig(**params))
     kwargs = BENCH_DEEP_BASELINES.get(key, {})
-    return create_imputer(key, **kwargs)
+    return get_registry().create(key, **kwargs)
 
 
 def bench_dataset(name: str, seed: int = 0, length: Optional[int] = None,

@@ -17,8 +17,7 @@ Run with::
 
 import argparse
 
-from repro import DeepMVIConfig, DeepMVIImputer, load_dataset
-from repro.baselines import CDRecImputer, MeanImputer, SVDImputer
+from repro import DeepMVIConfig, api, load_dataset
 from repro.data.missing import MissingScenario, apply_scenario
 from repro.evaluation.analytics import downstream_comparison
 
@@ -40,11 +39,13 @@ def main() -> None:
 
     config = DeepMVIConfig.fast() if args.fast else DeepMVIConfig(
         max_epochs=25, samples_per_epoch=512, patience=5)
+    # Methods come from the plugin registry by name; api.make_imputer is the
+    # service-layer factory (capability queries: api.list_method_infos()).
     methods = {
-        "DeepMVI": DeepMVIImputer(config=config),
-        "CDRec": CDRecImputer(),
-        "SVDImp": SVDImputer(),
-        "Mean": MeanImputer(),
+        "DeepMVI": api.make_imputer("deepmvi", config=config),
+        "CDRec": api.make_imputer("cdrec"),
+        "SVDImp": api.make_imputer("svdimp"),
+        "Mean": api.make_imputer("mean"),
     }
 
     comparison = downstream_comparison(data, incomplete, methods, axis=0)

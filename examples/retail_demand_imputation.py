@@ -16,11 +16,8 @@ Run with::
 """
 
 import argparse
-import time
 
-from repro import DeepMVIConfig, DeepMVIImputer, load_dataset, mae
-from repro.baselines import CDRecImputer
-from repro.baselines.registry import create_imputer
+from repro import DeepMVIConfig, api, load_dataset, mae
 from repro.data.missing import MissingScenario, apply_scenario
 
 
@@ -43,21 +40,23 @@ def main() -> None:
 
     config = DeepMVIConfig.fast() if args.fast else DeepMVIConfig(
         max_epochs=25, samples_per_epoch=512, patience=5)
+    # "deepmvi1d" is the registry's ablation variant that flattens the
+    # (store, product) index into one anonymous series id.
     methods = {
-        "DeepMVI (store x product)": DeepMVIImputer(config=config),
-        "DeepMVI1D (flattened)": DeepMVIImputer(
-            config=config.ablated(flatten_dimensions=True)),
-        "CDRec": CDRecImputer(),
+        "DeepMVI (store x product)": ("deepmvi", {"config": config}),
+        "DeepMVI1D (flattened)": ("deepmvi1d", {"config": config}),
+        "CDRec": ("cdrec", {}),
     }
 
+    service = api.ImputationService()
     print(f"{'method':<28} {'MAE':>8} {'seconds':>8}")
     results = {}
-    for name, imputer in methods.items():
-        start = time.perf_counter()
-        completed = imputer.fit_impute(incomplete)
-        elapsed = time.perf_counter() - start
-        results[name] = mae(completed, data, missing_mask)
-        print(f"{name:<28} {results[name]:>8.3f} {elapsed:>8.1f}")
+    for name, (method, kwargs) in methods.items():
+        model_id = service.fit(incomplete, method=method, **kwargs)
+        served = service.impute(api.ImputeRequest(model_id=model_id))
+        results[name] = mae(served.completed, data, missing_mask)
+        seconds = service.fit_seconds[model_id] + served.runtime_seconds
+        print(f"{name:<28} {results[name]:>8.3f} {seconds:>8.1f}")
 
     structured = results["DeepMVI (store x product)"]
     flattened = results["DeepMVI1D (flattened)"]

@@ -7,8 +7,9 @@ pattern *within* each series, which is exactly what DeepMVI's temporal
 transformer extracts.
 
 The example hides a blackout window from a temperature-like sensor panel,
-imputes it with DeepMVI, CDRec and linear interpolation, prints the MAE, and
-draws a small ASCII chart of the reconstructed block for one sensor.
+imputes it with DeepMVI, CDRec and linear interpolation through the
+``repro.api`` service layer, prints the MAE, and draws a small ASCII chart
+of the reconstructed block for one sensor.
 
 Run with::
 
@@ -16,12 +17,10 @@ Run with::
 """
 
 import argparse
-import time
 
 import numpy as np
 
-from repro import DeepMVIConfig, DeepMVIImputer, load_dataset, mae
-from repro.baselines import CDRecImputer, LinearInterpolationImputer
+from repro import DeepMVIConfig, api, load_dataset, mae
 from repro.data.missing import MissingScenario, apply_scenario
 
 
@@ -61,21 +60,29 @@ def main() -> None:
     config = DeepMVIConfig.fast() if args.fast else DeepMVIConfig(
         max_epochs=25, samples_per_epoch=512, patience=5)
     methods = {
-        "DeepMVI": DeepMVIImputer(config=config),
-        "CDRec": CDRecImputer(),
-        "Interpolation": LinearInterpolationImputer(),
+        "DeepMVI": ("deepmvi", {"config": config}),
+        "CDRec": ("cdrec", {}),
+        "Interpolation": ("interpolation", {}),
     }
+
+    # Fit every method once, then serve the blackout tensor from the stored
+    # models in one micro-batched gather().
+    service = api.ImputationService()
+    tickets = {}
+    for name, (method, kwargs) in methods.items():
+        model_id = service.fit(incomplete, method=method, **kwargs)
+        tickets[service.submit(api.ImputeRequest(model_id=model_id))] = name
 
     reconstructions = {}
     print(f"{'method':<14} {'MAE':>8} {'seconds':>8}")
-    for name, imputer in methods.items():
-        begin = time.perf_counter()
-        completed = imputer.fit_impute(incomplete)
-        elapsed = time.perf_counter() - begin
+    for result in service.gather():
+        name = tickets[result.request_id]
+        completed = result.completed
         error = mae(completed, data, missing_mask)
         reconstructions[name] = completed.values.reshape(data.n_series, -1)[0,
                                                                             start:start + block]
-        print(f"{name:<14} {error:>8.3f} {elapsed:>8.1f}")
+        seconds = service.fit_seconds[result.model_id] + result.runtime_seconds
+        print(f"{name:<14} {error:>8.3f} {seconds:>8.1f}")
 
     truth_block = data.values.reshape(data.n_series, -1)[0, start:start + block]
     print("\nReconstruction of the blackout window for sensor 0:")

@@ -19,6 +19,10 @@ organised as:
 ``repro.engine``
     The experiment engine: hashable grid-cell jobs, serial/process-pool
     executors, a resumable result cache, and fitted-imputer artifacts.
+``repro.api``
+    The public service layer: typed requests, the fit-once/serve-many
+    :class:`~repro.api.ImputationService`, the ``repro.api.impute``
+    one-liner, and the capability-aware method registry.
 """
 
 from repro.core.config import DeepMVIConfig
@@ -36,10 +40,22 @@ from repro.data.missing import (
 from repro.evaluation.metrics import mae, rmse
 from repro.evaluation.runner import ExperimentRunner
 from repro.engine import load_imputer, save_imputer
+from repro import api
+from repro.api import (
+    FitRequest,
+    ImputationService,
+    ImputeRequest,
+    ImputeResult,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "api",
+    "FitRequest",
+    "ImputationService",
+    "ImputeRequest",
+    "ImputeResult",
     "DeepMVIConfig",
     "DeepMVIImputer",
     "TimeSeriesTensor",

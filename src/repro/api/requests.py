@@ -1,0 +1,300 @@
+"""Typed request/response objects of the service layer.
+
+These dataclasses are the wire format of :class:`repro.api.ImputationService`:
+every request validates itself before execution (bad input fails at the API
+boundary, not deep inside a worker), and every object round-trips through
+``to_dict`` / ``from_dict`` so it can cross a JSON transport unchanged —
+tensors included (non-finite values are encoded as ``null``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.dimensions import Dimension
+from repro.data.tensor import TimeSeriesTensor
+from repro.exceptions import ValidationError
+
+__all__ = ["FitRequest", "ImputeRequest", "ImputeResult",
+           "tensor_to_dict", "tensor_from_dict"]
+
+
+# ---------------------------------------------------------------------- #
+# tensor wire encoding
+# ---------------------------------------------------------------------- #
+def _array_to_wire(array: np.ndarray) -> Dict[str, object]:
+    """JSON-safe rendering of a float array (NaN/inf become ``None``)."""
+    flat = [value if math.isfinite(value) else None
+            for value in np.asarray(array, dtype=np.float64).ravel().tolist()]
+    return {"shape": list(array.shape), "data": flat}
+
+
+def _array_from_wire(payload: Dict[str, object]) -> np.ndarray:
+    flat = np.array([np.nan if value is None else value
+                     for value in payload["data"]], dtype=np.float64)
+    return flat.reshape(payload["shape"])
+
+
+def tensor_to_dict(tensor: TimeSeriesTensor) -> Dict[str, object]:
+    """Encode a :class:`TimeSeriesTensor` as plain JSON-able values."""
+    dimensions: List[Dict[str, object]] = []
+    for dimension in tensor.dimensions:
+        if dimension.is_vector_valued:
+            members = [np.asarray(m, dtype=np.float64).tolist()
+                       for m in dimension.members]
+            kind = "vector"
+        else:
+            members = list(dimension.members)
+            kind = "categorical"
+        dimensions.append({"name": dimension.name, "kind": kind,
+                           "members": members})
+    return {
+        "name": tensor.name,
+        "values": _array_to_wire(tensor.values),
+        "mask": _array_to_wire(tensor.mask),
+        "dimensions": dimensions,
+    }
+
+
+def tensor_from_dict(payload: Dict[str, object]) -> TimeSeriesTensor:
+    """Inverse of :func:`tensor_to_dict`."""
+    dimensions = []
+    for spec in payload["dimensions"]:
+        if spec["kind"] == "vector":
+            members = [np.asarray(m, dtype=np.float64) for m in spec["members"]]
+        else:
+            members = list(spec["members"])
+        dimensions.append(Dimension(name=spec["name"], members=members))
+    return TimeSeriesTensor(
+        values=_array_from_wire(payload["values"]),
+        dimensions=dimensions,
+        mask=_array_from_wire(payload["mask"]),
+        name=payload.get("name", "dataset"),
+    )
+
+
+def _require_tensor(value, label: str) -> None:
+    if not isinstance(value, TimeSeriesTensor):
+        raise ValidationError(
+            f"{label} must be a TimeSeriesTensor, got {type(value).__name__} "
+            "(wrap raw arrays with repro.api.as_tensor)")
+
+
+#: model ids become file names inside the model store, so they must not be
+#: able to escape it (no separators, no leading dots)
+_MODEL_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def check_model_id(model_id: str, label: str = "model_id") -> str:
+    """Reject ids that could traverse outside the model store directory."""
+    if not isinstance(model_id, str) or \
+            not _MODEL_ID_PATTERN.fullmatch(model_id):
+        raise ValidationError(
+            f"{label} must match {_MODEL_ID_PATTERN.pattern} (letters, "
+            f"digits, '.', '_', '-'; no path separators), got {model_id!r}")
+    return model_id
+
+
+# ---------------------------------------------------------------------- #
+# method_kwargs wire encoding (JSON values + config dataclasses)
+# ---------------------------------------------------------------------- #
+def _kwargs_to_wire(value):
+    """JSON-safe rendering of method kwargs.
+
+    Config dataclasses (``config=DeepMVIConfig(...)``) are the standard way
+    to parameterise the deep methods, so they are encoded structurally and
+    rebuilt by :func:`_kwargs_from_wire`; anything else must already be a
+    JSON value.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_kwargs_to_wire(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _kwargs_to_wire(item) for key, item in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {"__config__":
+                f"{type(value).__module__}:{type(value).__qualname__}",
+                "fields": {f.name: _kwargs_to_wire(getattr(value, f.name))
+                           for f in dataclasses.fields(value)}}
+    raise ValidationError(
+        f"method_kwargs value of type {type(value).__name__!r} is not "
+        "wire-serialisable; pass JSON values or config dataclasses")
+
+
+def _kwargs_from_wire(value):
+    if isinstance(value, list):
+        return [_kwargs_from_wire(item) for item in value]
+    if isinstance(value, dict):
+        if "__config__" in value:
+            return _config_from_wire(value)
+        return {key: _kwargs_from_wire(item) for key, item in value.items()}
+    return value
+
+
+def _config_from_wire(value: Dict[str, object]):
+    """Rebuild a config dataclass named by a wire payload.
+
+    The wire is untrusted, so the named target must be a dataclass *type*
+    inside the ``repro`` package — anything else (``subprocess:run``,
+    arbitrary callables) is rejected before it is ever called.
+    """
+    reference = str(value["__config__"])
+    module_name, _, qualname = reference.partition(":")
+    if not (module_name == "repro" or module_name.startswith("repro.")):
+        raise ValidationError(
+            f"wire config {reference!r} is outside the repro package")
+    target = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    if not (isinstance(target, type) and dataclasses.is_dataclass(target)):
+        raise ValidationError(
+            f"wire config {reference!r} is not a config dataclass")
+    return target(**{key: _kwargs_from_wire(item)
+                     for key, item in value["fields"].items()})
+
+
+# ---------------------------------------------------------------------- #
+# requests
+# ---------------------------------------------------------------------- #
+@dataclass
+class FitRequest:
+    """Train a method once so many impute requests can reuse the model.
+
+    Parameters
+    ----------
+    data:
+        The (incomplete) tensor to train on.
+    method:
+        Registry name of the imputation method.
+    method_kwargs:
+        Constructor overrides for the method factory.
+    model_id:
+        Optional explicit id for the fitted model; the service assigns
+        ``"<method>-<counter>"`` when omitted.
+    """
+
+    data: TimeSeriesTensor
+    method: str = "deepmvi"
+    method_kwargs: Dict[str, object] = field(default_factory=dict)
+    model_id: Optional[str] = None
+
+    def validate(self, registry=None) -> "FitRequest":
+        """Check the request; raises :class:`ValidationError` when invalid."""
+        _require_tensor(self.data, "FitRequest.data")
+        if not isinstance(self.method, str) or not self.method:
+            raise ValidationError("FitRequest.method must be a non-empty string")
+        if registry is not None:
+            registry.info(self.method)  # unknown names raise "did you mean"
+        if self.model_id is not None:
+            check_model_id(self.model_id, "FitRequest.model_id")
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "data": tensor_to_dict(self.data),
+            "method": self.method,
+            "method_kwargs": {key: _kwargs_to_wire(value)
+                              for key, value in self.method_kwargs.items()},
+            "model_id": self.model_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FitRequest":
+        return cls(
+            data=tensor_from_dict(payload["data"]),
+            method=payload.get("method", "deepmvi"),
+            method_kwargs={key: _kwargs_from_wire(value)
+                           for key, value in
+                           dict(payload.get("method_kwargs", {})).items()},
+            model_id=payload.get("model_id"),
+        )
+
+
+@dataclass
+class ImputeRequest:
+    """Complete the missing cells of one tensor with an already-fitted model.
+
+    Parameters
+    ----------
+    model_id:
+        Id returned by :meth:`ImputationService.fit`.
+    data:
+        Tensor to complete; ``None`` means "the tensor the model was fitted
+        on" (the classic fit/impute flow).
+    request_id:
+        Correlation id; assigned by the service at :meth:`submit` time when
+        omitted.
+    """
+
+    model_id: str
+    data: Optional[TimeSeriesTensor] = None
+    request_id: Optional[str] = None
+
+    def validate(self) -> "ImputeRequest":
+        """Check the request; raises :class:`ValidationError` when invalid."""
+        if not isinstance(self.model_id, str) or not self.model_id.strip():
+            raise ValidationError(
+                "ImputeRequest.model_id must be a non-empty string "
+                "(the id returned by ImputationService.fit)")
+        check_model_id(self.model_id, "ImputeRequest.model_id")
+        if self.data is not None:
+            _require_tensor(self.data, "ImputeRequest.data")
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model_id": self.model_id,
+            "data": tensor_to_dict(self.data) if self.data is not None else None,
+            "request_id": self.request_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ImputeRequest":
+        data = payload.get("data")
+        return cls(
+            model_id=payload["model_id"],
+            data=tensor_from_dict(data) if data is not None else None,
+            request_id=payload.get("request_id"),
+        )
+
+
+@dataclass
+class ImputeResult:
+    """Outcome of one :class:`ImputeRequest`."""
+
+    request_id: str
+    model_id: str
+    method: str
+    completed: TimeSeriesTensor
+    runtime_seconds: float = 0.0
+    #: True when the result came out of a micro-batched ``gather()`` sweep
+    from_batch: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "request_id": self.request_id,
+            "model_id": self.model_id,
+            "method": self.method,
+            "completed": tensor_to_dict(self.completed),
+            "runtime_seconds": float(self.runtime_seconds),
+            "from_batch": bool(self.from_batch),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ImputeResult":
+        return cls(
+            request_id=payload["request_id"],
+            model_id=payload["model_id"],
+            method=payload["method"],
+            completed=tensor_from_dict(payload["completed"]),
+            runtime_seconds=float(payload.get("runtime_seconds", 0.0)),
+            from_batch=bool(payload.get("from_batch", False)),
+        )

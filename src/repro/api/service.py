@@ -1,0 +1,520 @@
+"""The imputation service: fit once, serve many impute requests.
+
+The paper's DeepMVI workflow is *train once on a dataset, then impute many
+missing-value patterns*.  :class:`ImputationService` packages that workflow
+behind a serving-oriented API on top of the experiment engine:
+
+* :meth:`~ImputationService.fit` trains a method and parks the fitted
+  imputer in a :class:`ModelStore` (in memory, and on disk via
+  :mod:`repro.engine.artifacts` when a store directory is given), returning
+  a ``model_id``;
+* :meth:`~ImputationService.impute` completes one tensor with a stored
+  model — no retraining;
+* :meth:`~ImputationService.submit` / :meth:`~ImputationService.gather`
+  queue many requests and run them **micro-batched**: requests against the
+  same model are grouped into one serving batch that loads the model once,
+  and the batches run through the engine executors (serially, or across a
+  process pool with ``workers=N``).
+
+The one-liner for scripts and notebooks::
+
+    from repro import api
+
+    completed = api.impute(incomplete_tensor, method="deepmvi")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.requests import (
+    FitRequest,
+    ImputeRequest,
+    ImputeResult,
+    check_model_id,
+)
+from repro.baselines.base import BaseImputer
+from repro.baselines.registry import ImputerRegistry, get_registry
+from repro.data.dimensions import Dimension
+from repro.data.tensor import TimeSeriesTensor
+from repro.engine.artifacts import MANIFEST_FILENAME, load_imputer, save_imputer
+from repro.engine.executor import ExecutionReport, make_executor
+from repro.engine.jobs import JobResult
+from repro.exceptions import ServiceError, ValidationError
+
+__all__ = ["ImputationService", "ModelStore", "as_tensor", "impute",
+           "make_imputer"]
+
+TensorLike = Union[TimeSeriesTensor, np.ndarray, Sequence]
+
+
+def as_tensor(data: TensorLike, name: str = "dataset") -> TimeSeriesTensor:
+    """Coerce raw arrays to a :class:`TimeSeriesTensor`.
+
+    Non-finite entries of a raw array are treated as the missing cells.
+    1-D input is a single series; every leading axis of higher-dimensional
+    input becomes an anonymous categorical dimension.
+    """
+    if isinstance(data, TimeSeriesTensor):
+        return data
+    values = np.asarray(data, dtype=np.float64)
+    if values.ndim == 0:
+        raise ValidationError("cannot impute a scalar")
+    dimensions = [Dimension.categorical(f"dim{axis}", size)
+                  for axis, size in enumerate(values.shape[:-1])]
+    return TimeSeriesTensor(values=values, dimensions=dimensions, name=name)
+
+
+def make_imputer(method: str, **method_kwargs) -> BaseImputer:
+    """Instantiate a registered method by name (fresh, unfitted)."""
+    return get_registry().create(method, **method_kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# fitted-model store
+# ---------------------------------------------------------------------- #
+class ModelStore:
+    """Fitted imputers by ``model_id``, in memory and optionally on disk.
+
+    With a ``directory``, every stored model is also persisted as an
+    engine artifact (:func:`repro.engine.artifacts.save_imputer`) under
+    ``directory/<model_id>/``, so models survive restarts and can be served
+    by worker processes that only receive the artifact path.
+    """
+
+    #: sidecar file recording serving metadata next to the artifact
+    META_FILENAME = "service.json"
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        from pathlib import Path
+
+        self.directory = Path(directory) if directory else None
+        self._models: Dict[str, BaseImputer] = {}
+        self._method_names: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    def path(self, model_id: str) -> Optional[str]:
+        """On-disk artifact directory for ``model_id`` (``None`` if memory-only)."""
+        if self.directory is None:
+            return None
+        # Ids become path components; a wire-supplied "../evil" must never
+        # escape the store directory.
+        return str(self.directory / check_model_id(model_id))
+
+    def put(self, model_id: str, imputer: BaseImputer,
+            method: Optional[str] = None) -> str:
+        check_model_id(model_id)
+        self._models[model_id] = imputer
+        if method is not None:
+            self._method_names[model_id] = method
+        if self.directory is not None:
+            target = self.directory / model_id
+            save_imputer(imputer, target)
+            if method is not None:
+                import json
+
+                (target / self.META_FILENAME).write_text(
+                    json.dumps({"method": method}), encoding="utf-8")
+        return model_id
+
+    def method_for(self, model_id: str) -> Optional[str]:
+        """Registry method name the model was fitted with, if recorded.
+
+        Survives restarts: cold stores read the sidecar written by
+        :meth:`put`, so result rows report the same method name whether the
+        model is warm or reloaded from disk.
+        """
+        if model_id in self._method_names:
+            return self._method_names[model_id]
+        if self.directory is not None:
+            meta = self.directory / model_id / self.META_FILENAME
+            if meta.exists():
+                import json
+
+                method = json.loads(meta.read_text(encoding="utf-8")).get("method")
+                if method:
+                    self._method_names[model_id] = method
+                    return method
+        return None
+
+    def get(self, model_id: str) -> BaseImputer:
+        """The stored imputer; loads lazily from disk on a cold start."""
+        check_model_id(model_id)
+        if model_id in self._models:
+            return self._models[model_id]
+        if self.directory is not None:
+            artifact = self.directory / model_id
+            if (artifact / MANIFEST_FILENAME).exists():
+                imputer = load_imputer(artifact)
+                self._models[model_id] = imputer
+                return imputer
+        raise ServiceError(
+            f"unknown model id {model_id!r}; known: "
+            + (", ".join(sorted(self.list_models())) or "<none>"))
+
+    def __contains__(self, model_id: str) -> bool:
+        if model_id in self._models:
+            return True
+        if self.directory is not None:
+            try:
+                check_model_id(model_id)
+            except ValidationError:
+                return False
+            return (self.directory / model_id / MANIFEST_FILENAME).exists()
+        return False
+
+    def list_models(self) -> List[str]:
+        names = set(self._models)
+        if self.directory is not None and self.directory.exists():
+            names.update(
+                entry.name for entry in self.directory.iterdir()
+                if (entry / MANIFEST_FILENAME).exists())
+        return sorted(names)
+
+
+# ---------------------------------------------------------------------- #
+# serving batches (run through the engine executors)
+# ---------------------------------------------------------------------- #
+@dataclass
+class ServingBatch:
+    """All queued requests against one fitted model, executed as one job.
+
+    The model crosses to the job either as a live ``imputer`` (serial
+    serving) or as an ``artifact_path`` that the worker loads once for the
+    whole batch (parallel serving) — either way it is fitted exactly once,
+    at :meth:`ImputationService.fit` time.
+    """
+
+    model_id: str
+    #: registry method name; ``None`` falls back to the imputer's display
+    #: name once the model is loaded
+    method: Optional[str] = None
+    requests: List[ImputeRequest] = field(default_factory=list)
+    imputer: Optional[BaseImputer] = None
+    artifact_path: Optional[str] = None
+
+    def key(self) -> str:
+        ids = ",".join(str(r.request_id) for r in self.requests)
+        return f"serve:{self.model_id}:{ids}"
+
+    def needs_execution(self) -> bool:
+        # Serving results are never cache-served: requests are one-shot.
+        return True
+
+
+def execute_serving_batch(batch: ServingBatch,
+                          key: Optional[str] = None) -> JobResult:
+    """Run one micro-batch: load the model once, impute every request.
+
+    Module-level so :class:`~repro.engine.executor.ParallelExecutor` can
+    pickle it to worker processes.  The returned :class:`JobResult` carries
+    ``{"results": [ImputeResult...], "failures": [{request_id, error}...]}``:
+    a request that raises is captured *per request*, so one bad tensor never
+    discards the finished imputations of its batch siblings.  Only a failure
+    to obtain the model at all (missing artifact, unpicklable state) fails
+    the whole batch.
+    """
+    import traceback
+
+    key = batch.key() if key is None else key
+    try:
+        imputer = batch.imputer
+        if imputer is None:
+            if batch.artifact_path is None:
+                raise ServiceError(
+                    f"serving batch for {batch.model_id!r} has neither a "
+                    "live imputer nor an artifact path")
+            imputer = load_imputer(batch.artifact_path)
+        method = batch.method or getattr(imputer, "name",
+                                         type(imputer).__name__)
+    except Exception:
+        return JobResult(key=key, error=traceback.format_exc())
+
+    results: List[ImputeResult] = []
+    failures: List[Dict[str, str]] = []
+    for request in batch.requests:
+        try:
+            start = time.perf_counter()
+            completed = imputer.impute(request.data)
+            results.append(ImputeResult(
+                request_id=str(request.request_id),
+                model_id=batch.model_id,
+                method=method,
+                completed=completed,
+                runtime_seconds=time.perf_counter() - start,
+                from_batch=True,
+            ))
+        except Exception:
+            failures.append({"request_id": str(request.request_id),
+                             "error": traceback.format_exc()})
+    return JobResult(key=key,
+                     result={"results": results, "failures": failures})
+
+
+# ---------------------------------------------------------------------- #
+# the service
+# ---------------------------------------------------------------------- #
+class ImputationService:
+    """Serving façade over the registry, model store and engine executors.
+
+    Parameters
+    ----------
+    store_dir:
+        Optional directory for the model store; fitted models are persisted
+        there as engine artifacts and reloaded lazily.
+    workers:
+        Executor width for :meth:`gather`; ``1`` serves batches serially in
+        process, ``N > 1`` fans distinct models' batches over a process
+        pool.  With a ``store_dir`` workers receive only the artifact path
+        and load the model themselves; without one the fitted imputer is
+        pickled to the pool per batch — correct, but expensive for deep
+        models, so prefer a store directory for parallel serving.
+    registry:
+        Method registry; defaults to the process-wide plugin registry.
+    """
+
+    def __init__(self, store_dir: Optional[str] = None, workers: int = 1,
+                 registry: Optional[ImputerRegistry] = None,
+                 store: Optional[ModelStore] = None) -> None:
+        self.registry = registry or get_registry()
+        self.store = store or ModelStore(store_dir)
+        self.workers = workers
+        self._pending: List[ImputeRequest] = []
+        self._model_counter = itertools.count(1)
+        self._request_counter = itertools.count(1)
+        self._pending_ids: set = set()
+        #: times each model id was (re)trained — a correctly used service
+        #: keeps every entry at 1 no matter how many requests it serves
+        self.fit_counts: Dict[str, int] = {}
+        #: training wall-clock per model id (serving results only carry the
+        #: per-request impute time)
+        self.fit_seconds: Dict[str, float] = {}
+        #: summary of the most recent :meth:`gather` sweep
+        self.last_report: Optional[ExecutionReport] = None
+        #: request id → traceback for requests that failed in that sweep
+        self.last_errors: Dict[str, str] = {}
+
+    # -- fitting -------------------------------------------------------- #
+    def fit(self, data: Union[TensorLike, FitRequest],
+            method: Optional[str] = None, model_id: Optional[str] = None,
+            **method_kwargs) -> str:
+        """Train ``method`` (default ``"deepmvi"``) on ``data`` once.
+
+        Returns the model id.  Accepts a :class:`FitRequest` or a tensor
+        plus keyword options.
+        """
+        if isinstance(data, FitRequest):
+            request = data
+            if method is not None or model_id is not None or method_kwargs:
+                raise ValidationError(
+                    "pass either a FitRequest or (data, method=..., "
+                    "model_id=..., **kwargs), not both — the keyword "
+                    "arguments would be silently ignored")
+        else:
+            request = FitRequest(data=as_tensor(data),
+                                 method=method or "deepmvi",
+                                 method_kwargs=dict(method_kwargs),
+                                 model_id=model_id)
+        request.validate(self.registry)
+        info = self.registry.info(request.method)
+        imputer = info.create(**request.method_kwargs)
+        start = time.perf_counter()
+        imputer.fit(request.data)
+        resolved_id = request.model_id or self._fresh_model_id(info.name)
+        self.fit_seconds[resolved_id] = time.perf_counter() - start
+        self.store.put(resolved_id, imputer, method=info.name)
+        self.fit_counts[resolved_id] = self.fit_counts.get(resolved_id, 0) + 1
+        return resolved_id
+
+    def fit_many(self, data: TensorLike, methods: Sequence[str],
+                 method_kwargs: Optional[Dict[str, Dict]] = None) -> Dict[str, str]:
+        """Fit several methods on one dataset; returns method → model id."""
+        kwargs_by_method = {k.lower(): v for k, v in (method_kwargs or {}).items()}
+        return {name: self.fit(data, method=name,
+                               **kwargs_by_method.get(name.lower(), {}))
+                for name in methods}
+
+    # -- synchronous serving -------------------------------------------- #
+    def impute(self, request: Union[ImputeRequest, TensorLike] = None,
+               model_id: Optional[str] = None) -> ImputeResult:
+        """Serve one request immediately with an already-fitted model."""
+        request = self._coerce_request(request, model_id)
+        imputer = self.store.get(request.model_id)
+        # Auto-ids stay local: the caller's request object is never mutated.
+        request_id = request.request_id
+        if request_id is None:
+            request_id = self._next_request_id()
+        start = time.perf_counter()
+        completed = imputer.impute(request.data)
+        return ImputeResult(
+            request_id=str(request_id),
+            model_id=request.model_id,
+            method=self._method_for(request.model_id, imputer),
+            completed=completed,
+            runtime_seconds=time.perf_counter() - start,
+        )
+
+    # -- batched serving ------------------------------------------------ #
+    def submit(self, request: Union[ImputeRequest, TensorLike] = None,
+               model_id: Optional[str] = None) -> str:
+        """Queue a request for the next :meth:`gather`; returns its id."""
+        request = self._coerce_request(request, model_id)
+        if request.model_id not in self.store:
+            raise ServiceError(
+                f"unknown model id {request.model_id!r}; fit() a model first")
+        if request.request_id is None:
+            # Attach the auto-id to a copy so the caller's object can be
+            # reused for further submissions.
+            request_id = self._next_request_id()
+            while request_id in self._pending_ids:
+                request_id = self._next_request_id()
+            request = dataclasses.replace(request, request_id=request_id)
+        elif str(request.request_id) in self._pending_ids:
+            # gather() correlates results by request_id; a duplicate would
+            # silently hand one result to both callers.
+            raise ValidationError(
+                f"request id {request.request_id!r} is already queued")
+        self._pending.append(request)
+        self._pending_ids.add(str(request.request_id))
+        return str(request.request_id)
+
+    def gather(self, raise_on_error: bool = True) -> List[ImputeResult]:
+        """Serve every queued request, micro-batched per model.
+
+        Requests against the same model id are grouped into one
+        :class:`ServingBatch` (the model is loaded once per batch, never
+        refitted) and the batches run through an engine executor.  Results
+        come back in submit order.
+
+        Failures are isolated per *request*: a bad tensor neither aborts its
+        batch siblings nor other models' batches.  With ``raise_on_error``
+        (the default) any failure then raises :class:`ServiceError` whose
+        ``partial_results`` attribute holds every successful result; with
+        ``raise_on_error=False`` the successes are returned and the failures
+        are left in ``self.last_errors`` (request id → traceback).
+        """
+        if not self._pending:
+            return []
+        pending, self._pending = self._pending, []
+        self._pending_ids = set()
+        batches: Dict[str, ServingBatch] = {}
+        for request in pending:
+            batch = batches.get(request.model_id)
+            if batch is None:
+                batch = self._new_batch(request.model_id)
+                batches[request.model_id] = batch
+            batch.requests.append(request)
+
+        executor = make_executor(self.workers)
+        job_results = executor.run(list(batches.values()),
+                                   run_fn=execute_serving_batch)
+        self.last_report = executor.last_report
+        by_id: Dict[str, ImputeResult] = {}
+        self.last_errors = {}
+        for batch, job in zip(batches.values(), job_results):
+            if job.ok:
+                for result in job.result["results"]:
+                    by_id[result.request_id] = result
+                for failure in job.result["failures"]:
+                    self.last_errors[failure["request_id"]] = failure["error"]
+            else:
+                # The model itself was unobtainable: every request fails.
+                for request in batch.requests:
+                    self.last_errors[str(request.request_id)] = job.error
+        ordered = [by_id[str(request.request_id)] for request in pending
+                   if str(request.request_id) in by_id]
+        if self.last_errors and raise_on_error:
+            error = ServiceError(
+                f"{len(self.last_errors)} of {len(pending)} request(s) "
+                f"failed ({', '.join(sorted(self.last_errors))}); "
+                f"first error:\n{next(iter(self.last_errors.values()))}")
+            error.partial_results = ordered
+            raise error
+        return ordered
+
+    # -- introspection -------------------------------------------------- #
+    def list_models(self) -> List[str]:
+        """Ids of every model this service can serve."""
+        return self.store.list_models()
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def describe(self) -> Dict[str, object]:
+        """Serving-state snapshot (for logs and health endpoints)."""
+        return {
+            "models": self.list_models(),
+            "pending_requests": len(self._pending),
+            "fit_counts": dict(self.fit_counts),
+            "workers": self.workers,
+            "store_dir": str(self.store.directory) if self.store.directory
+            else None,
+        }
+
+    # -- internals ------------------------------------------------------ #
+    def _coerce_request(self, request, model_id: Optional[str]) -> ImputeRequest:
+        if isinstance(request, ImputeRequest):
+            if model_id is not None and model_id != request.model_id:
+                raise ValidationError(
+                    f"conflicting model ids: the ImputeRequest names "
+                    f"{request.model_id!r} but model_id={model_id!r} was "
+                    "also passed")
+            return request.validate()
+        if model_id is None:
+            raise ValidationError(
+                "pass an ImputeRequest, or a tensor together with model_id=...")
+        data = as_tensor(request) if request is not None else None
+        return ImputeRequest(model_id=model_id, data=data).validate()
+
+    def _next_request_id(self) -> str:
+        return f"req-{next(self._request_counter):06d}"
+
+    def _fresh_model_id(self, method_name: str) -> str:
+        """Auto-id that never collides with a model already in the store.
+
+        Matters across restarts: a new service over an existing ``store_dir``
+        restarts its counter, and overwriting ``mean-0001`` silently would
+        break the store's persistence guarantee.
+        """
+        while True:
+            candidate = f"{method_name}-{next(self._model_counter):04d}"
+            if candidate not in self.store:
+                return candidate
+
+    def _method_for(self, model_id: str, imputer: BaseImputer) -> str:
+        return self.store.method_for(model_id) or \
+            getattr(imputer, "name", type(imputer).__name__)
+
+    def _new_batch(self, model_id: str) -> ServingBatch:
+        method = self.store.method_for(model_id)
+        if self.workers > 1 and self.store.path(model_id) is not None \
+                and model_id in self.store:
+            # Parallel serving ships only the artifact path; the worker
+            # loads the fitted model once for the whole batch.
+            return ServingBatch(model_id=model_id, method=method,
+                                artifact_path=self.store.path(model_id))
+        return ServingBatch(model_id=model_id, method=method,
+                            imputer=self.store.get(model_id))
+
+
+# ---------------------------------------------------------------------- #
+# module-level one-liner
+# ---------------------------------------------------------------------- #
+def impute(data: TensorLike, method: str = "deepmvi",
+           **method_kwargs) -> TimeSeriesTensor:
+    """Impute the missing cells of ``data`` in one call.
+
+    Fits ``method`` on the tensor and returns its completed copy.  For the
+    fit-once / serve-many workflow use :class:`ImputationService` instead.
+
+    >>> completed = impute(incomplete, method="deepmvi")      # doctest: +SKIP
+    """
+    tensor = as_tensor(data)
+    imputer = get_registry().create(method, **method_kwargs)
+    return imputer.fit_impute(tensor)

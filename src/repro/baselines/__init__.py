@@ -3,8 +3,12 @@
 Every method implements the :class:`repro.baselines.base.BaseImputer`
 protocol (``fit``, ``impute``, ``fit_impute``) over a
 :class:`repro.data.tensor.TimeSeriesTensor`, so the evaluation harness can
-treat them uniformly.  Use :func:`repro.baselines.registry.create_imputer`
-to instantiate a method by name.
+treat them uniformly.  Methods are described by
+:class:`repro.baselines.registry.MethodInfo` records in a capability-aware
+plugin registry; instantiate by name via
+``repro.baselines.registry.get_registry().create(name, ...)`` (or the
+service-layer :func:`repro.api.make_imputer`) and plug in new methods with
+the :func:`repro.baselines.registry.register_imputer` decorator.
 """
 
 from repro.baselines.base import BaseImputer, MatrixImputer
@@ -19,9 +23,24 @@ from repro.baselines.brits import BRITSImputer
 from repro.baselines.mrnn import MRNNImputer
 from repro.baselines.gpvae import GPVAEImputer
 from repro.baselines.transformer import TransformerImputer
-from repro.baselines.registry import create_imputer, list_methods
+from repro.baselines.registry import (
+    ImputerRegistry,
+    MethodInfo,
+    create_imputer,
+    get_registry,
+    list_method_infos,
+    list_methods,
+    method_info,
+    register_imputer,
+)
 
 __all__ = [
+    "ImputerRegistry",
+    "MethodInfo",
+    "get_registry",
+    "list_method_infos",
+    "method_info",
+    "register_imputer",
     "BaseImputer",
     "MatrixImputer",
     "MeanImputer",

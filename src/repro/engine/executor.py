@@ -1,8 +1,8 @@
 """Executors: run compiled job lists serially or across a process pool.
 
 Both executors implement the same protocol —
-``run(jobs, cache=None, progress=None) -> List[JobResult]`` — and share the
-engine's execution contract:
+``run(jobs, cache=None, progress=None, run_fn=execute_job) -> List[JobResult]``
+— and share the engine's execution contract:
 
 * results come back in job order, so serial and parallel runs of the same
   grid are directly comparable;
@@ -14,6 +14,13 @@ engine's execution contract:
 
 After :meth:`run` returns, ``executor.last_report`` summarises the sweep
 (executed / cached / failed counts plus the failed results).
+
+Executors are not tied to grid-cell jobs: ``run_fn`` may be any picklable
+module-level callable with the :func:`execute_job` signature
+(``(spec, key=...) -> JobResult``), and ``jobs`` any objects exposing
+``key()`` and ``needs_execution()``.  The service layer
+(:mod:`repro.api.service`) uses this to run micro-batched impute requests
+through the same machinery as experiment sweeps.
 """
 
 from __future__ import annotations
@@ -45,13 +52,18 @@ class ExecutionReport:
                 f"{self.from_cache} from cache, {self.failed} failed")
 
 
+#: a job runner: picklable module-level ``(spec, key=...) -> JobResult``
+JobRunner = Callable[..., JobResult]
+
+
 class Executor(Protocol):
     """Anything that can run a list of jobs and report per-job outcomes."""
 
     last_report: ExecutionReport
 
     def run(self, jobs: Sequence[JobSpec], cache: Optional[ResultCache] = None,
-            progress: Optional[ProgressCallback] = None) -> List[JobResult]:
+            progress: Optional[ProgressCallback] = None,
+            run_fn: JobRunner = execute_job) -> List[JobResult]:
         ...
 
 
@@ -87,13 +99,14 @@ class SerialExecutor(_ExecutorBase):
     """Run every job in the calling process, one after another."""
 
     def run(self, jobs: Sequence[JobSpec], cache: Optional[ResultCache] = None,
-            progress: Optional[ProgressCallback] = None) -> List[JobResult]:
+            progress: Optional[ProgressCallback] = None,
+            run_fn: JobRunner = execute_job) -> List[JobResult]:
         self.last_report = ExecutionReport(total=len(jobs))
         results: List[JobResult] = []
         for index, spec in enumerate(jobs):
             key = spec.key()
             cached = self._probe_cache(spec, key, cache)
-            job_result = cached if cached is not None else execute_job(spec, key=key)
+            job_result = cached if cached is not None else run_fn(spec, key=key)
             self._record(job_result, cache)
             results.append(job_result)
             if progress is not None:
@@ -115,7 +128,8 @@ class ParallelExecutor(_ExecutorBase):
         self.workers = workers or os.cpu_count() or 1
 
     def run(self, jobs: Sequence[JobSpec], cache: Optional[ResultCache] = None,
-            progress: Optional[ProgressCallback] = None) -> List[JobResult]:
+            progress: Optional[ProgressCallback] = None,
+            run_fn: JobRunner = execute_job) -> List[JobResult]:
         self.last_report = ExecutionReport(total=len(jobs))
         results: List[Optional[JobResult]] = [None] * len(jobs)
         keys = [spec.key() for spec in jobs]
@@ -135,7 +149,7 @@ class ParallelExecutor(_ExecutorBase):
         if pending:
             with concurrent.futures.ProcessPoolExecutor(
                     max_workers=min(self.workers, len(pending))) as pool:
-                futures = {pool.submit(execute_job, jobs[index],
+                futures = {pool.submit(run_fn, jobs[index],
                                        key=keys[index]): index
                            for index in pending}
                 for future in concurrent.futures.as_completed(futures):

@@ -215,9 +215,9 @@ class MethodSpec:
         """Instantiate a fresh, unfitted imputer for one job."""
         if self.imputer is not None:
             return self.imputer.clone()
-        from repro.baselines.registry import create_imputer
+        from repro.baselines.registry import get_registry
 
-        return create_imputer(self.name, **self.kwargs)
+        return get_registry().create(self.name, **self.kwargs)
 
     def display_name(self, imputer: Optional[BaseImputer] = None) -> str:
         """Name reported in result rows."""

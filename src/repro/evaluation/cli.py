@@ -9,9 +9,16 @@ that are still missing.
 
 Examples
 --------
-List what is available::
+List what is available (methods come from the plugin registry with their
+kind, capability tags and ablation variants)::
 
     python -m repro.evaluation.cli list
+
+Serve imputations through the service layer — fit the model **once**, then
+answer many impute requests from it (micro-batched through the engine)::
+
+    python -m repro.evaluation.cli impute --dataset airq --scenario mcar \
+        --method deepmvi --requests 4 --size tiny --output completed.npz
 
 Run one (dataset, scenario, method) cell::
 
@@ -36,10 +43,12 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.baselines.registry import create_imputer, list_methods
+from repro.api import ImputationService, ImputeRequest
+from repro.baselines.registry import list_method_infos
 from repro.core.config import DeepMVIConfig
 from repro.data.datasets import list_datasets, load_dataset
-from repro.data.missing import MissingScenario, list_scenarios
+from repro.data.missing import MissingScenario, apply_scenario, list_scenarios
+from repro.evaluation.metrics import mae
 from repro.evaluation.experiments import (
     EXPERIMENTS,
     STANDARD_SCENARIOS,
@@ -82,6 +91,26 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     _add_engine_arguments(run)
 
+    impute = subparsers.add_parser(
+        "impute", help="serve impute requests from one fitted model "
+                       "(fit once, impute many)")
+    impute.add_argument("--dataset", required=True, choices=list_datasets())
+    impute.add_argument("--scenario", default="mcar", choices=list_scenarios())
+    impute.add_argument("--method", default="deepmvi")
+    impute.add_argument("--size", default="tiny", choices=["tiny", "small", "default"])
+    impute.add_argument("--requests", type=int, default=2,
+                        help="number of distinct missing-value patterns to "
+                             "serve from the single fitted model")
+    impute.add_argument("--block-size", type=int, default=10)
+    impute.add_argument("--incomplete-fraction", type=float, default=1.0)
+    impute.add_argument("--seed", type=int, default=0)
+    impute.add_argument("--store-dir", default=None,
+                        help="persist the fitted model as an artifact here")
+    impute.add_argument("--output", default=None,
+                        help="write the completed tensors to this .npz file")
+    impute.add_argument("--workers", type=int, default=1,
+                        help="process-pool width for serving batches")
+
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's experiments")
     experiment.add_argument("experiment_id", choices=list_experiments())
@@ -106,14 +135,22 @@ def _build_parser() -> argparse.ArgumentParser:
 def _command_list() -> int:
     print("datasets:   " + ", ".join(list_datasets()))
     print("scenarios:  " + ", ".join(list_scenarios()))
-    print("methods:    " + ", ".join(list_methods()))
-    print("experiments:" + " " + ", ".join(list_experiments()))
+    print("experiments: " + ", ".join(list_experiments()))
+    print()
+    header = (f"{'method':<20} {'display':<18} {'kind':<13} "
+              f"{'multidim':<9} tags")
+    print(header)
+    print("-" * len(header))
+    for info in list_method_infos():
+        variant = f" (variant of {info.variant_of})" if info.variant_of else ""
+        tags = ", ".join(info.tags) or "-"
+        multidim = "yes" if info.supports_multidim else "-"
+        print(f"{info.name:<20} {info.display_name:<18} {info.kind:<13} "
+              f"{multidim:<9} {tags}{variant}")
     return 0
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    data = load_dataset(args.dataset, size=args.size, seed=args.seed)
-    params = {}
+def _scenario_from_args(args: argparse.Namespace) -> MissingScenario:
     if args.scenario in ("mcar", "mcar_points"):
         params = {"incomplete_fraction": args.incomplete_fraction,
                   "block_size": args.block_size}
@@ -121,7 +158,51 @@ def _command_run(args: argparse.Namespace) -> int:
         params = {"block_size": args.block_size}
     else:
         params = {"incomplete_fraction": args.incomplete_fraction}
-    scenario = MissingScenario(args.scenario, params)
+    return MissingScenario(args.scenario, params)
+
+
+def _command_impute(args: argparse.Namespace) -> int:
+    """Serve ``--requests`` missing-value patterns from ONE fitted model."""
+    truth = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    scenario = _scenario_from_args(args)
+    method_kwargs = (_deepmvi_kwargs(args.size)
+                     if args.method.lower().startswith("deepmvi") else {})
+
+    patterns = []
+    for index in range(max(1, args.requests)):
+        incomplete, missing_mask = apply_scenario(truth, scenario,
+                                                  seed=args.seed + index)
+        patterns.append((incomplete, missing_mask))
+
+    service = ImputationService(store_dir=args.store_dir, workers=args.workers)
+    model_id = service.fit(patterns[0][0], method=args.method, **method_kwargs)
+    print(f"[service] fitted {args.method!r} once -> model {model_id}")
+    for incomplete, _ in patterns:
+        service.submit(ImputeRequest(model_id=model_id, data=incomplete))
+    results = service.gather()
+
+    print(f"[service] served {len(results)} request(s) from "
+          f"{service.fit_counts[model_id]} fit ("
+          f"{service.last_report.describe()})")
+    print(f"\n{'request':<12} {'MAE':>8} {'seconds':>8}")
+    for result, (_, missing_mask) in zip(results, patterns):
+        error = mae(result.completed, truth, missing_mask)
+        print(f"{result.request_id:<12} {error:>8.3f} "
+              f"{result.runtime_seconds:>8.2f}")
+
+    if args.output:
+        import numpy as np
+
+        arrays = {f"completed_{result.request_id}": result.completed.values
+                  for result in results}
+        np.savez_compressed(args.output, **arrays)
+        print(f"\nwrote {len(arrays)} completed tensor(s) to {args.output}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    data = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    scenario = _scenario_from_args(args)
 
     runner = ExperimentRunner(
         methods=args.methods,
@@ -180,6 +261,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _command_list()
+    if args.command == "impute":
+        return _command_impute(args)
     if args.command == "run":
         return _command_run(args)
     if args.command in ("experiment", "resume"):

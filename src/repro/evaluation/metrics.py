@@ -3,10 +3,17 @@
 All metrics compare the imputed tensor with the ground truth *only at the
 cells that were hidden* (the evaluation mask); observed cells are identical
 by construction and would otherwise dilute the error.
+
+A mask that selects zero cells yields ``nan`` (with a ``RuntimeWarning``),
+never ``0.0`` — a broken mask must not be able to report a perfect score.
+Consumers that rank methods (e.g.
+:meth:`~repro.evaluation.runner.ExperimentRunner.best_method_per_cell`)
+already skip non-finite errors.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional, Union
 
 import numpy as np
@@ -40,30 +47,47 @@ def _select(imputed: ArrayOrTensor, truth: ArrayOrTensor,
     return imputed_values[selector], truth_values[selector]
 
 
+def _empty_selection(metric: str) -> float:
+    warnings.warn(
+        f"{metric}: the evaluation mask selects zero cells; returning nan "
+        "(an empty mask would otherwise report a perfect score)",
+        RuntimeWarning, stacklevel=3)
+    return float("nan")
+
+
 def mae(imputed: ArrayOrTensor, truth: ArrayOrTensor,
         mask: Optional[np.ndarray] = None) -> float:
-    """Mean absolute error over the cells where ``mask == 1`` (or all cells)."""
+    """Mean absolute error over the cells where ``mask == 1`` (or all cells).
+
+    Returns ``nan`` (with a warning) when the selection is empty.
+    """
     predicted, actual = _select(imputed, truth, mask)
     if predicted.size == 0:
-        return 0.0
+        return _empty_selection("mae")
     return float(np.abs(predicted - actual).mean())
 
 
 def rmse(imputed: ArrayOrTensor, truth: ArrayOrTensor,
          mask: Optional[np.ndarray] = None) -> float:
-    """Root mean squared error over the masked cells."""
+    """Root mean squared error over the masked cells.
+
+    Returns ``nan`` (with a warning) when the selection is empty.
+    """
     predicted, actual = _select(imputed, truth, mask)
     if predicted.size == 0:
-        return 0.0
+        return _empty_selection("rmse")
     return float(np.sqrt(((predicted - actual) ** 2).mean()))
 
 
 def nrmse(imputed: ArrayOrTensor, truth: ArrayOrTensor,
           mask: Optional[np.ndarray] = None) -> float:
-    """RMSE normalised by the standard deviation of the true values."""
+    """RMSE normalised by the standard deviation of the true values.
+
+    Returns ``nan`` (with a warning) when the selection is empty.
+    """
     predicted, actual = _select(imputed, truth, mask)
     if predicted.size == 0:
-        return 0.0
+        return _empty_selection("nrmse")
     scale = actual.std()
     if scale < 1e-12:
         scale = 1.0

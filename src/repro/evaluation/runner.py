@@ -12,6 +12,13 @@ parallelism (``workers=N``), per-job error capture (a diverging method no
 longer aborts the sweep) and resumable sweeps through a persistent
 :class:`repro.engine.cache.ResultCache` (``cache_dir=...`` skips every cell
 already completed by an earlier run).
+
+Method names resolve through the capability-aware plugin registry
+(:mod:`repro.baselines.registry`) and are validated eagerly at construction,
+so a typo fails immediately with a "did you mean" hint instead of surfacing
+as N captured per-cell errors deep into a sweep.  For serving-oriented
+(fit-once / impute-many) workloads use :class:`repro.api.ImputationService`
+instead of the runner.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ import math
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.baselines.base import BaseImputer
+from repro.baselines.registry import get_registry
 from repro.data.missing import MissingScenario
 from repro.data.tensor import TimeSeriesTensor
 from repro.engine.cache import ResultCache
@@ -66,6 +74,12 @@ class ExperimentRunner:
                  seed: int = 0, workers: int = 1,
                  cache_dir: Optional[str] = None):
         self.methods = list(methods)
+        registry = get_registry()
+        for method in self.methods:
+            # Fail fast with the registry's "did you mean" hint; instances
+            # and prepared MethodSpecs are taken as-is.
+            if isinstance(method, str):
+                registry.info(method)
         self.method_kwargs = {k.lower(): v for k, v in (method_kwargs or {}).items()}
         self.seed = seed
         self.workers = workers

@@ -27,3 +27,11 @@ class ConfigError(ReproError):
 
 class DatasetError(ReproError):
     """An unknown dataset name or invalid dataset specification."""
+
+
+class ValidationError(ReproError):
+    """A service-layer request failed validation before execution."""
+
+
+class ServiceError(ReproError):
+    """A service-layer operation failed (unknown model, failed batch, ...)."""

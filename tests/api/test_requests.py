@@ -1,0 +1,136 @@
+"""Tests of the typed request/response wire objects."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    FitRequest,
+    ImputeRequest,
+    ImputeResult,
+    tensor_from_dict,
+    tensor_to_dict,
+)
+from repro.baselines.registry import get_registry
+from repro.exceptions import ConfigError, ValidationError
+
+
+class TestTensorWireFormat:
+    def test_round_trip_preserves_values_mask_and_dimensions(self, tiny_tensor):
+        restored = tensor_from_dict(tensor_to_dict(tiny_tensor))
+        assert restored.name == tiny_tensor.name
+        assert (restored.mask == tiny_tensor.mask).all()
+        assert np.allclose(np.nan_to_num(restored.values),
+                           np.nan_to_num(tiny_tensor.values))
+        assert [d.name for d in restored.dimensions] == \
+            [d.name for d in tiny_tensor.dimensions]
+
+    def test_wire_format_is_json_serialisable(self, tiny_tensor):
+        # NaNs must be encoded as null, not leak into the JSON text.
+        text = json.dumps(tensor_to_dict(tiny_tensor))
+        assert "NaN" not in text
+        restored = tensor_from_dict(json.loads(text))
+        assert restored.shape == tiny_tensor.shape
+
+
+class TestFitRequest:
+    def test_validates_tensor_and_method(self, tiny_tensor):
+        request = FitRequest(data=tiny_tensor, method="mean")
+        assert request.validate(get_registry()) is request
+
+    def test_rejects_raw_arrays(self):
+        with pytest.raises(ValidationError, match="TimeSeriesTensor"):
+            FitRequest(data=np.zeros((2, 10))).validate()
+
+    def test_unknown_method_gets_fuzzy_error(self, tiny_tensor):
+        with pytest.raises(ConfigError, match="did you mean"):
+            FitRequest(data=tiny_tensor, method="deepmv").validate(get_registry())
+
+    def test_round_trip(self, tiny_tensor):
+        request = FitRequest(data=tiny_tensor, method="cdrec",
+                             method_kwargs={"rank": 2}, model_id="m-1")
+        restored = FitRequest.from_dict(json.loads(json.dumps(request.to_dict())))
+        assert restored.method == "cdrec"
+        assert restored.method_kwargs == {"rank": 2}
+        assert restored.model_id == "m-1"
+        assert restored.data.shape == tiny_tensor.shape
+
+    def test_round_trip_with_config_dataclass(self, tiny_tensor):
+        # config=DeepMVIConfig(...) is the standard deep-method kwarg and
+        # must survive the JSON wire like everything else.
+        from repro.core.config import DeepMVIConfig
+
+        request = FitRequest(data=tiny_tensor, method="deepmvi",
+                             method_kwargs={"config": DeepMVIConfig.fast()})
+        text = json.dumps(request.to_dict())
+        restored = FitRequest.from_dict(json.loads(text))
+        assert isinstance(restored.method_kwargs["config"], DeepMVIConfig)
+        assert restored.method_kwargs["config"] == DeepMVIConfig.fast()
+
+    def test_wire_config_cannot_name_arbitrary_callables(self, tiny_tensor):
+        # The wire is untrusted: a payload naming subprocess.run (or any
+        # non-dataclass, or anything outside the repro package) must be
+        # rejected before it is called.
+        payload = FitRequest(data=tiny_tensor, method="mean").to_dict()
+        payload["method_kwargs"] = {"x": {
+            "__config__": "subprocess:run",
+            "fields": {"args": ["touch", "/tmp/pwned"]}}}
+        with pytest.raises(ValidationError, match="outside the repro package"):
+            FitRequest.from_dict(payload)
+        payload["method_kwargs"] = {"x": {
+            "__config__": "repro.api.service:ImputationService",
+            "fields": {}}}
+        with pytest.raises(ValidationError, match="not a config dataclass"):
+            FitRequest.from_dict(payload)
+
+    def test_unserialisable_kwargs_rejected(self, tiny_tensor):
+        request = FitRequest(data=tiny_tensor, method="mean",
+                             method_kwargs={"callback": lambda: None})
+        with pytest.raises(ValidationError, match="wire-serialisable"):
+            request.to_dict()
+
+    def test_path_traversal_model_id_rejected(self, tiny_tensor):
+        with pytest.raises(ValidationError, match="path separators"):
+            FitRequest(data=tiny_tensor, method="mean",
+                       model_id="../evil").validate()
+
+
+class TestImputeRequest:
+    def test_requires_model_id(self):
+        with pytest.raises(ValidationError, match="model_id"):
+            ImputeRequest(model_id="").validate()
+
+    def test_data_is_optional(self):
+        assert ImputeRequest(model_id="m-1").validate().data is None
+
+    def test_path_traversal_model_id_rejected(self):
+        for bad in ("../../outside", "a/b", ".hidden", "x\\y", "evil\n"):
+            with pytest.raises(ValidationError):
+                ImputeRequest(model_id=bad).validate()
+
+    def test_round_trip_without_data(self):
+        restored = ImputeRequest.from_dict(
+            ImputeRequest(model_id="m-1", request_id="r-9").to_dict())
+        assert restored.model_id == "m-1"
+        assert restored.request_id == "r-9"
+        assert restored.data is None
+
+    def test_round_trip_with_data(self, tiny_tensor):
+        request = ImputeRequest(model_id="m-1", data=tiny_tensor)
+        restored = ImputeRequest.from_dict(request.to_dict())
+        assert restored.data.shape == tiny_tensor.shape
+
+
+class TestImputeResult:
+    def test_round_trip(self, tiny_tensor):
+        result = ImputeResult(request_id="r-1", model_id="m-1", method="mean",
+                              completed=tiny_tensor, runtime_seconds=0.25,
+                              from_batch=True)
+        restored = ImputeResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert restored.request_id == "r-1"
+        assert restored.method == "mean"
+        assert restored.runtime_seconds == 0.25
+        assert restored.from_batch is True
+        assert restored.completed.shape == tiny_tensor.shape

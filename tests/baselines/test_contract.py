@@ -13,7 +13,7 @@ The contract (documented on :class:`repro.baselines.base.BaseImputer`):
 import numpy as np
 import pytest
 
-from repro.baselines.registry import create_imputer
+from repro.baselines.registry import get_registry
 from repro.core.config import DeepMVIConfig
 from repro.data.missing import MissingScenario, apply_scenario
 from repro.data.synthetic import generate_correlated_groups
@@ -46,7 +46,7 @@ def imputation_task():
 
 
 def _build(name):
-    return create_imputer(name, **_DEEP_KWARGS.get(name, {}))
+    return get_registry().create(name, **_DEEP_KWARGS.get(name, {}))
 
 
 @pytest.mark.parametrize("name", FAST_METHODS + DEEP_METHODS)
@@ -92,7 +92,7 @@ def test_methods_handle_multidimensional_input(small_multidim_panel, name):
     scenario = MissingScenario("mcar", {"incomplete_fraction": 0.5, "block_size": 4})
     incomplete, mask = apply_scenario(small_multidim_panel, scenario, seed=3)
     kwargs = _DEEP_KWARGS.get(name, {})
-    completed = create_imputer(name, **kwargs).fit_impute(incomplete)
+    completed = get_registry().create(name, **kwargs).fit_impute(incomplete)
     assert completed.shape == small_multidim_panel.shape
     assert completed.missing_fraction == 0.0
 
@@ -114,13 +114,13 @@ class TestRegistryVariants:
         }
         assert set(expectations) | {"deepmvi"} == set(DEEPMVI_VARIANTS)
         for name, (flag, display) in expectations.items():
-            imputer = create_imputer(name, config=DeepMVIConfig.fast())
+            imputer = get_registry().create(name, config=DeepMVIConfig.fast())
             value = getattr(imputer.config, flag)
             assert value is (flag == "flatten_dimensions")
             assert imputer.name == display
 
     def test_variant_name_survives_clone(self):
-        imputer = create_imputer("deepmvi-no-kr", config=DeepMVIConfig.fast())
+        imputer = get_registry().create("deepmvi-no-kr", config=DeepMVIConfig.fast())
         assert imputer.clone().name == "DeepMVI-NoKR"
 
     def test_variants_are_listed(self):

@@ -6,7 +6,7 @@ import pytest
 from repro.baselines.brits import BRITSImputer
 from repro.baselines.gpvae import GPVAEImputer, _temporal_smoothing_matrix
 from repro.baselines.mrnn import MRNNImputer
-from repro.baselines.registry import create_imputer, list_methods, register_method
+from repro.baselines.registry import get_registry, list_methods, register_imputer
 from repro.baselines.simple import MeanImputer
 from repro.baselines.transformer import TransformerImputer
 from repro.core.imputer import DeepMVIImputer
@@ -101,30 +101,30 @@ class TestRegistry:
             assert name in methods
 
     def test_create_by_name_returns_right_class(self):
-        assert isinstance(create_imputer("mean"), MeanImputer)
-        assert isinstance(create_imputer("brits", n_epochs=1), BRITSImputer)
+        assert isinstance(get_registry().create("mean"), MeanImputer)
+        assert isinstance(get_registry().create("brits", n_epochs=1), BRITSImputer)
 
     def test_create_deepmvi_lazily(self):
-        imputer = create_imputer("deepmvi")
+        imputer = get_registry().create("deepmvi")
         assert isinstance(imputer, DeepMVIImputer)
 
     def test_create_deepmvi1d_sets_flatten_flag(self):
-        imputer = create_imputer("deepmvi1d")
+        imputer = get_registry().create("deepmvi1d")
         assert imputer.config.flatten_dimensions
 
     def test_deepmvi_kwargs_become_config(self):
-        imputer = create_imputer("deepmvi", n_filters=8, window=5)
+        imputer = get_registry().create("deepmvi", n_filters=8, window=5)
         assert imputer.config.n_filters == 8
         assert imputer.config.window == 5
 
     def test_unknown_method_rejected(self):
         with pytest.raises(ConfigError):
-            create_imputer("quantum-imputer")
+            get_registry().create("quantum-imputer")
 
     def test_register_custom_method(self):
+        @register_imputer("custom-mean", tags=("custom",), overwrite=True)
         class Custom(MeanImputer):
             name = "Custom"
 
-        register_method("custom-mean", Custom)
-        assert isinstance(create_imputer("custom-mean"), Custom)
+        assert isinstance(get_registry().create("custom-mean"), Custom)
         assert "custom-mean" in list_methods()

@@ -14,6 +14,39 @@ class TestListCommand:
         assert "figure5" in output
         assert "blackout" in output
 
+    def test_lists_method_kinds_tags_and_variants(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "kind" in output and "tags" in output
+        assert "conventional" in output and "deep" in output
+        # ablation variants appear with their display names
+        assert "deepmvi-no-tt" in output
+        assert "DeepMVI-NoTT" in output
+        assert "variant of deepmvi" in output
+
+
+class TestImputeCommand:
+    def test_serves_requests_from_one_fit(self, capsys):
+        code = main(["impute", "--dataset", "airq", "--scenario", "mcar",
+                     "--method", "mean", "--requests", "3", "--size", "tiny"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fitted 'mean' once" in output
+        assert "served 3 request(s) from 1 fit" in output
+        assert output.count("req-") >= 3
+
+    def test_writes_completed_tensors(self, tmp_path, capsys):
+        target = tmp_path / "completed.npz"
+        code = main(["impute", "--dataset", "airq", "--method", "interpolation",
+                     "--requests", "2", "--size", "tiny",
+                     "--output", str(target)])
+        assert code == 0
+        assert target.exists()
+        import numpy as np
+
+        with np.load(target) as payload:
+            assert len(payload.files) == 2
+
 
 class TestRunCommand:
     def test_runs_fast_methods(self, capsys):

@@ -29,8 +29,16 @@ class TestBasics:
         mask = np.array([[1.0, 0.0]])
         assert mae(imputed, truth, mask) == 0.0
 
-    def test_empty_mask_gives_zero(self):
-        assert mae(np.ones((2, 2)), np.zeros((2, 2)), np.zeros((2, 2))) == 0.0
+    def test_empty_mask_gives_nan_and_warns(self):
+        with pytest.warns(RuntimeWarning, match="zero cells"):
+            assert np.isnan(mae(np.ones((2, 2)), np.zeros((2, 2)),
+                                np.zeros((2, 2))))
+        with pytest.warns(RuntimeWarning, match="zero cells"):
+            assert np.isnan(rmse(np.ones((2, 2)), np.zeros((2, 2)),
+                                 np.zeros((2, 2))))
+        with pytest.warns(RuntimeWarning, match="zero cells"):
+            assert np.isnan(nrmse(np.ones((2, 2)), np.zeros((2, 2)),
+                                  np.zeros((2, 2))))
 
     def test_accepts_tensors(self, tiny_tensor):
         other = tiny_tensor.fill(np.zeros_like(tiny_tensor.values))
