@@ -29,23 +29,42 @@ from repro.engine import (
     make_executor,
 )
 
-#: dataset size preset used throughout the benchmarks
-BENCH_SIZE = "small"
-
 #: environment overrides: fan benchmark cells out over N processes and/or
 #: persist per-cell results so interrupted benchmark runs resume for free
 ENV_WORKERS = "REPRO_BENCH_WORKERS"
 ENV_CACHE_DIR = "REPRO_BENCH_CACHE"
 
+#: CI smoke switch: shrink every benchmark to collection-can-never-rot
+#: sizes (tiny datasets, minimal model capacity) so the whole suite runs
+#: in minutes instead of hours
+ENV_FAST = "REPRO_BENCH_FAST"
+
+
+def is_fast() -> bool:
+    """True when ``REPRO_BENCH_FAST`` asks for smoke-test sizes."""
+    return os.environ.get(ENV_FAST, "") not in ("", "0")
+
+
+#: dataset size preset used throughout the benchmarks
+BENCH_SIZE = "tiny" if is_fast() else "small"
+
 #: DeepMVI configuration used by the benchmarks (reduced epochs/capacity
 #: relative to the paper, but enough steps to converge at this data scale)
 BENCH_DEEPMVI = dict(
+    max_epochs=2, samples_per_epoch=64, patience=1, batch_size=16,
+    n_filters=8, max_context_windows=16,
+) if is_fast() else dict(
     max_epochs=20, samples_per_epoch=512, patience=4, batch_size=32,
     n_filters=16, max_context_windows=64,
 )
 
 #: reduced-capacity settings for the other deep baselines
 BENCH_DEEP_BASELINES: Dict[str, Dict] = {
+    "brits": dict(n_epochs=2, hidden_dim=8, crop_length=24),
+    "gpvae": dict(n_epochs=2, hidden_dim=8, latent_dim=4, crop_length=24),
+    "transformer": dict(n_epochs=2, model_dim=8, crop_length=48, batch_size=8),
+    "mrnn": dict(n_epochs=1, hidden_dim=4, crop_length=16, batch_size=2),
+} if is_fast() else {
     "brits": dict(n_epochs=30, hidden_dim=16, crop_length=48),
     "gpvae": dict(n_epochs=40, hidden_dim=16, latent_dim=6, crop_length=48),
     "transformer": dict(n_epochs=30, model_dim=16, crop_length=96, batch_size=16),

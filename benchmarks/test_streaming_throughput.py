@@ -1,0 +1,122 @@
+"""Streaming throughput: windows/sec, serial vs. the parallel executor.
+
+The streaming serving path (:mod:`repro.streaming`) micro-batches each
+step's windows per model and fans distinct streams' batches over the
+engine's process pool.  This harness replays the same multi-stream workload
+twice — ``workers=1`` (serial, in-process) and ``workers=N`` (process pool,
+artifact-path model shipping via a store directory) — and reports
+windows/sec for both, plus the parallel/serial speedup.
+
+The replayed workload is deliberately compute-heavy per window (SVD
+completion with many iterations on long windows) so the comparison measures
+imputation throughput, not process-pool pickling overhead.  Results land in
+``benchmarks/results/streaming_throughput.{txt,json}``; the JSON is the
+artifact the CI bench-smoke job uploads.
+
+Under ``REPRO_BENCH_FAST=1`` the workload shrinks to smoke-test size; the
+speedup is then dominated by pool startup and is reported but meaningless.
+"""
+
+import json
+import os
+
+from repro.data.missing import MissingScenario
+from repro.streaming import replay
+
+from benchmarks._harness import bench_dataset, emit, is_fast
+
+if is_fast():
+    N_STREAMS = 2
+    DATASET = "airq"
+    WINDOW = 24
+    SVD_ITERS = 10
+    PARALLEL_WORKERS = 2
+else:
+    N_STREAMS = 4
+    DATASET = "gas"           # 100 series: SVD per window is genuinely heavy
+    WINDOW = 96
+    SVD_ITERS = 300
+    PARALLEL_WORKERS = min(4, os.cpu_count() or 1)
+
+SCENARIO = MissingScenario("correlated_failure",
+                           {"incomplete_fraction": 0.5, "block_size": 6,
+                            "n_events": 2, "jitter": 2})
+
+
+def _replay(workers, store_dir):
+    truth = bench_dataset(DATASET, seed=0)
+    # tol=0 forces every SVD iteration so the per-window cost is constant
+    # and the serial/parallel comparison measures throughput, not early
+    # convergence luck.
+    return replay(
+        truth, method="svdimp", scenario=SCENARIO,
+        window_size=min(WINDOW, truth.n_time), stride=None,
+        refit_every=0,            # fit once per stream, then serve
+        n_streams=N_STREAMS, workers=workers,
+        store_dir=str(store_dir) if store_dir else None,
+        seed=0, max_iters=SVD_ITERS, tol=0.0, rank=8)
+
+
+def test_streaming_throughput_serial_vs_parallel(results_dir, tmp_path):
+    serial = _replay(workers=1, store_dir=None)
+    parallel = _replay(workers=PARALLEL_WORKERS, store_dir=tmp_path / "models")
+
+    assert serial.windows == parallel.windows > 0
+    assert serial.failures == 0 and parallel.failures == 0
+    speedup = parallel.windows_per_second / max(serial.windows_per_second,
+                                                1e-9)
+
+    lines = [
+        f"workload: {DATASET}, {N_STREAMS} streams x "
+        f"{serial.windows // N_STREAMS} windows of {WINDOW} steps, "
+        f"svdimp(max_iters={SVD_ITERS}, tol=0), {SCENARIO.describe()}",
+        f"serial   (workers=1):  {serial.windows_per_second:8.2f} windows/sec "
+        f"(mean MAE {serial.mean_mae:.3f})",
+        f"parallel (workers={PARALLEL_WORKERS}):  "
+        f"{parallel.windows_per_second:8.2f} windows/sec "
+        f"(mean MAE {parallel.mean_mae:.3f})",
+        f"speedup: {speedup:.2f}x"
+        + ("  [REPRO_BENCH_FAST: pool startup dominates]" if is_fast() else "")
+        + ("  [single-core host: parallel degrades to the serial path]"
+           if PARALLEL_WORKERS <= 1 else ""),
+    ]
+    emit(results_dir, "streaming_throughput",
+         "Streaming windows/sec, serial vs parallel executor",
+         "\n".join(lines))
+
+    payload = {
+        "workload": {
+            "dataset": DATASET,
+            "n_streams": N_STREAMS,
+            "window_size": WINDOW,
+            "method": "svdimp",
+            "svd_max_iters": SVD_ITERS,
+            "scenario": SCENARIO.describe(),
+            "fast_mode": is_fast(),
+        },
+        "serial": serial.to_record(),
+        "parallel": parallel.to_record(),
+        "speedup": round(speedup, 3),
+    }
+    (results_dir / "streaming_throughput.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    # Identical per-window accuracy regardless of executor width.
+    assert abs(serial.mean_mae - parallel.mean_mae) < 1e-9
+
+
+def test_streaming_scenarios_reachable(results_dir):
+    """Every live-failure scenario replays through the streaming layer."""
+    truth = bench_dataset("airq", seed=1)
+    rows = []
+    for name in ("drift_outage", "correlated_failure", "periodic_outage"):
+        report = replay(truth, method="interpolation", scenario=name,
+                        window_size=min(WINDOW, truth.n_time),
+                        refit_every=4, n_streams=1, seed=1)
+        assert report.windows > 0 and report.failures == 0
+        rows.append(f"{name:<20} {report.windows:>4} windows  "
+                    f"{report.windows_per_second:>8.1f} w/s  "
+                    f"mean MAE {report.mean_mae:.3f}")
+    emit(results_dir, "streaming_scenarios",
+         "Live-failure scenarios through the streaming layer",
+         "\n".join(rows))

@@ -23,6 +23,12 @@ organised as:
     The public service layer: typed requests, the fit-once/serve-many
     :class:`~repro.api.ImputationService`, the ``repro.api.impute``
     one-liner, and the capability-aware method registry.
+``repro.streaming``
+    Windowed incremental serving for live feeds: sliding
+    :class:`~repro.streaming.WindowedStream` chunks, incremental
+    :class:`~repro.streaming.WindowedStreamingImputer` refits on bounded
+    history, the multi-stream :class:`~repro.streaming.StreamingService`,
+    and the :func:`~repro.streaming.replay` scoring harness.
 """
 
 from repro.core.config import DeepMVIConfig
@@ -36,6 +42,9 @@ from repro.data.missing import (
     miss_disj,
     miss_over,
     blackout,
+    drift_outage,
+    correlated_failure,
+    periodic_outage,
 )
 from repro.evaluation.metrics import mae, rmse
 from repro.evaluation.runner import ExperimentRunner
@@ -47,11 +56,17 @@ from repro.api import (
     ImputeRequest,
     ImputeResult,
 )
+from repro import streaming
+from repro.streaming import StreamingService, StreamWindow, WindowedStream
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "api",
+    "streaming",
+    "StreamingService",
+    "StreamWindow",
+    "WindowedStream",
     "FitRequest",
     "ImputationService",
     "ImputeRequest",
@@ -67,6 +82,9 @@ __all__ = [
     "miss_disj",
     "miss_over",
     "blackout",
+    "drift_outage",
+    "correlated_failure",
+    "periodic_outage",
     "mae",
     "rmse",
     "ExperimentRunner",

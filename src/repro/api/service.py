@@ -169,6 +169,23 @@ class ModelStore:
             return (self.directory / model_id / MANIFEST_FILENAME).exists()
         return False
 
+    def discard(self, model_id: str) -> None:
+        """Forget a stored model: the memory entry and the disk artifact.
+
+        Long-running callers that replace models (e.g. streaming refits)
+        use this to keep the store bounded; discarding an unknown id is a
+        no-op.
+        """
+        check_model_id(model_id)
+        self._models.pop(model_id, None)
+        self._method_names.pop(model_id, None)
+        if self.directory is not None:
+            target = self.directory / model_id
+            if (target / MANIFEST_FILENAME).exists():
+                import shutil
+
+                shutil.rmtree(target)
+
     def list_models(self) -> List[str]:
         names = set(self._models)
         if self.directory is not None and self.directory.exists():

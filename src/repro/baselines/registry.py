@@ -30,7 +30,6 @@ default registry.
 
 from __future__ import annotations
 
-import difflib
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -47,7 +46,7 @@ from repro.baselines.svd import SoftImputeImputer, SVDImputer, SVTImputer
 from repro.baselines.tkcm import TKCMImputer
 from repro.baselines.transformer import TransformerImputer
 from repro.baselines.trmf import TRMFImputer
-from repro.exceptions import ConfigError
+from repro.exceptions import ConfigError, did_you_mean
 
 #: the two method kinds the paper's evaluation distinguishes
 KINDS = ("conventional", "deep")
@@ -181,13 +180,7 @@ class ImputerRegistry:
         return self.info(name).create(**kwargs)
 
     def _unknown_message(self, key: str) -> str:
-        suggestions = difflib.get_close_matches(
-            key, sorted(self._methods), n=3, cutoff=0.4)
-        if suggestions:
-            hint = " or ".join(repr(s) for s in suggestions)
-            return f"unknown method {key!r}; did you mean {hint}?"
-        return (f"unknown method {key!r}; available: "
-                + ", ".join(sorted(self._methods)))
+        return did_you_mean(key, self._methods, noun="method")
 
     # -- capability queries --------------------------------------------- #
     def list_infos(self, kind: Optional[str] = None,
@@ -224,21 +217,21 @@ def register_imputer(name: str, **capabilities) -> Callable:
 
 
 _CONVENTIONAL = [
-    MethodInfo("mean", MeanImputer, tags=("simple",),
+    MethodInfo("mean", MeanImputer, tags=("streaming", "simple",),
                display_name="Mean", summary="per-series mean fill"),
-    MethodInfo("interpolation", LinearInterpolationImputer, tags=("simple",),
+    MethodInfo("interpolation", LinearInterpolationImputer, tags=("streaming", "simple",),
                display_name="LinearInterp",
                summary="linear interpolation along time"),
-    MethodInfo("locf", LOCFImputer, tags=("simple",),
+    MethodInfo("locf", LOCFImputer, tags=("streaming", "simple",),
                display_name="LOCF", summary="last observation carried forward"),
-    MethodInfo("svdimp", SVDImputer, tags=("matrix-completion",),
+    MethodInfo("svdimp", SVDImputer, tags=("streaming", "matrix-completion",),
                display_name="SVDImp", summary="iterative truncated-SVD completion"),
-    MethodInfo("softimpute", SoftImputeImputer, tags=("matrix-completion",),
+    MethodInfo("softimpute", SoftImputeImputer, tags=("streaming", "matrix-completion",),
                display_name="SoftImpute",
                summary="soft-thresholded SVD completion"),
-    MethodInfo("svt", SVTImputer, tags=("matrix-completion",),
+    MethodInfo("svt", SVTImputer, tags=("streaming", "matrix-completion",),
                display_name="SVT", summary="singular value thresholding"),
-    MethodInfo("cdrec", CDRecImputer, tags=("matrix-completion", "paper"),
+    MethodInfo("cdrec", CDRecImputer, tags=("streaming", "matrix-completion", "paper"),
                display_name="CDRec", summary="centroid decomposition recovery"),
     MethodInfo("trmf", TRMFImputer, tags=("matrix-factorisation", "paper"),
                display_name="TRMF", summary="temporal-regularised matrix factorisation"),
@@ -327,7 +320,11 @@ for _variant, (_, _display, _summary) in _DEEPMVI_VARIANT_TABLE.items():
         name=_variant,
         factory=_deepmvi_factory(_variant),
         kind="deep",
-        tags=("paper",) if _variant == "deepmvi" else ("paper", "ablation"),
+        # The base model is streaming-capable through warm-start serving
+        # (fit once offline, impute windows without refit); the ablation
+        # variants exist for the paper's Section 5.5 grids only.
+        tags=("paper", "streaming") if _variant == "deepmvi"
+        else ("paper", "ablation"),
         # DeepMVI1D deliberately flattens the index, so it does not *exploit*
         # multidimensional structure even though it accepts such tensors.
         supports_multidim=_variant != "deepmvi1d",

@@ -10,6 +10,9 @@ from repro.data.missing import (
     miss_disj,
     miss_over,
     blackout,
+    drift_outage,
+    correlated_failure,
+    periodic_outage,
     apply_scenario,
 )
 from repro.data.synthetic import SyntheticSeriesConfig, generate_panel
@@ -29,6 +32,9 @@ __all__ = [
     "miss_disj",
     "miss_over",
     "blackout",
+    "drift_outage",
+    "correlated_failure",
+    "periodic_outage",
     "apply_scenario",
     "SyntheticSeriesConfig",
     "generate_panel",

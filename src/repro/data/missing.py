@@ -24,6 +24,27 @@ Scenarios
 ``blackout``
     All series lose the same time range ``[t0, t0 + block_size)`` where
     ``t0`` defaults to 5% of the series length.
+
+Live-failure scenarios (streaming)
+----------------------------------
+These model how sensors fail *while serving* rather than in a static
+snapshot; the streaming layer (:mod:`repro.streaming`) replays them
+window by window, but they are ordinary generators usable from
+:class:`MissingScenario` and the grid runner too.
+
+``drift_outage``
+    A degrading sensor: outage windows recur along the timeline and each
+    one is longer than the last (geometric growth), so late stream windows
+    carry far more missing data than early ones.
+``correlated_failure``
+    A shared upstream fault: the same few outage events hit a random
+    subset of series near-simultaneously (per-series start jitter), so the
+    failures co-occur across correlated series instead of striking
+    independently.
+``periodic_outage``
+    Duty-cycled dropouts: each affected sensor goes dark for the first
+    ``duty`` fraction of every ``period`` steps (e.g. a radio that sleeps
+    to save power), with a random per-series phase.
 """
 
 from __future__ import annotations
@@ -34,7 +55,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.data.tensor import TimeSeriesTensor
-from repro.exceptions import ScenarioError
+from repro.exceptions import ScenarioError, did_you_mean
 
 
 def _series_view(tensor: TimeSeriesTensor) -> np.ndarray:
@@ -148,12 +169,119 @@ def blackout(tensor: TimeSeriesTensor, block_size: int = 10,
     return _to_tensor_shape(tensor, flat)
 
 
+def _choose_series(n_series: int, incomplete_fraction: float,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Indices of the series a scenario affects."""
+    if not 0 < incomplete_fraction <= 1:
+        raise ScenarioError("incomplete_fraction must be in (0, 1]")
+    n_chosen = max(1, int(round(incomplete_fraction * n_series)))
+    return rng.choice(n_series, size=min(n_chosen, n_series), replace=False)
+
+
+def drift_outage(tensor: TimeSeriesTensor, incomplete_fraction: float = 1.0,
+                 initial_size: int = 2, growth: float = 1.6,
+                 n_outages: int = 4,
+                 rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Drift outage: recurring outages that grow over time (degrading sensor).
+
+    ``n_outages`` outage windows are placed at evenly spaced starts along
+    the timeline; outage ``k`` has length ``initial_size * growth**k``,
+    capped one short of the inter-outage spacing so consecutive outages
+    never merge — every affected series keeps at least one observed cell
+    between (and before) outages.
+    """
+    rng = rng or np.random.default_rng(0)
+    length = tensor.n_time
+    if initial_size < 1:
+        raise ScenarioError("initial_size must be >= 1")
+    if growth < 1.0:
+        raise ScenarioError("growth must be >= 1 (outages grow over time)")
+    if n_outages < 1:
+        raise ScenarioError("n_outages must be >= 1")
+    spacing = length // (n_outages + 1)
+    if spacing < 2:
+        raise ScenarioError(
+            f"series length {length} is too short for {n_outages} outages "
+            f"(needs at least {2 * (n_outages + 1)} steps)")
+    row = np.zeros(length, dtype=np.float64)
+    for k in range(n_outages):
+        size = int(round(initial_size * growth ** k))
+        size = max(1, min(size, spacing - 1))
+        start = (k + 1) * spacing
+        row[start:start + size] = 1.0
+    flat = _series_view(tensor)
+    flat[_choose_series(tensor.n_series, incomplete_fraction, rng)] = row
+    return _to_tensor_shape(tensor, flat)
+
+
+def correlated_failure(tensor: TimeSeriesTensor,
+                       incomplete_fraction: float = 0.5,
+                       n_events: int = 2, block_size: int = 8,
+                       jitter: int = 2,
+                       rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Correlated failure: shared outage events across a subset of series.
+
+    A random subset of series (the "correlated" group, e.g. sensors behind
+    one gateway) loses the same ``n_events`` time ranges, each shifted by a
+    small per-series ``jitter``.  The total per-series coverage is bounded
+    below the series length, so every series keeps observed cells.
+    """
+    rng = rng or np.random.default_rng(0)
+    length = tensor.n_time
+    if block_size < 1 or n_events < 1 or jitter < 0:
+        raise ScenarioError(
+            "block_size and n_events must be >= 1 and jitter >= 0")
+    if n_events * (block_size + 2 * jitter) >= length:
+        raise ScenarioError(
+            f"n_events={n_events} blocks of {block_size} (+/- {jitter} "
+            f"jitter) cannot fit a series of length {length}")
+    chosen = _choose_series(tensor.n_series, incomplete_fraction, rng)
+    starts = rng.integers(0, length - block_size + 1, size=n_events)
+    flat = _series_view(tensor)
+    for series in chosen:
+        for start in starts:
+            offset = int(rng.integers(-jitter, jitter + 1)) if jitter else 0
+            begin = int(np.clip(start + offset, 0, length - block_size))
+            flat[series, begin:begin + block_size] = 1.0
+    return _to_tensor_shape(tensor, flat)
+
+
+def periodic_outage(tensor: TimeSeriesTensor, incomplete_fraction: float = 1.0,
+                    period: int = 24, duty: float = 0.25,
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Periodic outage: duty-cycled sensor dropouts with per-series phase.
+
+    Each affected series is dark for the first ``round(duty * period)``
+    steps of every ``period``-step cycle, starting at a random phase.  The
+    dark span is capped at ``period - 1`` steps, so every full cycle keeps
+    at least one observed cell.
+    """
+    rng = rng or np.random.default_rng(0)
+    length = tensor.n_time
+    if not 0 < duty < 1:
+        raise ScenarioError("duty must be in (0, 1)")
+    if not 2 <= period <= length:
+        raise ScenarioError(
+            f"period must be in [2, series length {length}], got {period}")
+    dark = max(1, min(int(round(duty * period)), period - 1))
+    chosen = _choose_series(tensor.n_series, incomplete_fraction, rng)
+    positions = np.arange(length)
+    flat = _series_view(tensor)
+    for series in chosen:
+        phase = int(rng.integers(0, period))
+        flat[series] = ((positions - phase) % period < dark).astype(np.float64)
+    return _to_tensor_shape(tensor, flat)
+
+
 _GENERATORS: Dict[str, Callable[..., np.ndarray]] = {
     "mcar": mcar,
     "mcar_points": mcar_points,
     "miss_disj": miss_disj,
     "miss_over": miss_over,
     "blackout": blackout,
+    "drift_outage": drift_outage,
+    "correlated_failure": correlated_failure,
+    "periodic_outage": periodic_outage,
 }
 
 
@@ -172,8 +300,9 @@ class MissingScenario:
 
     def __post_init__(self) -> None:
         if self.name not in _GENERATORS:
-            raise ScenarioError(
-                f"unknown scenario {self.name!r}; known: {sorted(_GENERATORS)}")
+            # Same "did you mean" style as the method registry.
+            raise ScenarioError(did_you_mean(self.name, _GENERATORS,
+                                             noun="scenario"))
 
     def generate(self, tensor: TimeSeriesTensor, seed: int = 0) -> np.ndarray:
         """Generate the missing mask for ``tensor`` with a fixed ``seed``."""

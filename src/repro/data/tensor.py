@@ -123,6 +123,23 @@ class TimeSeriesTensor:
             name=self.name,
         )
 
+    def slice_time(self, start: int, stop: int) -> "TimeSeriesTensor":
+        """Copied contiguous time slice ``[start, stop)`` of the tensor.
+
+        This is the windowing primitive of the streaming layer
+        (:mod:`repro.streaming`): member dimensions are preserved, only the
+        time axis is cut.
+        """
+        if not 0 <= start < stop <= self.n_time:
+            raise ShapeError(
+                f"time slice [{start}, {stop}) is outside [0, {self.n_time})")
+        return TimeSeriesTensor(
+            values=self.values[..., start:stop].copy(),
+            dimensions=list(self.dimensions),
+            mask=self.mask[..., start:stop].copy(),
+            name=self.name,
+        )
+
     def copy(self) -> "TimeSeriesTensor":
         return TimeSeriesTensor(
             values=self.values.copy(),

@@ -32,9 +32,22 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Protocol, Sequence
 
 from repro.engine.cache import ResultCache
-from repro.engine.jobs import JobResult, JobSpec, execute_job
+from repro.engine.jobs import JobResult, execute_job
 
 ProgressCallback = Callable[[int, int, JobResult], None]
+
+
+class Job(Protocol):
+    """What executors require of a job: a stable key and a cache veto.
+
+    :class:`~repro.engine.jobs.JobSpec` (grid cells) and
+    :class:`~repro.api.service.ServingBatch` (micro-batched impute
+    requests) both satisfy this structurally.
+    """
+
+    def key(self) -> str: ...
+
+    def needs_execution(self) -> bool: ...
 
 
 @dataclass
@@ -61,7 +74,7 @@ class Executor(Protocol):
 
     last_report: ExecutionReport
 
-    def run(self, jobs: Sequence[JobSpec], cache: Optional[ResultCache] = None,
+    def run(self, jobs: Sequence[Job], cache: Optional[ResultCache] = None,
             progress: Optional[ProgressCallback] = None,
             run_fn: JobRunner = execute_job) -> List[JobResult]:
         ...
@@ -72,7 +85,7 @@ class _ExecutorBase:
         self.last_report = ExecutionReport()
 
     @staticmethod
-    def _probe_cache(spec: JobSpec, key: str,
+    def _probe_cache(spec: Job, key: str,
                      cache: Optional[ResultCache]) -> Optional[JobResult]:
         """Cached result for ``spec``, unless the job still has to run
         (e.g. its artifact has not been written yet)."""
@@ -98,7 +111,7 @@ class _ExecutorBase:
 class SerialExecutor(_ExecutorBase):
     """Run every job in the calling process, one after another."""
 
-    def run(self, jobs: Sequence[JobSpec], cache: Optional[ResultCache] = None,
+    def run(self, jobs: Sequence[Job], cache: Optional[ResultCache] = None,
             progress: Optional[ProgressCallback] = None,
             run_fn: JobRunner = execute_job) -> List[JobResult]:
         self.last_report = ExecutionReport(total=len(jobs))
@@ -127,7 +140,7 @@ class ParallelExecutor(_ExecutorBase):
         super().__init__()
         self.workers = workers or os.cpu_count() or 1
 
-    def run(self, jobs: Sequence[JobSpec], cache: Optional[ResultCache] = None,
+    def run(self, jobs: Sequence[Job], cache: Optional[ResultCache] = None,
             progress: Optional[ProgressCallback] = None,
             run_fn: JobRunner = execute_job) -> List[JobResult]:
         self.last_report = ExecutionReport(total=len(jobs))

@@ -21,7 +21,7 @@ import time
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -288,10 +288,16 @@ class JobSpec:
 
 @dataclass
 class JobResult:
-    """Outcome of executing (or cache-loading) one :class:`JobSpec`."""
+    """Outcome of executing (or cache-loading) one :class:`JobSpec`.
+
+    ``result`` is an :class:`ExperimentResult` for grid-cell jobs; other
+    job kinds (e.g. the service layer's serving batches) carry their own
+    payloads, which are never cached, so the JSON round-trip below only
+    ever sees :class:`ExperimentResult`.
+    """
 
     key: str
-    result: Optional[ExperimentResult] = None
+    result: Optional[Any] = None
     error: Optional[str] = None
     from_cache: bool = False
 

@@ -20,6 +20,13 @@ answer many impute requests from it (micro-batched through the engine)::
     python -m repro.evaluation.cli impute --dataset airq --scenario mcar \
         --method deepmvi --requests 4 --size tiny --output completed.npz
 
+Replay a dataset as a live stream under an outage scenario — windowed
+incremental serving through :mod:`repro.streaming`, with per-window MAE,
+per-window latency and end-to-end windows/sec::
+
+    python -m repro.evaluation.cli stream --dataset airq --method interpolation \
+        --scenario drift_outage --window 24 --streams 2 --size tiny
+
 Run one (dataset, scenario, method) cell::
 
     python -m repro.evaluation.cli run --dataset climate --scenario mcar \
@@ -111,6 +118,37 @@ def _build_parser() -> argparse.ArgumentParser:
     impute.add_argument("--workers", type=int, default=1,
                         help="process-pool width for serving batches")
 
+    stream = subparsers.add_parser(
+        "stream", help="replay a dataset as a windowed stream and report "
+                       "per-window MAE + windows/sec")
+    stream.add_argument("--dataset", required=True, choices=list_datasets())
+    stream.add_argument("--method", default="interpolation")
+    stream.add_argument("--scenario", default="drift_outage",
+                        choices=list_scenarios())
+    stream.add_argument("--size", default="tiny",
+                        choices=["tiny", "small", "default"])
+    stream.add_argument("--window", type=int, default=48,
+                        help="sliding-window length in time steps")
+    stream.add_argument("--stride", type=int, default=None,
+                        help="steps between windows (default: window // 2)")
+    stream.add_argument("--refit-every", type=int, default=8,
+                        help="incremental refit cadence in windows; "
+                             "0 fits once and never refits")
+    stream.add_argument("--max-history", type=int, default=512,
+                        help="bound (time steps) on the refit history")
+    stream.add_argument("--streams", type=int, default=1,
+                        help="number of concurrent streams to replay")
+    stream.add_argument("--block-size", type=int, default=10)
+    stream.add_argument("--incomplete-fraction", type=float, default=1.0)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--store-dir", default=None,
+                        help="model-store directory (required for workers "
+                             "to ship artifact paths instead of pickles)")
+    stream.add_argument("--workers", type=int, default=1,
+                        help="process-pool width for each serving step")
+    stream.add_argument("--quiet", action="store_true",
+                        help="print only the summary, not per-window rows")
+
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's experiments")
     experiment.add_argument("experiment_id", choices=list_experiments())
@@ -156,7 +194,12 @@ def _scenario_from_args(args: argparse.Namespace) -> MissingScenario:
                   "block_size": args.block_size}
     elif args.scenario == "blackout":
         params = {"block_size": args.block_size}
+    elif args.scenario == "correlated_failure":
+        params = {"incomplete_fraction": args.incomplete_fraction,
+                  "block_size": args.block_size}
     else:
+        # Every remaining generator (miss_disj, miss_over, drift_outage,
+        # periodic_outage) takes the affected-series fraction only.
         params = {"incomplete_fraction": args.incomplete_fraction}
     return MissingScenario(args.scenario, params)
 
@@ -198,6 +241,40 @@ def _command_impute(args: argparse.Namespace) -> int:
         np.savez_compressed(args.output, **arrays)
         print(f"\nwrote {len(arrays)} completed tensor(s) to {args.output}")
     return 0
+
+
+def _command_stream(args: argparse.Namespace) -> int:
+    """Replay a dataset as a stream; per-window MAE + overall windows/sec."""
+    from repro.streaming import replay
+
+    scenario = _scenario_from_args(args)
+    report = replay(
+        args.dataset, method=args.method, scenario=scenario,
+        window_size=args.window, stride=args.stride,
+        refit_every=args.refit_every, max_history=args.max_history,
+        n_streams=args.streams, workers=args.workers,
+        store_dir=args.store_dir, size=args.size, seed=args.seed)
+
+    print(f"[stream] replayed {args.dataset!r} under {scenario.describe()} "
+          f"with {args.method!r} (window={args.window}, "
+          f"refit_every={args.refit_every})")
+    if not args.quiet:
+        print(f"\n{'stream':<8} {'window':>6} {'span':>12} {'refit':>5} "
+              f"{'MAE':>8} {'ms':>8}")
+        for row in report.rows:
+            error = f"{row.mae:.3f}" if row.mae == row.mae else "-"
+            status = "FAIL" if not row.ok else error
+            print(f"{row.stream_id:<8} {row.window_index:>6} "
+                  f"{f'[{row.start},{row.stop})':>12} "
+                  f"{'yes' if row.refit else '-':>5} {status:>8} "
+                  f"{row.latency_seconds * 1e3:>8.1f}")
+    print(f"\n[stream] {report.describe()}")
+    if report.failures:
+        failed = [row for row in report.rows if not row.ok]
+        print(f"[stream] first failure ({failed[0].stream_id} window "
+              f"{failed[0].window_index}):", file=sys.stderr)
+        print(failed[0].error, file=sys.stderr)
+    return 0 if not report.failures else 1
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -263,6 +340,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_list()
     if args.command == "impute":
         return _command_impute(args)
+    if args.command == "stream":
+        return _command_stream(args)
     if args.command == "run":
         return _command_run(args)
     if args.command in ("experiment", "resume"):

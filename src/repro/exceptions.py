@@ -1,5 +1,22 @@
 """Exception hierarchy for the repro package."""
 
+import difflib
+
+
+def did_you_mean(name, choices, noun: str = "name") -> str:
+    """Shared unknown-name message with close-match suggestions.
+
+    Used by every registry-style lookup (methods, scenarios) so the error
+    formats cannot drift apart.
+    """
+    choices = sorted(choices)
+    suggestions = difflib.get_close_matches(str(name), choices, n=3,
+                                            cutoff=0.4)
+    if suggestions:
+        hint = " or ".join(repr(s) for s in suggestions)
+        return f"unknown {noun} {name!r}; did you mean {hint}?"
+    return f"unknown {noun} {name!r}; available: " + ", ".join(choices)
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
@@ -34,4 +51,10 @@ class ValidationError(ReproError):
 
 
 class ServiceError(ReproError):
-    """A service-layer operation failed (unknown model, failed batch, ...)."""
+    """A service-layer operation failed (unknown model, failed batch, ...).
+
+    When raised by :meth:`repro.api.ImputationService.gather`,
+    ``partial_results`` holds the successful results of the failed sweep.
+    """
+
+    partial_results: list

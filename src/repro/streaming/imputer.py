@@ -1,0 +1,194 @@
+"""Incremental imputation over stream windows.
+
+A batch imputer is *fit once on a snapshot, impute that snapshot*; a
+streaming imputer keeps serving while the data keeps arriving.  The
+:class:`StreamingImputer` protocol has two verbs:
+
+``update(window)``
+    Absorb a new window into the (bounded) history and decide whether the
+    underlying model is refit — every ``refit_every`` windows, never on the
+    windows in between.  Returns True when a refit happened.
+``impute_window(window)``
+    Complete one window with the *current* model, without touching the
+    history.  This is the per-window serving hot path.
+
+:class:`WindowedStreamingImputer` implements the protocol on top of any
+registry method.  It can start cold (the first window triggers the first
+fit) or warm (:meth:`WindowedStreamingImputer.warm_start` loads a fitted
+engine artifact, so an expensive model trained offline serves windows
+immediately; ``refit_every=0`` then disables incremental refits entirely).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.baselines.base import BaseImputer
+from repro.baselines.registry import ImputerRegistry, get_registry
+from repro.data.tensor import TimeSeriesTensor
+from repro.exceptions import ValidationError
+from repro.streaming.windows import HistoryBuffer, StreamWindow
+
+__all__ = ["StreamingImputer", "WindowedStreamingImputer", "refit_due"]
+
+
+def refit_due(fitted: bool, windows_since_fit: int, refit_every: int) -> bool:
+    """The streaming refit cadence, shared by every serving layer.
+
+    An unfitted model is always due; ``refit_every == 0`` means "never
+    refit once fitted" (warm-start serving); otherwise a refit is due
+    every ``refit_every`` absorbed windows.
+    """
+    if not fitted:
+        return True
+    if refit_every == 0:
+        return False
+    return windows_since_fit >= refit_every
+
+
+@runtime_checkable
+class StreamingImputer(Protocol):
+    """Anything that can absorb stream windows and impute them."""
+
+    def update(self, window: StreamWindow) -> bool:
+        """Absorb ``window`` into the model's history; True if a refit ran."""
+        ...
+
+    def impute_window(self,
+                      window: Optional[StreamWindow] = None) -> TimeSeriesTensor:
+        """Complete ``window`` (default: the most recently absorbed one)."""
+        ...
+
+
+class WindowedStreamingImputer:
+    """Windowed incremental serving for any registry method.
+
+    Parameters
+    ----------
+    method:
+        Registry name of the underlying method (ignored when ``imputer``
+        is given).
+    refit_every:
+        Refit the model on the accumulated history every K absorbed
+        windows; ``0`` disables refits after the initial fit (pure
+        warm-start serving).
+    max_history:
+        Bound (in time steps) on the history kept for refits; ``None``
+        keeps everything.
+    imputer:
+        Optional pre-built (possibly pre-fitted) imputer to serve from; a
+        fitted one serves immediately, an unfitted one is fitted on the
+        first window.
+    fitted:
+        Override the fitted-state autodetection of a passed ``imputer``
+        (autodetection checks for a ``_fitted_tensor``; methods that track
+        fitted state differently can assert it explicitly).
+    method_kwargs:
+        Constructor overrides passed to the method factory.
+    """
+
+    def __init__(self, method: str = "interpolation", refit_every: int = 4,
+                 max_history: Optional[int] = 512,
+                 registry: Optional[ImputerRegistry] = None,
+                 imputer: Optional[BaseImputer] = None,
+                 fitted: Optional[bool] = None,
+                 **method_kwargs) -> None:
+        if refit_every < 0:
+            raise ValidationError(
+                f"refit_every must be >= 0, got {refit_every}")
+        registry = registry or get_registry()
+        if imputer is None:
+            imputer = registry.info(method).create(**method_kwargs)
+            fitted = False
+        elif fitted is None:
+            fitted = getattr(imputer, "_fitted_tensor", None) is not None or \
+                bool(getattr(imputer, "_is_fitted", False))
+        self.method = method
+        self.refit_every = refit_every
+        #: unfitted template cloned for every refit
+        self._prototype = imputer.clone()
+        self._fitted: Optional[BaseImputer] = imputer if fitted else None
+        self.history = HistoryBuffer(max_history=max_history)
+        self._last_window: Optional[StreamWindow] = None
+        self._windows_since_fit = 0
+        #: number of (re)fits performed by this imputer
+        self.refits = 0
+        #: wall-clock spent in (re)fits
+        self.fit_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def warm_start(cls, artifact_path: str, refit_every: int = 0,
+                   max_history: Optional[int] = 512,
+                   method: str = "warm-start") -> "WindowedStreamingImputer":
+        """Serve from a fitted engine artifact without any initial fit.
+
+        With the default ``refit_every=0`` the artifact's model answers
+        every window; a positive value re-enables incremental refits on
+        the streamed history.
+        """
+        from repro.engine.artifacts import load_imputer
+
+        return cls(method=method, refit_every=refit_every,
+                   max_history=max_history,
+                   imputer=load_imputer(artifact_path), fitted=True)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted is not None
+
+    def needs_refit(self) -> bool:
+        """True when the next :meth:`update` will trigger a (re)fit."""
+        return refit_due(self._fitted is not None, self._windows_since_fit,
+                         self.refit_every)
+
+    def update(self, window: StreamWindow) -> bool:
+        """Absorb ``window``; refit on the bounded history when due.
+
+        A fitted imputer with ``refit_every=0`` (pure warm-start serving)
+        skips the history copy entirely — nothing would ever read it.
+        """
+        if self.refit_every or self._fitted is None:
+            self.history.absorb(window)
+        self._last_window = window
+        self._windows_since_fit += 1
+        if not self.needs_refit():
+            return False
+        self._refit()
+        return True
+
+    def impute_window(self,
+                      window: Optional[StreamWindow] = None) -> TimeSeriesTensor:
+        """Complete one window with the current model (no history update)."""
+        if window is None:
+            window = self._last_window
+        if window is None:
+            raise ValidationError(
+                "no window to impute: call update() first or pass one")
+        if self._fitted is None:
+            # Cold start straight into serving: fit on whatever we have.
+            if self.history.steps == 0:
+                self.history.absorb(window)
+            self._refit()
+        return self._fitted.impute(window.tensor)
+
+    # ------------------------------------------------------------------ #
+    def _refit(self) -> None:
+        history = self.history.tensor()
+        if history is None:
+            raise ValidationError("cannot fit on an empty history")
+        fresh = self._prototype.clone()
+        start = time.perf_counter()
+        fresh.fit(history)
+        self.fit_seconds += time.perf_counter() - start
+        self._fitted = fresh
+        self.refits += 1
+        self._windows_since_fit = 0
+
+    def __repr__(self) -> str:
+        state = "fitted" if self.is_fitted else "cold"
+        return (f"WindowedStreamingImputer(method={self.method!r}, {state}, "
+                f"refits={self.refits}, refit_every={self.refit_every}, "
+                f"history={self.history.steps} steps)")

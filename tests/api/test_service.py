@@ -272,6 +272,22 @@ class TestModelStore:
         # Warm, cold-sync and cold-batched paths must agree on the name.
         assert sync.method == batched.method == "mean"
 
+    def test_discard_forgets_memory_and_disk(self, masked_panel, tmp_path):
+        _, incomplete, _, _ = masked_panel
+        service = api.ImputationService(store_dir=str(tmp_path))
+        model_id = service.fit(incomplete, method="mean")
+        assert model_id in service.store
+
+        service.store.discard(model_id)
+        assert model_id not in service.store
+        assert model_id not in service.list_models()
+        assert not (tmp_path / model_id).exists()
+        # a fresh service over the same directory cannot resurrect it
+        assert model_id not in api.ImputationService(
+            store_dir=str(tmp_path)).list_models()
+        # discarding an unknown id is a no-op
+        service.store.discard("never-existed")
+
     def test_parallel_gather_over_artifacts(self, masked_panel, tmp_path):
         _, incomplete, _, _ = masked_panel
         service = api.ImputationService(store_dir=str(tmp_path), workers=2)

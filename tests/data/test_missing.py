@@ -7,11 +7,14 @@ from repro.data.missing import (
     MissingScenario,
     apply_scenario,
     blackout,
+    correlated_failure,
+    drift_outage,
     list_scenarios,
     mcar,
     mcar_points,
     miss_disj,
     miss_over,
+    periodic_outage,
 )
 from repro.exceptions import ScenarioError
 
@@ -119,10 +122,122 @@ class TestBlackout:
         assert flat.sum() == 20 * small_panel.n_series
 
 
+class TestDriftOutage:
+    def test_outages_grow_over_time(self, small_panel, rng):
+        mask = drift_outage(small_panel, initial_size=2, growth=2.0,
+                            n_outages=3, rng=rng)
+        flat = mask.reshape(small_panel.n_series, -1)
+        runs = _runs(flat[0])
+        assert len(runs) == 3
+        assert runs == sorted(runs) and runs[0] < runs[-1]
+
+    def test_outages_never_merge(self, small_panel, rng):
+        # Huge growth is capped below the inter-outage spacing, so the
+        # outages stay distinct and observed gaps survive between them.
+        mask = drift_outage(small_panel, initial_size=10, growth=10.0,
+                            n_outages=4, rng=rng)
+        flat = mask.reshape(small_panel.n_series, -1)
+        assert len(_runs(flat[0])) == 4
+        assert flat[0].sum() < small_panel.n_time
+
+    def test_fraction_limits_series(self, small_panel, rng):
+        mask = drift_outage(small_panel, incomplete_fraction=0.25, rng=rng)
+        flat = mask.reshape(small_panel.n_series, -1)
+        assert (flat.sum(axis=1) > 0).sum() == 2
+
+    def test_rejects_bad_params(self, small_panel, tiny_tensor, rng):
+        with pytest.raises(ScenarioError):
+            drift_outage(small_panel, initial_size=0, rng=rng)
+        with pytest.raises(ScenarioError):
+            drift_outage(small_panel, growth=0.5, rng=rng)
+        with pytest.raises(ScenarioError):
+            drift_outage(tiny_tensor, n_outages=50, rng=rng)
+
+
+class TestCorrelatedFailure:
+    def test_failures_co_occur_across_the_chosen_series(self, small_panel,
+                                                        rng):
+        mask = correlated_failure(small_panel, incomplete_fraction=0.5,
+                                  n_events=2, block_size=6, jitter=0,
+                                  rng=rng)
+        flat = mask.reshape(small_panel.n_series, -1)
+        affected = flat[flat.sum(axis=1) > 0]
+        assert len(affected) == 4  # half of the 8 series
+        # with zero jitter every affected series loses identical ranges
+        for row in affected[1:]:
+            np.testing.assert_array_equal(row, affected[0])
+
+    def test_jitter_shifts_but_keeps_block_size(self, small_panel, rng):
+        mask = correlated_failure(small_panel, incomplete_fraction=1.0,
+                                  n_events=1, block_size=5, jitter=3,
+                                  rng=rng)
+        flat = mask.reshape(small_panel.n_series, -1)
+        for row in flat:
+            assert row.sum() == 5
+
+    def test_rejects_oversized_events(self, tiny_tensor, rng):
+        with pytest.raises(ScenarioError):
+            correlated_failure(tiny_tensor, n_events=3, block_size=10,
+                               rng=rng)
+
+
+class TestPeriodicOutage:
+    def test_duty_cycle_cadence(self, small_panel, rng):
+        mask = periodic_outage(small_panel, period=12, duty=0.25, rng=rng)
+        flat = mask.reshape(small_panel.n_series, -1)
+        for row in flat:
+            assert row.sum() > 0
+            for run in _runs(row):
+                assert run <= 3  # 25% of a 12-step period
+        # dropouts repeat with the period
+        row = flat[0]
+        first = int(np.argmax(row))
+        if first + 12 + 3 <= small_panel.n_time:
+            np.testing.assert_array_equal(row[first:first + 3],
+                                          row[first + 12:first + 15])
+
+    def test_every_cycle_keeps_observed_cells(self, small_panel, rng):
+        mask = periodic_outage(small_panel, period=10, duty=0.9, rng=rng)
+        flat = mask.reshape(small_panel.n_series, -1)
+        # the dark span is capped at period - 1 steps
+        for row in flat:
+            assert row.sum() <= small_panel.n_time * 0.9 + 1
+            assert (row == 0).any()
+
+    def test_rejects_bad_params(self, small_panel, rng):
+        with pytest.raises(ScenarioError):
+            periodic_outage(small_panel, duty=0.0, rng=rng)
+        with pytest.raises(ScenarioError):
+            periodic_outage(small_panel, period=small_panel.n_time + 1,
+                            rng=rng)
+
+
+class TestNewScenariosNeverTouchMissingCells:
+    @pytest.mark.parametrize("generator,params", [
+        (drift_outage, {"n_outages": 2, "initial_size": 2}),
+        (correlated_failure, {"n_events": 2, "block_size": 4, "jitter": 1}),
+        (periodic_outage, {"period": 8, "duty": 0.25}),
+    ], ids=["drift_outage", "correlated_failure", "periodic_outage"])
+    def test_already_missing_cells_stay_unmarked(self, tiny_tensor,
+                                                 generator, params, rng):
+        mask = generator(tiny_tensor, rng=rng, **params)
+        assert np.all(mask[tiny_tensor.mask == 0] == 0)
+
+
 class TestScenarioWrapper:
     def test_unknown_name_rejected(self):
         with pytest.raises(ScenarioError):
             MissingScenario("bogus")
+
+    def test_unknown_name_suggests_close_matches(self):
+        with pytest.raises(ScenarioError, match="did you mean 'blackout'"):
+            MissingScenario("blackoot")
+        with pytest.raises(ScenarioError, match="did you mean"):
+            MissingScenario("drift_outge")
+
+    def test_unknown_name_without_close_match_lists_all(self):
+        with pytest.raises(ScenarioError, match="available:.*blackout"):
+            MissingScenario("zzzzzz")
 
     def test_generate_is_deterministic_per_seed(self, small_panel):
         scenario = MissingScenario("mcar", {"incomplete_fraction": 0.5})
@@ -144,7 +259,9 @@ class TestScenarioWrapper:
         np.testing.assert_allclose(
             incomplete.values[mask == 0], small_panel.values[mask == 0])
 
-    def test_list_scenarios_contains_all_five(self):
+    def test_list_scenarios_contains_all_eight(self):
         names = list_scenarios()
-        for expected in ["mcar", "mcar_points", "miss_disj", "miss_over", "blackout"]:
+        for expected in ["mcar", "mcar_points", "miss_disj", "miss_over",
+                         "blackout", "drift_outage", "correlated_failure",
+                         "periodic_outage"]:
             assert expected in names

@@ -1,4 +1,15 @@
-"""Property-based tests of scenario generators and tensor mask algebra."""
+"""Property-based tests of scenario generators and tensor mask algebra.
+
+Two invariants hold for *every* generator — classic and live-failure alike —
+whenever its parameters are in range:
+
+* a scenario only hides **observed** cells: it never marks a cell that is
+  already missing in the input tensor;
+* a scenario never silences a sensor completely: every series keeps at
+  least one observed cell (given a panel with >= 3 series and bounded
+  pre-existing missingness, which is what the strategies generate —
+  ``miss_over`` legitimately consumes a whole series on 2-series panels).
+"""
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
@@ -9,33 +20,74 @@ from repro.data.tensor import TimeSeriesTensor
 
 _settings = settings(max_examples=20, deadline=None)
 
+ALL_SCENARIOS = ["mcar", "mcar_points", "miss_disj", "miss_over", "blackout",
+                 "drift_outage", "correlated_failure", "periodic_outage"]
 
-@st.composite
-def complete_panels(draw):
-    n_series = draw(st.integers(2, 6))
-    length = draw(st.integers(40, 120))
-    seed = draw(st.integers(0, 10_000))
+
+def _panel(n_series, length, seed, pre_missing):
     rng = np.random.default_rng(seed)
     values = rng.normal(size=(n_series, length))
+    mask = np.ones_like(values)
+    if pre_missing:
+        # Hide at most length // 4 cells per series so the "at least one
+        # observed cell survives" guarantee stays provable.
+        for row in range(n_series):
+            hidden = rng.choice(length, size=rng.integers(1, length // 4 + 1),
+                                replace=False)
+            mask[row, hidden] = 0.0
+        values = np.where(mask == 1, values, np.nan)
     return TimeSeriesTensor(
         values=values,
         dimensions=[Dimension.categorical("series", n_series)],
+        mask=mask,
         name="prop",
     )
 
 
 @st.composite
+def complete_panels(draw):
+    return _panel(n_series=draw(st.integers(2, 6)),
+                  length=draw(st.integers(40, 120)),
+                  seed=draw(st.integers(0, 10_000)), pre_missing=False)
+
+
+@st.composite
+def holey_panels(draw):
+    """Panels that already have missing cells (bounded per series)."""
+    return _panel(n_series=draw(st.integers(3, 6)),
+                  length=draw(st.integers(40, 120)),
+                  seed=draw(st.integers(0, 10_000)), pre_missing=True)
+
+
+@st.composite
 def scenarios(draw):
-    name = draw(st.sampled_from(["mcar", "miss_disj", "miss_over", "blackout",
-                                 "mcar_points"]))
+    """Any registered scenario with in-range, margin-keeping parameters."""
+    name = draw(st.sampled_from(ALL_SCENARIOS))
     params = {}
     if name == "mcar":
         params = {"incomplete_fraction": draw(st.sampled_from([0.25, 0.5, 1.0])),
+                  "missing_rate": draw(st.sampled_from([0.1, 0.3, 0.5])),
                   "block_size": draw(st.integers(2, 8))}
     elif name == "mcar_points":
         params = {"block_size": 1}
     elif name == "blackout":
         params = {"block_size": draw(st.integers(2, 15))}
+    elif name == "drift_outage":
+        params = {"incomplete_fraction": draw(st.sampled_from([0.5, 1.0])),
+                  "initial_size": draw(st.integers(1, 4)),
+                  "growth": draw(st.sampled_from([1.0, 1.5, 2.0])),
+                  "n_outages": draw(st.integers(1, 4))}
+    elif name == "correlated_failure":
+        params = {"incomplete_fraction": draw(st.sampled_from([0.5, 1.0])),
+                  "n_events": draw(st.integers(1, 2)),
+                  "block_size": draw(st.integers(2, 8)),
+                  "jitter": draw(st.integers(0, 2))}
+    elif name == "periodic_outage":
+        params = {"incomplete_fraction": draw(st.sampled_from([0.5, 1.0])),
+                  "period": draw(st.integers(8, 24)),
+                  "duty": draw(st.sampled_from([0.1, 0.25, 0.5]))}
+    elif name in ("miss_disj", "miss_over"):
+        params = {}
     return MissingScenario(name, params)
 
 
@@ -49,6 +101,29 @@ def test_scenario_mask_is_binary_and_inside_observed(panel, scenario, seed):
     assert np.all(mask[panel.mask == 0] == 0)
     # Something is hidden.
     assert mask.sum() > 0
+
+
+@_settings
+@given(holey_panels(), scenarios(), st.integers(0, 100))
+def test_scenario_never_marks_an_already_missing_cell(panel, scenario, seed):
+    mask = scenario.generate(panel, seed=seed)
+    assert np.all(mask[panel.mask == 0] == 0)
+    # ... and hence hiding is idempotent on availability: the cells lost by
+    # with_missing are exactly the scenario's cells.
+    incomplete = panel.with_missing(mask)
+    lost = (panel.mask == 1) & (incomplete.mask == 0)
+    np.testing.assert_array_equal(lost.astype(float), mask)
+
+
+@_settings
+@given(holey_panels(), scenarios(), st.integers(0, 100))
+def test_scenario_leaves_an_observed_cell_in_every_series(panel, scenario,
+                                                         seed):
+    mask = scenario.generate(panel, seed=seed)
+    incomplete = panel.with_missing(mask)
+    per_series = incomplete.mask.reshape(incomplete.n_series, -1).sum(axis=1)
+    assert per_series.min() >= 1, \
+        f"{scenario.describe()} silenced a series completely"
 
 
 @_settings

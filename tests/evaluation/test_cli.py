@@ -88,3 +88,37 @@ class TestExperimentCommand:
     def test_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["experiment", "figure99"])
+
+
+class TestStreamCommand:
+    def test_replays_a_stream_with_per_window_report(self, capsys):
+        code = main(["stream", "--dataset", "airq", "--method", "mean",
+                     "--scenario", "drift_outage", "--size", "tiny",
+                     "--window", "24", "--streams", "2", "--refit-every", "4"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "windows/sec" in output
+        assert "mean MAE" in output
+        assert "refit" in output            # per-window table header
+        assert "[0,24)" in output           # per-window spans
+
+    def test_quiet_mode_prints_summary_only(self, capsys):
+        code = main(["stream", "--dataset", "airq", "--method",
+                     "interpolation", "--scenario", "periodic_outage",
+                     "--size", "tiny", "--window", "24", "--quiet"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "windows/sec" in output
+        assert "[0,24)" not in output
+
+    def test_every_new_scenario_is_replayable(self, capsys):
+        for scenario in ("drift_outage", "correlated_failure",
+                         "periodic_outage"):
+            assert main(["stream", "--dataset", "airq", "--method", "mean",
+                         "--scenario", scenario, "--size", "tiny",
+                         "--window", "24", "--quiet"]) == 0
+            assert scenario in capsys.readouterr().out
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "--dataset", "airq", "--scenario", "bogus"])

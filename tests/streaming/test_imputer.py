@@ -1,0 +1,129 @@
+"""Tests of the windowed incremental streaming imputer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.simple import MeanImputer
+from repro.data.missing import MissingScenario, apply_scenario
+from repro.engine.artifacts import save_imputer
+from repro.exceptions import ValidationError
+from repro.streaming import (
+    StreamingImputer,
+    WindowedStream,
+    WindowedStreamingImputer,
+)
+
+
+@pytest.fixture
+def incomplete_panel(small_panel):
+    scenario = MissingScenario("periodic_outage", {"period": 12, "duty": 0.25})
+    incomplete, _ = apply_scenario(small_panel, scenario, seed=3)
+    return incomplete
+
+
+class TestProtocol:
+    def test_windowed_imputer_satisfies_the_protocol(self):
+        assert isinstance(WindowedStreamingImputer(method="mean"),
+                          StreamingImputer)
+
+
+class TestIncrementalServing:
+    def test_every_window_is_completed(self, incomplete_panel):
+        streaming = WindowedStreamingImputer(method="interpolation",
+                                             refit_every=3)
+        for window in WindowedStream.from_tensor(incomplete_panel,
+                                                 window_size=24):
+            streaming.update(window)
+            completed = streaming.impute_window(window)
+            assert completed.missing_fraction == 0.0
+            assert completed.shape == window.tensor.shape
+            observed = window.tensor.mask == 1
+            np.testing.assert_allclose(completed.values[observed],
+                                       window.tensor.values[observed])
+
+    def test_refit_cadence(self, incomplete_panel):
+        streaming = WindowedStreamingImputer(method="mean", refit_every=3)
+        windows = list(WindowedStream.from_tensor(incomplete_panel,
+                                                  window_size=20, stride=10))
+        refits = [streaming.update(window) for window in windows]
+        # first window fits (cold start), then every third window refits
+        assert refits[0] is True
+        expected = 1 + (len(windows) - 1) // 3
+        assert streaming.refits == expected
+        assert refits.count(True) == expected
+
+    def test_refit_every_zero_fits_exactly_once(self, incomplete_panel):
+        streaming = WindowedStreamingImputer(method="mean", refit_every=0)
+        for window in WindowedStream.from_tensor(incomplete_panel,
+                                                 window_size=24):
+            streaming.update(window)
+            streaming.impute_window(window)
+        assert streaming.refits == 1
+
+    def test_history_is_bounded(self, incomplete_panel):
+        streaming = WindowedStreamingImputer(method="mean", refit_every=1,
+                                             max_history=30)
+        for window in WindowedStream.from_tensor(incomplete_panel,
+                                                 window_size=24, stride=12):
+            streaming.update(window)
+        assert streaming.history.steps <= 30
+
+    def test_impute_without_update_requires_a_window(self):
+        streaming = WindowedStreamingImputer(method="mean")
+        with pytest.raises(ValidationError):
+            streaming.impute_window()
+
+    def test_cold_start_impute_fits_on_the_window(self, incomplete_panel):
+        streaming = WindowedStreamingImputer(method="mean", refit_every=0)
+        window = next(iter(WindowedStream.from_tensor(incomplete_panel,
+                                                      window_size=24)))
+        completed = streaming.impute_window(window)
+        assert completed.missing_fraction == 0.0
+        assert streaming.refits == 1
+
+
+class TestWarmStart:
+    def test_serves_from_artifact_without_fitting(self, tmp_path,
+                                                  small_panel,
+                                                  incomplete_panel):
+        fitted = MeanImputer().fit(small_panel)
+        artifact = tmp_path / "mean-artifact"
+        save_imputer(fitted, artifact)
+
+        streaming = WindowedStreamingImputer.warm_start(str(artifact),
+                                                        refit_every=0)
+        assert streaming.is_fitted
+        served = 0
+        for window in WindowedStream.from_tensor(incomplete_panel,
+                                                 window_size=24):
+            streaming.update(window)
+            assert streaming.impute_window(window).missing_fraction == 0.0
+            served += 1
+        assert served > 0
+        assert streaming.refits == 0  # the artifact model answered everything
+        assert streaming.history.steps == 0  # nothing will read the history
+
+    def test_warm_start_can_reenable_refits(self, tmp_path, small_panel,
+                                            incomplete_panel):
+        artifact = tmp_path / "mean-artifact"
+        save_imputer(MeanImputer().fit(small_panel), artifact)
+        streaming = WindowedStreamingImputer.warm_start(str(artifact),
+                                                        refit_every=2)
+        for window in WindowedStream.from_tensor(incomplete_panel,
+                                                 window_size=24, stride=12):
+            streaming.update(window)
+        assert streaming.refits > 0
+
+
+class TestValidation:
+    def test_rejects_negative_refit_every(self):
+        with pytest.raises(ValidationError):
+            WindowedStreamingImputer(method="mean", refit_every=-1)
+
+    def test_warm_start_validates_refit_every_too(self, tmp_path,
+                                                  small_panel):
+        artifact = tmp_path / "mean-artifact"
+        save_imputer(MeanImputer().fit(small_panel), artifact)
+        with pytest.raises(ValidationError):
+            WindowedStreamingImputer.warm_start(str(artifact),
+                                                refit_every=-1)

@@ -1,0 +1,183 @@
+"""Tests of stream windowing and the bounded history buffer."""
+
+import numpy as np
+import pytest
+
+from repro.data.dimensions import Dimension
+from repro.data.tensor import TimeSeriesTensor
+from repro.exceptions import ShapeError, ValidationError
+from repro.streaming import HistoryBuffer, StreamWindow, WindowedStream
+
+
+class TestSliceTime:
+    def test_slice_preserves_dimensions_and_mask(self, tiny_tensor):
+        window = tiny_tensor.slice_time(4, 10)
+        assert window.n_time == 6
+        assert [d.name for d in window.dimensions] == \
+            [d.name for d in tiny_tensor.dimensions]
+        np.testing.assert_array_equal(window.mask,
+                                      tiny_tensor.mask[..., 4:10])
+
+    def test_slice_is_a_copy(self, tiny_tensor):
+        window = tiny_tensor.slice_time(0, 5)
+        window.values[...] = -1.0
+        assert not np.any(tiny_tensor.values[..., :5] == -1.0)
+
+    def test_rejects_out_of_range(self, tiny_tensor):
+        with pytest.raises(ShapeError):
+            tiny_tensor.slice_time(0, tiny_tensor.n_time + 1)
+        with pytest.raises(ShapeError):
+            tiny_tensor.slice_time(5, 5)
+
+
+class TestWindowedStreamFromTensor:
+    def test_windows_cover_every_time_step(self, small_panel):
+        stream = WindowedStream.from_tensor(small_panel, window_size=32,
+                                            stride=20)
+        covered = np.zeros(small_panel.n_time)
+        windows = list(stream)
+        for window in windows:
+            covered[window.start:window.stop] = 1
+        assert covered.all(), "stride arithmetic dropped tail data"
+        assert windows[-1].last and windows[-1].stop == small_panel.n_time
+        assert [w.index for w in windows] == list(range(len(windows)))
+        assert stream.n_windows == len(windows)
+
+    def test_default_stride_overlaps_by_half(self, small_panel):
+        stream = WindowedStream.from_tensor(small_panel, window_size=30)
+        assert stream.stride == 15
+        first, second = list(stream)[:2]
+        assert second.start == first.start + 15
+
+    def test_window_content_matches_slices(self, small_panel):
+        stream = WindowedStream.from_tensor(small_panel, window_size=25,
+                                            stride=25)
+        for window in stream:
+            np.testing.assert_array_equal(
+                window.tensor.values,
+                small_panel.values[..., window.start:window.stop])
+
+    def test_oversized_window_degrades_to_single_window(self, tiny_tensor):
+        stream = WindowedStream.from_tensor(tiny_tensor, window_size=999)
+        windows = list(stream)
+        assert len(windows) == 1
+        assert windows[0].size == tiny_tensor.n_time
+        assert windows[0].last
+
+    def test_stream_is_reiterable(self, small_panel):
+        stream = WindowedStream.from_tensor(small_panel, window_size=40)
+        assert len(list(stream)) == len(list(stream))
+
+    def test_rejects_bad_geometry(self, small_panel):
+        with pytest.raises(ValidationError):
+            WindowedStream.from_tensor(small_panel, window_size=0)
+        with pytest.raises(ValidationError):
+            WindowedStream.from_tensor(small_panel, window_size=10, stride=0)
+
+    def test_rejects_gapped_stride(self, small_panel):
+        # stride > window would leave time steps no window covers
+        with pytest.raises(ValidationError, match="must not exceed"):
+            WindowedStream.from_tensor(small_panel, window_size=10,
+                                       stride=20)
+        with pytest.raises(ValidationError, match="must not exceed"):
+            WindowedStream.from_ticks(iter([]), [], window_size=10,
+                                      stride=20)
+
+
+class TestWindowedStreamFromTicks:
+    def test_buffers_live_ticks_into_windows(self):
+        dimensions = [Dimension.categorical("sensor", 3)]
+        ticks = [np.array([t, 10.0 + t, 20.0 + t]) for t in range(20)]
+        ticks[7][1] = np.nan  # a dropped reading is a missing cell
+        stream = WindowedStream.from_ticks(iter(ticks), dimensions,
+                                           window_size=8, stride=4)
+        windows = list(stream)
+        assert [w.start for w in windows] == [0, 4, 8, 12]
+        first = windows[0]
+        assert first.tensor.shape == (3, 8)
+        np.testing.assert_array_equal(first.tensor.values[0], np.arange(8))
+        assert first.tensor.mask[1, 7] == 0  # the nan tick
+        assert windows[-1].last and not any(w.last for w in windows[:-1])
+
+    def test_tick_tail_is_never_dropped(self):
+        # 10 ticks, window 4, stride 4: strided stops at 4 and 8 miss the
+        # last two ticks — a catch-up window [6, 10) covers them.
+        dimensions = [Dimension.categorical("sensor", 2)]
+        ticks = iter([np.array([float(t), float(t)]) for t in range(10)])
+        stream = WindowedStream.from_ticks(ticks, dimensions, window_size=4,
+                                           stride=4)
+        windows = list(stream)
+        assert [(w.start, w.stop) for w in windows] == [(0, 4), (4, 8),
+                                                        (6, 10)]
+        np.testing.assert_array_equal(windows[-1].tensor.values[0],
+                                      np.arange(6, 10))
+        assert windows[-1].last
+
+    def test_short_tick_feed_yields_one_whole_window(self):
+        dimensions = [Dimension.categorical("sensor", 2)]
+        ticks = iter([np.array([1.0, 2.0])] * 3)
+        stream = WindowedStream.from_ticks(ticks, dimensions, window_size=8)
+        (window,) = list(stream)
+        assert (window.start, window.stop) == (0, 3)
+        assert window.last
+
+    def test_tick_stream_is_one_shot(self):
+        dimensions = [Dimension.categorical("sensor", 2)]
+        ticks = iter([np.array([1.0, 2.0])] * 8)
+        stream = WindowedStream.from_ticks(ticks, dimensions, window_size=4,
+                                           stride=4)
+        assert len(list(stream)) == 2
+        assert list(stream) == []  # ticks were consumed
+
+
+class TestHistoryBuffer:
+    @staticmethod
+    def _window(index, start, stop, n_series=2):
+        values = np.arange(start, stop, dtype=float)[None, :].repeat(
+            n_series, axis=0)
+        tensor = TimeSeriesTensor(
+            values=values,
+            dimensions=[Dimension.categorical("series", n_series)])
+        return StreamWindow(index=index, start=start, stop=stop,
+                            tensor=tensor)
+
+    def test_overlapping_windows_are_deduplicated(self):
+        buffer = HistoryBuffer(max_history=None)
+        buffer.absorb(self._window(0, 0, 10))
+        buffer.absorb(self._window(1, 5, 15))  # overlaps [5, 10)
+        history = buffer.tensor()
+        assert history.n_time == 15
+        np.testing.assert_array_equal(history.values[0], np.arange(15))
+
+    def test_fully_contained_window_is_ignored(self):
+        buffer = HistoryBuffer(max_history=None)
+        buffer.absorb(self._window(0, 0, 10))
+        buffer.absorb(self._window(1, 2, 8))
+        assert buffer.tensor().n_time == 10
+
+    def test_history_is_bounded(self):
+        buffer = HistoryBuffer(max_history=12)
+        for k in range(5):
+            buffer.absorb(self._window(k, k * 10, (k + 1) * 10))
+        history = buffer.tensor()
+        assert history.n_time == 12
+        # the newest steps survive, the oldest are dropped
+        np.testing.assert_array_equal(history.values[0], np.arange(38, 50))
+
+    def test_gap_restarts_the_history(self):
+        # A dropped span must not make the gap edges adjacent in the
+        # refit history; the buffer restarts from the gapped window.
+        buffer = HistoryBuffer(max_history=None)
+        buffer.absorb(self._window(0, 0, 10))
+        buffer.absorb(self._window(1, 20, 30))
+        history = buffer.tensor()
+        assert history.n_time == 10
+        np.testing.assert_array_equal(history.values[0], np.arange(20, 30))
+        # contiguous absorption resumes normally after the restart
+        buffer.absorb(self._window(2, 30, 40))
+        np.testing.assert_array_equal(buffer.tensor().values[0],
+                                      np.arange(20, 40))
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValidationError):
+            HistoryBuffer(max_history=0)
