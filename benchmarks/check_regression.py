@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Compare a hot-path benchmark run against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT.json BASELINE.json \
+        [--tolerance 0.25]
+
+Both files are ``hot_path.json`` payloads (see
+``benchmarks/test_hot_path.py``).  The baseline's ``gate`` list names the
+metrics under comparison — dimensionless speedup ratios, chosen because
+they are stable across host speeds, unlike absolute samples/sec.  The
+check **fails (exit 1) when any gated metric of the current run falls more
+than ``tolerance`` below the baseline value** (higher is better for every
+gated metric).  Improvements are reported but never fail.
+
+A missing gated metric in the current run is a failure too: a benchmark
+that silently stops measuring a hot path must not pass the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_payload(path: Path) -> dict:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        sys.exit(f"error: benchmark file {path} does not exist")
+    except json.JSONDecodeError as error:
+        sys.exit(f"error: {path} is not valid JSON: {error}")
+    if "metrics" not in payload:
+        sys.exit(f"error: {path} has no 'metrics' section")
+    return payload
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> int:
+    gate = baseline.get("gate") or current.get("gate") or []
+    if not gate:
+        sys.exit("error: neither file names gated metrics ('gate' list)")
+    failures = []
+    width = max(len(name) for name in gate)
+    for name in gate:
+        base_value = baseline["metrics"].get(name)
+        if base_value is None:
+            sys.exit(f"error: baseline has no metric {name!r}")
+        value = current["metrics"].get(name)
+        if value is None:
+            failures.append(f"{name}: missing from the current run")
+            print(f"  {name:<{width}}  baseline {base_value:8.3f}  "
+                  f"current   MISSING  FAIL")
+            continue
+        floor = base_value * (1.0 - tolerance)
+        change = (value - base_value) / base_value
+        verdict = "ok" if value >= floor else "FAIL"
+        print(f"  {name:<{width}}  baseline {base_value:8.3f}  "
+              f"current {value:8.3f}  ({change:+.1%})  {verdict}")
+        if value < floor:
+            failures.append(
+                f"{name}: {value:.3f} is more than {tolerance:.0%} below "
+                f"the baseline {base_value:.3f}")
+    if failures:
+        print(f"\nREGRESSION: {len(failures)} gated metric(s) failed "
+              f"(tolerance {tolerance:.0%}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(gate)} gated metric(s) within {tolerance:.0%} "
+          "of the baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path,
+                        help="freshly generated hot_path.json")
+    parser.add_argument("baseline", type=Path,
+                        help="committed baseline json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop per gated metric "
+                             "(default 0.25)")
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
+    current = load_payload(args.current)
+    baseline = load_payload(args.baseline)
+    print(f"comparing {args.current} against baseline {args.baseline}")
+    return check(current, baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

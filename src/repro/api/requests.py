@@ -277,6 +277,11 @@ class ImputeResult:
     runtime_seconds: float = 0.0
     #: True when the result came out of a micro-batched ``gather()`` sweep
     from_batch: bool = False
+    #: True when the batch was served by one fused forward call
+    #: (``impute_many``) rather than per-request impute calls; the
+    #: per-request ``runtime_seconds`` is then the request's share of the
+    #: fused wall-clock.
+    fused: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -286,6 +291,7 @@ class ImputeResult:
             "completed": tensor_to_dict(self.completed),
             "runtime_seconds": float(self.runtime_seconds),
             "from_batch": bool(self.from_batch),
+            "fused": bool(self.fused),
         }
 
     @classmethod
@@ -297,4 +303,5 @@ class ImputeResult:
             completed=tensor_from_dict(payload["completed"]),
             runtime_seconds=float(payload.get("runtime_seconds", 0.0)),
             from_batch=bool(payload.get("from_batch", False)),
+            fused=bool(payload.get("fused", False)),
         )

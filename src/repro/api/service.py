@@ -231,11 +231,16 @@ def execute_serving_batch(batch: ServingBatch,
 
     Module-level so :class:`~repro.engine.executor.ParallelExecutor` can
     pickle it to worker processes.  The returned :class:`JobResult` carries
-    ``{"results": [ImputeResult...], "failures": [{request_id, error}...]}``:
-    a request that raises is captured *per request*, so one bad tensor never
-    discards the finished imputations of its batch siblings.  Only a failure
-    to obtain the model at all (missing artifact, unpicklable state) fails
-    the whole batch.
+    ``{"results": [ImputeResult...], "failures": [{request_id, error}...]}``.
+
+    The batch is first served **fused**: one ``impute_many`` call completes
+    every request through shared forward passes (the whole point of
+    micro-batching — DeepMVI concatenates the requests' missing-cell batches
+    into single network calls).  If the fused call raises, the batch falls
+    back to per-request serving so the failure is isolated to the request
+    that caused it: one bad tensor never discards the finished imputations
+    of its batch siblings.  Only a failure to obtain the model at all
+    (missing artifact, unpicklable state) fails the whole batch.
     """
     import traceback
 
@@ -255,6 +260,40 @@ def execute_serving_batch(batch: ServingBatch,
 
     results: List[ImputeResult] = []
     failures: List[Dict[str, str]] = []
+    fused_results = None
+    # Only genuinely fused implementations are worth the all-or-nothing
+    # first attempt; the BaseImputer default is the same per-request loop
+    # as the fallback, so running it "fused" would just double-execute the
+    # healthy requests whenever one fails.
+    overrides_impute_many = (type(imputer).impute_many
+                             is not BaseImputer.impute_many)
+    if len(batch.requests) > 1 and overrides_impute_many:
+        try:
+            start = time.perf_counter()
+            completed_many = imputer.impute_many(
+                [request.data for request in batch.requests])
+            share = (time.perf_counter() - start) / len(batch.requests)
+            fused_results = [
+                ImputeResult(
+                    request_id=str(request.request_id),
+                    model_id=batch.model_id,
+                    method=method,
+                    completed=completed,
+                    runtime_seconds=share,
+                    from_batch=True,
+                    fused=True,
+                )
+                for request, completed in zip(batch.requests, completed_many)
+            ]
+        except Exception:
+            # One request poisoned the fused pass; re-serve one-at-a-time so
+            # the healthy requests still complete and the failure is pinned
+            # to its request id.
+            fused_results = None
+    if fused_results is not None:
+        return JobResult(key=key, result={"results": fused_results,
+                                          "failures": []})
+
     for request in batch.requests:
         try:
             start = time.perf_counter()

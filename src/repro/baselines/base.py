@@ -52,6 +52,16 @@ class BaseImputer:
         """Fit on ``tensor`` and return its completed copy."""
         return self.fit(tensor).impute(tensor)
 
+    def impute_many(self, tensors) -> list:
+        """Complete many tensors with one fitted model, in input order.
+
+        The serving layer's batched entry point: methods whose forward pass
+        can amortise over requests override this to fuse them (see
+        :meth:`repro.core.imputer.DeepMVIImputer.impute_many`); the default
+        simply loops, so every imputer is batch-servable.
+        """
+        return [self.impute(tensor) for tensor in tensors]
+
     # -- serialisation -------------------------------------------------- #
     def get_state(self) -> Dict[str, object]:
         """Deep-copied snapshot of the configuration and fitted state."""

@@ -57,6 +57,43 @@ class Batch:
         return self.window_values.shape[0]
 
 
+def concatenate_batches(batches: Sequence[Batch]) -> Batch:
+    """Stack compatible batches along the sample axis into one fused batch.
+
+    Batches are compatible when their non-batch shapes agree (same context
+    width, window size and per-dimension sibling counts) — true whenever
+    they come from contexts over same-shaped tensors with one model's
+    configuration.  Used by the fused serving path to run many requests'
+    missing cells through a single forward call.
+    """
+    if not batches:
+        raise ValueError("cannot concatenate zero batches")
+    if len(batches) == 1:
+        return batches[0]
+    first = batches[0]
+    n_dims = len(first.sibling_member_indices)
+    return Batch(
+        window_values=np.concatenate([b.window_values for b in batches]),
+        window_avail=np.concatenate([b.window_avail for b in batches]),
+        absolute_index=np.concatenate([b.absolute_index for b in batches]),
+        target_window=np.concatenate([b.target_window for b in batches]),
+        target_offset=np.concatenate([b.target_offset for b in batches]),
+        member_indices=np.concatenate([b.member_indices for b in batches]),
+        sibling_member_indices=[
+            np.concatenate([b.sibling_member_indices[dim] for b in batches])
+            for dim in range(n_dims)],
+        sibling_values=[
+            np.concatenate([b.sibling_values[dim] for b in batches])
+            for dim in range(n_dims)],
+        sibling_avail=[
+            np.concatenate([b.sibling_avail[dim] for b in batches])
+            for dim in range(n_dims)],
+        targets=np.concatenate([b.targets for b in batches]),
+        series_rows=np.concatenate([b.series_rows for b in batches]),
+        target_times=np.concatenate([b.target_times for b in batches]),
+    )
+
+
 class DatasetContext:
     """Precomputed flat views and index tables for one dataset.
 
@@ -175,20 +212,24 @@ class DatasetContext:
         batch = series_rows.shape[0]
         w = self.window
 
-        series_values = self.padded_matrix[series_rows]                    # (B, T_pad)
-        if series_avail_override is not None:
-            series_avail = series_avail_override
-        else:
-            series_avail = self.padded_avail[series_rows]
-
-        window_values_full = series_values.reshape(batch, self.n_windows, w)
-        window_avail_full = series_avail.reshape(batch, self.n_windows, w)
-
         start, context = self.context_span(target_times)
         offsets = start[:, None] + np.arange(context)[None, :]             # (B, C)
-        rows = np.arange(batch)[:, None]
-        window_values = window_values_full[rows, offsets]
-        window_avail = window_avail_full[rows, offsets]
+        # One fancy-indexing gather per array, straight from windowed views
+        # of the padded arrays — no (B, T_pad) intermediate.  The views are
+        # O(1) reshapes of contiguous data, recomputed per call so the
+        # context never carries duplicate buffers (pickling a stored view
+        # would serialise the full array twice).
+        matrix_windows = self.padded_matrix.reshape(
+            self.n_series, self.n_windows, w)
+        window_values = matrix_windows[series_rows[:, None], offsets]
+        if series_avail_override is not None:
+            rows = np.arange(batch)[:, None]
+            window_avail = series_avail_override.reshape(
+                batch, self.n_windows, w)[rows, offsets]
+        else:
+            avail_windows = self.padded_avail.reshape(
+                self.n_series, self.n_windows, w)
+            window_avail = avail_windows[series_rows[:, None], offsets]
         target_window = (target_times // w) - start
         target_offset = target_times % w
 

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.baselines.base import BaseImputer
 from repro.core.config import DeepMVIConfig
-from repro.core.context import DatasetContext
+from repro.core.context import DatasetContext, concatenate_batches
 from repro.core.model import DeepMVIModel
 from repro.core.sampling import MissingShapeSampler
 from repro.core.training import DeepMVITrainer, TrainingHistory
@@ -99,34 +99,100 @@ class DeepMVIImputer(BaseImputer):
     # ------------------------------------------------------------------ #
     def impute(self, tensor: Optional[TimeSeriesTensor] = None) -> TimeSeriesTensor:
         """Fill every missing cell of ``tensor`` (default: the fitted one)."""
+        return self.impute_many([tensor])[0]
+
+    def impute_many(self, tensors) -> list:
+        """Fill the missing cells of many tensors with fused forward calls.
+
+        The serving hot path: instead of running one forward pass per tensor
+        (per request), the missing-cell batches of every tensor whose batch
+        structure matches (same context width and sibling counts — always
+        true for same-shaped tensors) are concatenated and pushed through
+        the network together, so a micro-batched ``gather()`` sweep costs a
+        handful of forward calls rather than one per request.  Results come
+        back in input order; each entry of ``tensors`` may be ``None`` for
+        the fitted tensor.
+        """
         if self.model is None or self.context is None:
             raise NotFittedError("call fit() before impute()")
-        if tensor is None:
-            tensor = self._fitted_tensor
-        if tensor is self._fitted_tensor:
-            context = self.context
-        else:
-            # Imputing a different tensor re-uses the trained parameters with
-            # a dataset context built around the new data.  The context is
-            # local: the fitted state must survive for later no-arg calls.
-            context = self._build_context(tensor)
-
         self.model.eval()
-        missing_cells = np.argwhere(context.avail == 0)
-        # Ignore cells that fall outside the original (unpadded) time range.
-        missing_cells = missing_cells[missing_cells[:, 1] < context.n_time]
-        imputed_matrix = context.matrix.copy()
+
+        # One plan per tensor: its context, missing cells, and the matrix
+        # the predictions scatter into.
+        plans = []
+        for tensor in tensors:
+            if tensor is None:
+                tensor = self._fitted_tensor
+            if tensor is self._fitted_tensor:
+                context = self.context
+            else:
+                # Imputing a different tensor re-uses the trained parameters
+                # with a dataset context built around the new data.  The
+                # context is local: the fitted state must survive for later
+                # no-arg calls.
+                context = self._build_context(tensor)
+            missing_cells = np.argwhere(context.avail == 0)
+            # Ignore cells that fall outside the original (unpadded) range.
+            missing_cells = missing_cells[missing_cells[:, 1] < context.n_time]
+            plans.append((tensor, context, missing_cells,
+                          context.matrix.copy()))
+
+        # Fuse across tensors whose batches can be concatenated.
+        groups: dict = {}
+        for index, (tensor, context, missing_cells, _) in enumerate(plans):
+            signature = (
+                min(context.max_context_windows, context.n_windows),
+                context.window,
+                tuple(context.sibling_rows(dim).shape[1]
+                      for dim in range(context.n_dims)),
+            )
+            groups.setdefault(signature, []).append(index)
 
         batch_size = self.config.impute_batch_size
-        for start in range(0, missing_cells.shape[0], batch_size):
-            chunk = missing_cells[start:start + batch_size]
-            batch = context.build_batch(
-                series_rows=chunk[:, 0], target_times=chunk[:, 1])
-            predictions = self.model.predict(batch)
-            imputed_matrix[chunk[:, 0], chunk[:, 1]] = predictions
+        for indices in groups.values():
+            # Flat (plan, row, t) work list over the whole group, chunked to
+            # impute_batch_size; one forward call per chunk.
+            stream = [(index, plans[index][2]) for index in indices
+                      if plans[index][2].shape[0]]
+            # Walk the concatenated cell stream in chunk-sized strides,
+            # slicing per plan so each chunk knows where to scatter back.
+            chunk: list = []
+            chunk_fill = 0
+            flushes = []
+            for index, cells in stream:
+                start = 0
+                total = cells.shape[0]
+                while start < total:
+                    take = min(batch_size - chunk_fill, total - start)
+                    chunk.append((index, start, start + take))
+                    chunk_fill += take
+                    start += take
+                    if chunk_fill == batch_size:
+                        flushes.append(chunk)
+                        chunk, chunk_fill = [], 0
+            if chunk:
+                flushes.append(chunk)
+            for chunk in flushes:
+                pieces = []
+                for index, start, stop in chunk:
+                    _, context, cells, _ = plans[index]
+                    pieces.append(context.build_batch(
+                        series_rows=cells[start:stop, 0],
+                        target_times=cells[start:stop, 1]))
+                predictions = self.model.predict(concatenate_batches(pieces))
+                offset = 0
+                for index, start, stop in chunk:
+                    _, _, cells, matrix = plans[index]
+                    taken = stop - start
+                    matrix[cells[start:stop, 0], cells[start:stop, 1]] = \
+                        predictions[offset:offset + taken]
+                    offset += taken
 
-        filled = context.denormalise(imputed_matrix)
-        return tensor.fill(filled.reshape(tensor.values.shape))
+        completed = []
+        for tensor, context, _, matrix in plans:
+            filled = context.denormalise(matrix)
+            completed.append(tensor.fill(filled.reshape(tensor.values.shape)))
+        return completed
 
     # ------------------------------------------------------------------ #
     def fit_impute(self, tensor: TimeSeriesTensor) -> TimeSeriesTensor:

@@ -6,6 +6,15 @@ that the context the network sees during training is distributed like the
 context it will see at imputation time.  The block's shape (its extent along
 time and along each member dimension) is sampled from the shapes of the
 blocks that are actually missing in the dataset.
+
+Batch assembly is the training hot path, so it is fully vectorised: shape
+extents come from precomputed run-length tables (one gather per batch
+instead of a per-sample walk along the mask), and the synthetic cuboids are
+applied with fancy indexing / cumulative-sum interval masks instead of a
+``for i in range(batch_size)`` loop.  A loop-based reference implementation
+(:meth:`TrainingSampler.sample_batch_reference`) consumes the exact same
+random draws, so the equivalence suite can assert the two paths agree
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -24,6 +33,27 @@ class BlockShape:
 
     member_extents: Tuple[int, ...]
     time_extent: int
+
+
+def _run_length_map(mask: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-cell extents of contiguous runs of ones along the last axis.
+
+    Returns ``(extent_map, run_lengths)``: ``extent_map[i, t]`` is the length
+    of the run of ones containing ``(i, t)`` (1 where the mask is 0, matching
+    :func:`_extent_through`), and ``run_lengths`` lists every run once.
+    """
+    m = np.asarray(mask) == 1
+    prev = np.zeros_like(m)
+    prev[:, 1:] = m[:, :-1]
+    starts = m & ~prev
+    run_id = np.cumsum(starts.ravel()).reshape(m.shape) - 1
+    n_runs = int(starts.sum())
+    if n_runs == 0:
+        return np.ones(m.shape, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    run_lengths = np.bincount(run_id[m], minlength=n_runs)
+    extent_map = np.ones(m.shape, dtype=np.int64)
+    extent_map[m] = run_lengths[run_id[m]]
+    return extent_map, run_lengths
 
 
 class MissingShapeSampler:
@@ -46,6 +76,9 @@ class MissingShapeSampler:
         self.index_table = index_table
         self.dimension_sizes = list(dimension_sizes)
         self.missing_cells = np.argwhere(self.missing_mask == 1)
+        # Lazily built run-length tables for vectorised shape sampling.
+        self._time_extent_map: Optional[np.ndarray] = None
+        self._member_extent_maps: Optional[List[np.ndarray]] = None
 
     # ------------------------------------------------------------------ #
     def has_missing(self) -> bool:
@@ -55,11 +88,60 @@ class MissingShapeSampler:
         """Mean length of contiguous missing runs along time (>=1)."""
         if not self.has_missing():
             return 1.0
-        lengths: List[int] = []
-        for row in np.unique(self.missing_cells[:, 0]):
-            mask_row = self.missing_mask[row]
-            lengths.extend(_run_lengths(mask_row))
-        return float(np.mean(lengths)) if lengths else 1.0
+        _, run_lengths = _run_length_map(self.missing_mask)
+        return float(run_lengths.mean()) if run_lengths.size else 1.0
+
+    # ------------------------------------------------------------------ #
+    def _ensure_extent_tables(self) -> None:
+        """Precompute per-cell extents along time and every member dimension.
+
+        One O(n_series * T) pass per axis, done once; afterwards sampling a
+        batch of shapes is a pure table gather.
+        """
+        if self._time_extent_map is not None:
+            return
+        self._time_extent_map, _ = _run_length_map(self.missing_mask)
+        maps: List[np.ndarray] = []
+        n_time = self.missing_mask.shape[1]
+        grid_shape = tuple(self.dimension_sizes) + (n_time,)
+        for dim in range(len(self.dimension_sizes)):
+            # Flat rows enumerate member combinations in C order (the same
+            # stride layout as DatasetContext's sibling tables), so the mask
+            # reshapes to (dim_0, ..., dim_{k-1}, T); runs along dimension
+            # ``dim`` become runs along the last axis after a moveaxis.
+            grid = self.missing_mask.reshape(grid_shape)
+            moved = np.moveaxis(grid, dim, -1)
+            flat = moved.reshape(-1, self.dimension_sizes[dim])
+            extent, _ = _run_length_map(flat)
+            extent = np.moveaxis(extent.reshape(moved.shape), -1, dim)
+            maps.append(extent.reshape(self.missing_mask.shape))
+        self._member_extent_maps = maps
+
+    def sample_shapes(self, rng: np.random.Generator,
+                      n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample ``n`` cuboid shapes in one vectorised draw.
+
+        Returns ``(time_extents, member_extents)`` of shapes ``(n,)`` and
+        ``(n, n_dims)``.  Equivalent to ``n`` calls of :meth:`sample_shape`
+        modulo RNG consumption order: one batched draw of cell indices
+        instead of ``n`` scalar draws.
+        """
+        n_dims = len(self.dimension_sizes)
+        if not self.has_missing():
+            time_extents = rng.integers(1, 11, size=n).astype(np.int64)
+            return time_extents, np.ones((n, n_dims), dtype=np.int64)
+        self._ensure_extent_tables()
+        cell_ids = rng.integers(0, self.missing_cells.shape[0], size=n)
+        rows = self.missing_cells[cell_ids, 0]
+        times = self.missing_cells[cell_ids, 1]
+        time_extents = self._time_extent_map[rows, times]
+        if n_dims:
+            member_extents = np.stack(
+                [table[rows, times] for table in self._member_extent_maps],
+                axis=1)
+        else:
+            member_extents = np.zeros((n, 0), dtype=np.int64)
+        return time_extents, member_extents
 
     def sample_shape(self, rng: np.random.Generator) -> BlockShape:
         """Sample a cuboid shape from an observed missing block.
@@ -102,17 +184,8 @@ class MissingShapeSampler:
 
 def _run_lengths(mask_row: np.ndarray) -> List[int]:
     """Lengths of contiguous runs of ones in a 0/1 vector."""
-    lengths: List[int] = []
-    run = 0
-    for value in mask_row:
-        if value == 1:
-            run += 1
-        elif run:
-            lengths.append(run)
-            run = 0
-    if run:
-        lengths.append(run)
-    return lengths
+    _, lengths = _run_length_map(np.asarray(mask_row)[None, :])
+    return lengths.tolist()
 
 
 def _extent_through(mask_row: np.ndarray, position: int) -> int:
@@ -136,6 +209,12 @@ class TrainingSampler:
     cuboid placed uniformly at random so that it covers the cell; the
     cuboid's time range is hidden from the cell's own series and its member
     ranges are hidden from the kernel-regression siblings.
+
+    All randomness for a batch is drawn up front in a fixed protocol
+    (:meth:`_draw_batch`); :meth:`sample_batch` applies it with vectorised
+    gathers while :meth:`sample_batch_reference` applies the identical draws
+    with the historical per-sample loop, so both produce bit-identical
+    batches from the same generator state.
     """
 
     def __init__(self, context: DatasetContext, shape_sampler: MissingShapeSampler,
@@ -149,26 +228,117 @@ class TrainingSampler:
         self.available_cells = available
 
     # ------------------------------------------------------------------ #
+    def _draw_batch(self, batch_size: int):
+        """Draw every random number a batch needs, in one fixed order.
+
+        Offsets inside the cuboid are drawn as uniform floats and floored
+        against the (data-dependent) extents later, so the draw count never
+        depends on the sampled shapes — the precondition for the vectorised
+        and reference paths sharing one stream.
+        """
+        picks = self.rng.integers(0, self.available_cells.shape[0],
+                                  size=batch_size)
+        time_extents, member_extents = self.shape_sampler.sample_shapes(
+            self.rng, batch_size)
+        time_u = self.rng.random(batch_size)
+        member_u = self.rng.random((batch_size, self.context.n_dims))
+        return picks, time_extents, member_extents, time_u, member_u
+
+    # ------------------------------------------------------------------ #
     def sample_batch(self, batch_size: int) -> Batch:
-        """Sample ``batch_size`` training instances and build their Batch."""
-        picks = self.rng.integers(0, self.available_cells.shape[0], size=batch_size)
+        """Sample ``batch_size`` training instances and build their Batch.
+
+        Fully vectorised: one fancy-indexing gather per array, no Python
+        loop over samples (the per-dimension loop runs ``n_dims`` times,
+        not ``batch_size`` times).
+        """
+        context = self.context
+        picks, time_extents, member_extents, time_u, member_u = \
+            self._draw_batch(batch_size)
         cells = self.available_cells[picks]
         rows = cells[:, 0]
         times = cells[:, 1]
-        targets = self.context.matrix[rows, times]
+        targets = context.matrix[rows, times]
+        batch_index = np.arange(batch_size)
 
-        series_avail = self.context.padded_avail[rows].copy()
+        # --- hide the cuboid's time range from each target's own series --- #
+        length = context.n_time
+        extents = np.minimum(np.maximum(time_extents, 1), max(1, length - 1))
+        offsets = (time_u * extents).astype(np.int64)
+        starts = np.clip(times - offsets, 0, length - extents)
+        stops = starts + extents
+
+        series_avail = context.padded_avail[rows].copy()
+        # Interval mask via a cumulative-sum of interval deltas: one +1 at
+        # each start, one -1 at each stop, positive prefix sums are inside.
+        delta = np.zeros((batch_size, series_avail.shape[1] + 1),
+                         dtype=np.int64)
+        delta[batch_index, starts] = 1
+        delta[batch_index, stops] -= 1
+        inside_time = np.cumsum(delta[:, :-1], axis=1) > 0
+        series_avail[inside_time] = 0.0
+        # The target cell itself must always be hidden.
+        series_avail[batch_index, times] = 0.0
+
+        # --- hide the cuboid's member ranges from the siblings ------------ #
+        member_exclusion: List[np.ndarray] = []
+        for dim in range(context.n_dims):
+            sibling_rows = context.sibling_rows(dim)[rows]
+            exclusion = np.zeros(sibling_rows.shape, dtype=np.float64)
+            if sibling_rows.shape[1]:
+                size = context.dimension_sizes[dim]
+                dim_extents = np.minimum(
+                    np.maximum(member_extents[:, dim], 1), size)
+                members = context.index_table[rows, dim]
+                dim_offsets = (member_u[:, dim] * dim_extents).astype(np.int64)
+                dim_starts = np.clip(members - dim_offsets, 0,
+                                     size - dim_extents)
+                sibling_members = context.index_table[sibling_rows, dim]
+                inside = ((sibling_members >= dim_starts[:, None])
+                          & (sibling_members
+                             < (dim_starts + dim_extents)[:, None]))
+                exclusion[inside] = 1.0
+            member_exclusion.append(exclusion)
+
+        return context.build_batch(
+            series_rows=rows,
+            target_times=times,
+            series_avail_override=series_avail,
+            member_exclusion=member_exclusion,
+            targets=targets,
+        )
+
+    # ------------------------------------------------------------------ #
+    def sample_batch_reference(self, batch_size: int) -> Batch:
+        """Per-sample loop implementation of :meth:`sample_batch`.
+
+        Consumes the same random draws as the vectorised path and must
+        produce a bit-identical batch; it exists as the equivalence oracle
+        and as the baseline of the hot-path benchmark.
+        """
+        context = self.context
+        picks, time_extents, member_extents, time_u, member_u = \
+            self._draw_batch(batch_size)
+        cells = self.available_cells[picks]
+        rows = cells[:, 0]
+        times = cells[:, 1]
+        targets = context.matrix[rows, times]
+
+        series_avail = context.padded_avail[rows].copy()
         member_exclusion = [
-            np.zeros_like(self.context.sibling_rows(dim)[rows], dtype=np.float64)
-            for dim in range(self.context.n_dims)
+            np.zeros_like(context.sibling_rows(dim)[rows], dtype=np.float64)
+            for dim in range(context.n_dims)
         ]
 
         for i in range(batch_size):
-            shape = self.shape_sampler.sample_shape(self.rng)
+            shape = BlockShape(
+                member_extents=tuple(int(e) for e in member_extents[i]),
+                time_extent=int(time_extents[i]))
             self._apply_cuboid(i, int(rows[i]), int(times[i]), shape,
+                               float(time_u[i]), member_u[i],
                                series_avail, member_exclusion)
 
-        return self.context.build_batch(
+        return context.build_batch(
             series_rows=rows,
             target_times=times,
             series_avail_override=series_avail,
@@ -177,12 +347,13 @@ class TrainingSampler:
         )
 
     def _apply_cuboid(self, i: int, row: int, t: int, shape: BlockShape,
+                      time_u: float, member_u: np.ndarray,
                       series_avail: np.ndarray,
                       member_exclusion: List[np.ndarray]) -> None:
         """Hide the synthetic cuboid for sample ``i`` in the batch buffers."""
         length = self.context.n_time
         time_extent = max(1, min(shape.time_extent, length - 1))
-        start = t - int(self.rng.integers(0, time_extent))
+        start = t - int(time_u * time_extent)
         start = int(np.clip(start, 0, length - time_extent))
         series_avail[i, start:start + time_extent] = 0.0
         # The target cell itself must always be hidden.
@@ -195,7 +366,7 @@ class TrainingSampler:
             size = self.context.dimension_sizes[dim]
             extent = max(1, min(shape.member_extents[dim], size))
             member = int(self.context.index_table[row, dim])
-            member_start = member - int(self.rng.integers(0, extent))
+            member_start = member - int(member_u[dim] * extent)
             member_start = int(np.clip(member_start, 0, size - extent))
             sibling_members = self.context.index_table[
                 self.context.sibling_rows(dim)[row], dim]

@@ -257,6 +257,13 @@ class JobSpec:
     seed: int = 0
     artifact_path: Optional[str] = None
 
+    #: version of the scenario-mask seeding scheme, folded into the cache
+    #: key: results computed under a different scheme were evaluated on
+    #: different masks and must never be served from cache as if comparable.
+    #: v2 = per-job seeds derived via :meth:`mask_seed` (v1 passed the
+    #: literal grid seed to every job).
+    MASK_SEED_SCHEME = "per-job-v2"
+
     def key(self) -> str:
         """Deterministic cache key identifying this cell's outcome.
 
@@ -270,7 +277,34 @@ class JobSpec:
                          "params": _canonical(self.scenario.params)},
             "method": self.method.fingerprint(),
             "seed": self.seed,
+            "mask_seed_scheme": self.MASK_SEED_SCHEME,
         })
+
+    def mask_seed(self) -> int:
+        """Scenario-mask seed derived from the job's data fingerprint.
+
+        Historically every job passed the literal grid ``seed`` to the
+        scenario generator, which meant two *different* datasets of the same
+        shape in one grid received **bit-identical** missing masks (the same
+        RNG stream applied to the same shape) — a silent correlation across
+        grid cells.  Deriving the seed from (dataset, scenario, base seed)
+        instead keeps the two guarantees that matter and drops the
+        correlation:
+
+        * every method evaluated on one (dataset, scenario) cell still sees
+          the same mask — the method is *not* part of the derivation — so
+          per-cell comparisons stay apples-to-apples;
+        * the seed is a pure function of the spec's content, never of
+          shared or global RNG state, so serial and parallel executions of
+          the same grid are identical for any worker count.
+        """
+        digest = fingerprint_digest({
+            "dataset": self.dataset.fingerprint(),
+            "scenario": {"name": self.scenario.name,
+                         "params": _canonical(self.scenario.params)},
+            "seed": self.seed,
+        })
+        return int(digest[:16], 16) % (2 ** 32)
 
     def needs_execution(self) -> bool:
         """True when a cache hit may not be used for this job.
@@ -343,7 +377,7 @@ def execute_job(spec: JobSpec, capture_errors: bool = True,
 
         truth = spec.dataset.load()
         incomplete, missing_mask = apply_scenario(truth, spec.scenario,
-                                                  seed=spec.seed)
+                                                  seed=spec.mask_seed())
         imputer = spec.method.build()
         start = time.perf_counter()
         completed = imputer.fit_impute(incomplete)

@@ -83,13 +83,24 @@ def nrmse(imputed: ArrayOrTensor, truth: ArrayOrTensor,
           mask: Optional[np.ndarray] = None) -> float:
     """RMSE normalised by the standard deviation of the true values.
 
-    Returns ``nan`` (with a warning) when the selection is empty.
+    Returns ``nan`` (with a warning) when the selection is empty.  When the
+    selected true values are (near-)constant — ``std < 1e-12`` — the
+    normalisation is undefined; the metric falls back to ``scale = 1.0``
+    (i.e. reports the plain RMSE) and emits a ``RuntimeWarning``, so a
+    degenerate evaluation slice can never masquerade as a meaningfully
+    normalised score.
     """
     predicted, actual = _select(imputed, truth, mask)
     if predicted.size == 0:
         return _empty_selection("nrmse")
     scale = actual.std()
     if scale < 1e-12:
+        warnings.warn(
+            "nrmse: the selected true values are (near-)constant "
+            f"(std={float(scale):.3e} < 1e-12), so the normalisation is "
+            "undefined; falling back to scale = 1.0 — the reported value "
+            "is the unnormalised rmse",
+            RuntimeWarning, stacklevel=2)
         scale = 1.0
     return float(np.sqrt(((predicted - actual) ** 2).mean()) / scale)
 

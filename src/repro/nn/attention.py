@@ -49,15 +49,29 @@ class MultiHeadAttention(Module):
                 mask: Optional[np.ndarray] = None) -> Tuple[Tensor, np.ndarray]:
         """Attend and return ``(output, attention_weights)``.
 
-        ``query``/``key``/``value`` are ``(B, L, model_dim)`` tensors; the
-        returned output is ``(B, Lq, model_dim)`` and the weights are a
-        plain numpy array ``(B, n_heads, Lq, Lk)`` for inspection.
+        ``query``/``key``/``value`` are ``(..., L, model_dim)`` tensors with
+        any number of leading batch axes (the fused serving path stacks an
+        extra one); the returned output is ``(..., Lq, model_dim)`` and the
+        weights are a plain numpy array ``(..., n_heads, Lq, Lk)`` for
+        inspection.
         """
         query = as_tensor(query)
         key = as_tensor(key)
         value = as_tensor(value)
-        batch, len_q, _ = query.shape
-        len_k = key.shape[1]
+        if query.data.ndim < 2:
+            raise ValueError(
+                f"query must be (..., L, model_dim), got shape {query.shape}")
+        # Fold every leading batch axis into one; unfold on the way out.
+        lead = query.shape[:-2]
+        len_q = query.shape[-2]
+        len_k = key.shape[-2]
+        if len(lead) != 1:
+            batch = int(np.prod(lead)) if lead else 1
+            query = query.reshape(batch, len_q, self.model_dim)
+            key = key.reshape(batch, len_k, self.model_dim)
+            value = value.reshape(batch, len_k, self.model_dim)
+        else:
+            batch = lead[0]
 
         q = self._split_heads(self.query_proj(query))
         k = self._split_heads(self.key_proj(key))
@@ -67,8 +81,29 @@ class MultiHeadAttention(Module):
             mask = np.ones((batch, 1, len_q, len_k))
         else:
             mask = np.asarray(mask, dtype=np.float64)
-            if mask.ndim == 3:
-                mask = mask[:, None, :, :]
+            if mask.ndim == 2:
+                # (Lq, Lk): one pattern shared by every sample and head.
+                mask = np.broadcast_to(mask, (batch, 1, len_q, len_k))
+            elif mask.ndim == len(lead) + 2:
+                # (..., Lq, Lk): per-sample, shared across heads.
+                mask = np.broadcast_to(
+                    mask, lead + (len_q, len_k)).reshape(
+                        batch, 1, len_q, len_k)
+            elif mask.ndim == len(lead) + 3:
+                # (..., H, Lq, Lk): fully explicit per-head mask.
+                mask = np.broadcast_to(
+                    mask, lead + mask.shape[-3:]).reshape(
+                        batch, mask.shape[-3], len_q, len_k)
+            else:
+                raise ValueError(
+                    f"mask shape {mask.shape} is incompatible with "
+                    f"query shape {lead + (len_q, self.model_dim)}")
         out, weights = F.batched_attention(q, k, v, mask)
         merged = self._merge_heads(out)
-        return self.output_proj(merged), weights.data
+        output = self.output_proj(merged)
+        if len(lead) != 1:
+            output = output.reshape(lead + (len_q, self.model_dim))
+            weights_data = weights.data.reshape(
+                lead + (self.n_heads, len_q, len_k))
+            return output, weights_data
+        return output, weights.data

@@ -68,7 +68,18 @@ class BidirectionalGRU(Module):
 
     def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
         x = as_tensor(x)
-        batch, length, _ = x.shape
+        if x.data.ndim < 2:
+            raise ValueError(
+                f"input must be (..., T, input_dim), got shape {x.shape}")
+        # Extra leading batch axes (e.g. a fused serving axis) fold into one
+        # batch for the recurrence and unfold on the way out.
+        lead = x.shape[:-2]
+        length, input_dim = x.shape[-2], x.shape[-1]
+        if len(lead) != 1:
+            batch = int(np.prod(lead)) if lead else 1
+            x = x.reshape(batch, length, input_dim)
+        else:
+            batch = lead[0]
         forward_states = []
         state = self.forward_cell.init_state(batch)
         for t in range(length):
@@ -81,4 +92,9 @@ class BidirectionalGRU(Module):
             state = self.backward_cell(x[:, t, :], state)
         forward_track = F.stack(forward_states, axis=1)
         backward_track = F.stack(backward_states, axis=1)
+        if len(lead) != 1:
+            forward_track = forward_track.reshape(
+                lead + (length, self.hidden_dim))
+            backward_track = backward_track.reshape(
+                lead + (length, self.hidden_dim))
         return forward_track, backward_track

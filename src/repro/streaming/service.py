@@ -219,14 +219,24 @@ class StreamingService:
             raise ServiceError(f"stream {stream_id!r} is closed")
         state.pending.append(window)
 
-    def step(self) -> List[StreamWindowResult]:
-        """Serve one pending window per stream, micro-batched together.
+    def step(self, max_windows: int = 1) -> List[StreamWindowResult]:
+        """Serve pending windows of every stream, micro-batched together.
 
         Refits (when due) run first, serially in this process — they are
         rare by construction.  The impute requests of every stream then go
         through one ``submit``/``gather`` sweep of the wrapped service, so
-        distinct streams' windows are served concurrently.  Failures never
-        propagate across streams: each becomes a per-window error result.
+        distinct streams' windows are served concurrently and the windows
+        queued against one model are **fused** into shared forward calls.
+
+        ``max_windows`` bounds how many pending windows each stream serves
+        in this step: the default ``1`` keeps the historical one-window
+        cadence, while a backlogged caller can drain ``max_windows=K`` (or
+        ``max_windows=0`` for *all* pending windows) per stream in a single
+        fused sweep.  A model superseded by a mid-step refit is retired only
+        after the sweep, so windows already queued against it still serve.
+
+        Failures never propagate across streams: each becomes a per-window
+        error result.
 
         The wrapped service's submit/gather queue belongs to this streaming
         service: a foreign request queued directly on it would be drained
@@ -239,40 +249,47 @@ class StreamingService:
                 f"{self.service.pending_count()} foreign pending request(s); "
                 "StreamingService owns its service's submit/gather queue — "
                 "gather() them first or use a dedicated service")
+        if max_windows < 0:
+            raise ValidationError(
+                f"max_windows must be >= 0, got {max_windows}")
         active: List[StreamWindowResult] = []
         requests: Dict[str, StreamWindowResult] = {}
+        retired: List[str] = []
         for state in self._streams.values():
             if state.closed or not state.pending:
                 continue
-            window = state.pending.pop(0)
-            result = StreamWindowResult(
-                stream_id=state.stream_id, window_index=window.index,
-                start=window.start, stop=window.stop)
-            active.append(result)
-            if state.refit_every or state.model_id is None:
-                # Warm-start streams that never refit skip the history
-                # copy: nothing would ever read it.
-                state.history.absorb(window)
-            state.windows_since_fit += 1
-            try:
-                # Refit *and* submit failures stay on their stream: a
-                # submit that raises (e.g. the model was pruned from a
-                # shared store) must neither abort the step nor strand the
-                # sibling requests already queued.
-                if self._needs_refit(state):
-                    result.refit = True
-                    result.refit_seconds = self._refit(state)
-                request_id = f"{state.stream_id}.w{window.index:06d}"
-                self.service.submit(ImputeRequest(
-                    model_id=state.model_id, data=window.tensor,
-                    request_id=request_id))
-            except Exception:
-                import traceback
+            take = len(state.pending) if max_windows == 0 \
+                else min(max_windows, len(state.pending))
+            windows = [state.pending.pop(0) for _ in range(take)]
+            for window in windows:
+                result = StreamWindowResult(
+                    stream_id=state.stream_id, window_index=window.index,
+                    start=window.start, stop=window.stop)
+                active.append(result)
+                if state.refit_every or state.model_id is None:
+                    # Warm-start streams that never refit skip the history
+                    # copy: nothing would ever read it.
+                    state.history.absorb(window)
+                state.windows_since_fit += 1
+                try:
+                    # Refit *and* submit failures stay on their stream: a
+                    # submit that raises (e.g. the model was pruned from a
+                    # shared store) must neither abort the step nor strand
+                    # the sibling requests already queued.
+                    if self._needs_refit(state):
+                        result.refit = True
+                        result.refit_seconds = self._refit(state, retired)
+                    request_id = f"{state.stream_id}.w{window.index:06d}"
+                    self.service.submit(ImputeRequest(
+                        model_id=state.model_id, data=window.tensor,
+                        request_id=request_id))
+                except Exception:
+                    import traceback
 
-                result.error = traceback.format_exc()
-                state.errors[window.index] = result.error
-                continue
-            requests[request_id] = result
+                    result.error = traceback.format_exc()
+                    state.errors[window.index] = result.error
+                    continue
+                requests[request_id] = result
 
         served = self.service.gather(raise_on_error=False)
         for impute_result in served:
@@ -289,6 +306,11 @@ class StreamingService:
                 continue
             result.error = error
             self._streams[result.stream_id].errors[result.window_index] = error
+        # A refit mid-step supersedes the stream's previous model; it is
+        # dropped only now, after the sweep, because windows accepted before
+        # the refit were still queued against it.
+        for model_id in retired:
+            self._discard_model(model_id)
         return active
 
     def run(self, streams: Mapping[str, Union[WindowedStream,
@@ -347,7 +369,8 @@ class StreamingService:
         return refit_due(state.model_id is not None, state.windows_since_fit,
                          state.refit_every)
 
-    def _refit(self, state: StreamState) -> float:
+    def _refit(self, state: StreamState,
+               retired: Optional[List[str]] = None) -> float:
         history = state.history.tensor()
         if history is None:
             raise ServiceError(
@@ -361,7 +384,12 @@ class StreamingService:
         state.refits += 1
         state.windows_since_fit = 0
         if superseded is not None:
-            self._discard_model(superseded)
+            if retired is not None:
+                # Deferred retirement: the caller still has requests queued
+                # against the superseded model in the current sweep.
+                retired.append(superseded)
+            else:
+                self._discard_model(superseded)
         return self.service.fit_seconds.get(model_id, 0.0)
 
     def _discard_model(self, model_id: str) -> None:

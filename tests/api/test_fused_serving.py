@@ -1,0 +1,164 @@
+"""Fused serving path: one forward call for a whole micro-batch.
+
+``gather()`` serves every batch through ``impute_many`` — for DeepMVI one
+fused network call per chunk of the concatenated missing-cell stream — and
+must reproduce the per-request ``impute()`` results bit-for-bit.  A request
+that poisons the fused pass falls back to per-request serving so the
+failure stays isolated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ImputationService
+from repro.api.requests import ImputeRequest
+from repro.core.config import DeepMVIConfig
+from repro.core.imputer import DeepMVIImputer
+from repro.data.datasets import load_dataset
+from repro.data.missing import MissingScenario, apply_scenario
+from repro.exceptions import ServiceError
+
+TINY_CONFIG = DeepMVIConfig(max_epochs=2, samples_per_epoch=32, patience=1,
+                            batch_size=8, n_filters=4, max_context_windows=8)
+SCENARIO = MissingScenario("mcar", {"incomplete_fraction": 0.5,
+                                    "block_size": 4})
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return load_dataset("airq", size="tiny", seed=0)
+
+
+@pytest.fixture(scope="module")
+def fitted_deepmvi(truth):
+    incomplete, _ = apply_scenario(truth, SCENARIO, seed=0)
+    return DeepMVIImputer(config=TINY_CONFIG).fit(incomplete)
+
+
+def _requests(truth, seeds):
+    return [apply_scenario(truth, SCENARIO, seed=seed)[0] for seed in seeds]
+
+
+class TestImputeMany:
+    def test_fused_equals_sequential_bitwise(self, truth, fitted_deepmvi):
+        tensors = _requests(truth, (1, 2, 3, 4))
+        sequential = [fitted_deepmvi.impute(t) for t in tensors]
+        fused = fitted_deepmvi.impute_many(tensors)
+        for left, right in zip(sequential, fused):
+            np.testing.assert_array_equal(left.values, right.values)
+
+    def test_none_means_fitted_tensor(self, fitted_deepmvi):
+        np.testing.assert_array_equal(
+            fitted_deepmvi.impute().values,
+            fitted_deepmvi.impute_many([None])[0].values)
+
+    def test_mixed_shapes_fall_into_separate_groups(self, truth,
+                                                    fitted_deepmvi):
+        short = load_dataset("airq", size="tiny", seed=0, length=64)
+        incomplete_short, _ = apply_scenario(short, SCENARIO, seed=9)
+        tensors = _requests(truth, (5,)) + [incomplete_short]
+        fused = fitted_deepmvi.impute_many(tensors)
+        assert fused[0].values.shape == truth.values.shape
+        assert fused[1].values.shape == short.values.shape
+        np.testing.assert_array_equal(
+            fused[1].values, fitted_deepmvi.impute(incomplete_short).values)
+
+    def test_base_imputer_default_loops(self, truth):
+        from repro.baselines.simple import MeanImputer
+
+        tensors = _requests(truth, (1, 2))
+        imputer = MeanImputer().fit(tensors[0])
+        fused = imputer.impute_many(tensors)
+        for tensor, completed in zip(tensors, fused):
+            np.testing.assert_array_equal(
+                completed.values, imputer.impute(tensor).values)
+
+
+class TestFusedGather:
+    def test_gather_matches_per_request_impute(self, truth):
+        service = ImputationService()
+        incomplete, _ = apply_scenario(truth, SCENARIO, seed=0)
+        model_id = service.fit(incomplete, method="deepmvi",
+                               config=TINY_CONFIG)
+        tensors = _requests(truth, (1, 2, 3))
+        direct = [service.impute(t, model_id=model_id) for t in tensors]
+        for tensor in tensors:
+            service.submit(tensor, model_id=model_id)
+        gathered = service.gather()
+        assert len(gathered) == len(direct)
+        for one, many in zip(direct, gathered):
+            np.testing.assert_array_equal(one.completed.values,
+                                          many.completed.values)
+            assert many.from_batch and many.fused
+            assert not one.fused
+            assert many.runtime_seconds > 0
+
+    def test_single_request_batch_is_not_fused(self, truth):
+        service = ImputationService()
+        incomplete, _ = apply_scenario(truth, SCENARIO, seed=0)
+        model_id = service.fit(incomplete, method="mean")
+        service.submit(incomplete, model_id=model_id)
+        (result,) = service.gather()
+        assert result.from_batch and not result.fused
+
+    def test_poisoned_request_falls_back_and_isolates(self, truth):
+        from repro.baselines.registry import ImputerRegistry, MethodInfo
+        from repro.baselines.simple import MeanImputer
+
+        class PoisonableImputer(MeanImputer):
+            """Rejects tensors named 'poison'; serves everything else.
+
+            Overrides ``impute_many`` so the serving layer attempts the
+            fused pass (the Base default would be skipped) — the poisoned
+            tensor must abort it and trigger the per-request fallback.
+            """
+
+            def impute(self, tensor=None):
+                if tensor is not None and tensor.name == "poison":
+                    raise RuntimeError("poisoned tensor")
+                return super().impute(tensor)
+
+            def impute_many(self, tensors):
+                return [self.impute(tensor) for tensor in tensors]
+
+        registry = ImputerRegistry()
+        registry.register(MethodInfo("poisonable", PoisonableImputer))
+        service = ImputationService(registry=registry)
+        incomplete, _ = apply_scenario(truth, SCENARIO, seed=0)
+        model_id = service.fit(incomplete, method="poisonable")
+        good = _requests(truth, (1, 2))
+        bad = incomplete.copy()
+        bad.name = "poison"
+        service.submit(good[0], model_id=model_id)
+        service.submit(ImputeRequest(model_id=model_id, data=bad,
+                                     request_id="poison"))
+        service.submit(good[1], model_id=model_id)
+        with pytest.raises(ServiceError) as excinfo:
+            service.gather()
+        assert len(excinfo.value.partial_results) == 2
+        assert set(service.last_errors) == {"poison"}
+        # The fallback results are per-request, not fused.
+        assert all(not result.fused
+                   for result in excinfo.value.partial_results)
+
+    def test_parallel_gather_fuses_and_matches_serial(self, truth, tmp_path):
+        incomplete, _ = apply_scenario(truth, SCENARIO, seed=0)
+        tensors = _requests(truth, (1, 2, 3))
+
+        serial = ImputationService(store_dir=str(tmp_path / "serial"))
+        model_id = serial.fit(incomplete, method="svdimp", rank=3)
+        for tensor in tensors:
+            serial.submit(tensor, model_id=model_id)
+        serial_results = serial.gather()
+
+        parallel = ImputationService(store_dir=str(tmp_path / "serial"),
+                                     workers=2)
+        for tensor in tensors:
+            parallel.submit(tensor, model_id=model_id)
+        parallel_results = parallel.gather()
+        for left, right in zip(serial_results, parallel_results):
+            np.testing.assert_array_equal(left.completed.values,
+                                          right.completed.values)
+            # svdimp has no fused impute_many: the serving layer must not
+            # pretend otherwise.
+            assert right.from_batch and not right.fused

@@ -1,0 +1,93 @@
+"""Concurrency safety of the JSONL result cache.
+
+Several processes may share one ``cache_dir`` (parallel sweeps resumed from
+different shells).  Appends are single ``write()`` calls on an ``O_APPEND``
+descriptor under an advisory file lock, so records from concurrent writers
+may interleave between lines but never inside one.  The hammer test spawns
+real processes that write through the public API simultaneously and then
+checks every line parses and every record survived.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.engine.cache import LOCK_FILENAME, ResultCache
+from repro.engine.jobs import ExperimentResult, JobResult
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_HAMMER = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import ExperimentResult, JobResult
+
+worker = int(sys.argv[1])
+cache = ResultCache(sys.argv[2])
+for i in range(int(sys.argv[3])):
+    result = ExperimentResult(
+        dataset="d" * 200,  # long lines make torn writes easy to detect
+        scenario="s", method=f"w{{worker}}", mae=float(i), rmse=float(i),
+        runtime_seconds=0.0, missing_cells=i,
+        params={{"worker": worker, "i": i}})
+    cache.put(JobResult(key=f"w{{worker}}-job{{i:04d}}", result=result))
+"""
+
+
+def _result(key: str) -> JobResult:
+    return JobResult(key=key, result=ExperimentResult(
+        dataset="d", scenario="s", method="m", mae=0.1, rmse=0.2,
+        runtime_seconds=0.0, missing_cells=1))
+
+
+class TestSingleProcess:
+    def test_put_appends_one_parsable_line(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_result("k1"))
+        cache.put(_result("k2"))
+        lines = (tmp_path / "results.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert [json.loads(line)["key"] for line in lines] == ["k1", "k2"]
+        assert (tmp_path / LOCK_FILENAME).exists()
+
+    def test_reload_sees_other_writers_records(self, tmp_path):
+        first = ResultCache(tmp_path)
+        first.put(_result("k1"))
+        second = ResultCache(tmp_path)   # fresh load of the same directory
+        second.put(_result("k2"))
+        merged = ResultCache(tmp_path)
+        assert "k1" in merged and "k2" in merged
+
+
+class TestMultiProcessHammer:
+    N_WORKERS = 4
+    N_RECORDS = 50
+
+    def test_concurrent_writers_never_corrupt_lines(self, tmp_path):
+        script = _HAMMER.format(src=REPO_SRC)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(worker), str(tmp_path),
+                 str(self.N_RECORDS)],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+            for worker in range(self.N_WORKERS)
+        ]
+        for proc in procs:
+            _, stderr = proc.communicate(timeout=120)
+            assert proc.returncode == 0, stderr.decode()
+
+        # Every line must be complete, parsable JSON...
+        lines = (tmp_path / "results.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == self.N_WORKERS * self.N_RECORDS
+        # ...and every (worker, i) record must have survived intact.
+        keys = {record["key"] for record in records}
+        expected = {f"w{worker}-job{i:04d}"
+                    for worker in range(self.N_WORKERS)
+                    for i in range(self.N_RECORDS)}
+        assert keys == expected
+        # A cold reload serves all of them.
+        cache = ResultCache(tmp_path)
+        assert len(cache) == len(expected)

@@ -1,5 +1,7 @@
 """Tests of the error metrics, including property-based invariants."""
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -60,7 +62,23 @@ class TestBasics:
             nrmse(imputed, truth), rel=1e-9)
 
     def test_nrmse_constant_truth_does_not_blow_up(self):
-        assert np.isfinite(nrmse(np.array([1.0, 2.0]), np.array([3.0, 3.0])))
+        with pytest.warns(RuntimeWarning, match="near-.?constant"):
+            assert np.isfinite(
+                nrmse(np.array([1.0, 2.0]), np.array([3.0, 3.0])))
+
+    def test_nrmse_constant_truth_warns_and_equals_rmse(self):
+        imputed = np.array([1.0, 2.0, 4.0])
+        truth = np.array([3.0, 3.0, 3.0])
+        with pytest.warns(RuntimeWarning, match="scale = 1.0"):
+            value = nrmse(imputed, truth)
+        assert value == pytest.approx(rmse(imputed, truth))
+
+    def test_nrmse_varying_truth_does_not_warn(self, rng):
+        truth = rng.normal(size=50)
+        imputed = truth + 0.1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            nrmse(imputed, truth)
 
     def test_masked_errors_bundle(self, rng):
         a, b = rng.normal(size=10), rng.normal(size=10)

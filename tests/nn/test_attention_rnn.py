@@ -113,3 +113,74 @@ class TestBidirectionalGRU:
         _, backward_modified = encoder(Tensor(modified))
         np.testing.assert_allclose(backward_track.data[0, 3:],
                                     backward_modified.data[0, 3:], atol=1e-12)
+
+
+class TestExtraBatchAxes:
+    """Attention and the GRU accept extra leading batch axes (fused serving)."""
+
+    def test_attention_folds_leading_axes(self, rng):
+        attention = MultiHeadAttention(8, 2, rng=np.random.default_rng(0))
+        x = rng.normal(size=(3, 4, 5, 8))
+        stacked, weights = attention(Tensor(x), Tensor(x), Tensor(x))
+        flat, flat_weights = attention(
+            Tensor(x.reshape(12, 5, 8)), Tensor(x.reshape(12, 5, 8)),
+            Tensor(x.reshape(12, 5, 8)))
+        assert stacked.shape == (3, 4, 5, 8)
+        assert weights.shape == (3, 4, 2, 5, 5)
+        np.testing.assert_array_equal(stacked.data.reshape(12, 5, 8),
+                                      flat.data)
+        np.testing.assert_array_equal(weights.reshape(12, 2, 5, 5),
+                                      flat_weights)
+
+    def test_attention_mask_with_leading_axes(self, rng):
+        attention = MultiHeadAttention(8, 2, rng=np.random.default_rng(0))
+        x = rng.normal(size=(2, 3, 4, 8))
+        mask = (rng.random(size=(2, 3, 4, 4)) > 0.4).astype(float)
+        mask[..., 0] = 1.0  # keep at least one attendable key everywhere
+        stacked, _ = attention(Tensor(x), Tensor(x), Tensor(x), mask=mask)
+        flat, _ = attention(
+            Tensor(x.reshape(6, 4, 8)), Tensor(x.reshape(6, 4, 8)),
+            Tensor(x.reshape(6, 4, 8)), mask=mask.reshape(6, 4, 4))
+        np.testing.assert_array_equal(stacked.data.reshape(6, 4, 8),
+                                      flat.data)
+
+    def test_attention_single_sequence_without_batch_axis(self, rng):
+        attention = MultiHeadAttention(8, 2, rng=np.random.default_rng(0))
+        x = rng.normal(size=(5, 8))
+        output, weights = attention(Tensor(x), Tensor(x), Tensor(x))
+        batched, batched_weights = attention(
+            Tensor(x[None]), Tensor(x[None]), Tensor(x[None]))
+        assert output.shape == (5, 8)
+        assert weights.shape == (2, 5, 5)
+        np.testing.assert_array_equal(output.data, batched.data[0])
+        np.testing.assert_array_equal(weights, batched_weights[0])
+
+    def test_attention_incompatible_mask_rejected(self, rng):
+        attention = MultiHeadAttention(8, 2, rng=np.random.default_rng(0))
+        x = rng.normal(size=(2, 3, 4, 8))
+        with pytest.raises(ValueError, match="mask shape"):
+            attention(Tensor(x), Tensor(x), Tensor(x),
+                      mask=np.ones((2, 3, 1, 4, 4, 1)))
+
+    def test_attention_gradients_flow_through_folded_axes(self, rng):
+        attention = MultiHeadAttention(8, 2, rng=np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(2, 3, 4, 8)), requires_grad=True)
+        output, _ = attention(x, x, x)
+        (output * output).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+
+    def test_gru_folds_leading_axes(self, rng):
+        gru = BidirectionalGRU(6, 5, rng=np.random.default_rng(1))
+        x = rng.normal(size=(2, 3, 7, 6))
+        fwd, bwd = gru(Tensor(x))
+        fwd_flat, bwd_flat = gru(Tensor(x.reshape(6, 7, 6)))
+        assert fwd.shape == (2, 3, 7, 5) and bwd.shape == (2, 3, 7, 5)
+        np.testing.assert_array_equal(fwd.data.reshape(6, 7, 5),
+                                      fwd_flat.data)
+        np.testing.assert_array_equal(bwd.data.reshape(6, 7, 5),
+                                      bwd_flat.data)
+
+    def test_gru_rejects_vector_input(self, rng):
+        gru = BidirectionalGRU(6, 5, rng=np.random.default_rng(1))
+        with pytest.raises(ValueError, match="input must be"):
+            gru(Tensor(np.zeros(6)))

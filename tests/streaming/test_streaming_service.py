@@ -344,3 +344,59 @@ class TestReplayHarness:
         np.testing.assert_allclose(
             [row.mae for row in serial.rows],
             [row.mae for row in parallel.rows])
+
+
+class TestBatchedStep:
+    """step(max_windows=K) drains backlogs through one fused sweep."""
+
+    def test_batched_step_matches_one_at_a_time(self, registry, small_panel):
+        scenario = MissingScenario("drift_outage", {})
+        incomplete, _ = apply_scenario(small_panel, scenario, seed=2)
+        windows = list(WindowedStream.from_tensor(
+            incomplete, window_size=24, stride=24))
+
+        one = StreamingService(registry=registry)
+        one.open_stream("s", method="mean", refit_every=0)
+        for window in windows:
+            one.push("s", window)
+        single_results = []
+        while any(state.pending for state in one._streams.values()):
+            single_results.extend(one.step())
+
+        many = StreamingService(registry=registry)
+        many.open_stream("s", method="mean", refit_every=0)
+        for window in windows:
+            many.push("s", window)
+        batched_results = many.step(max_windows=0)
+
+        assert len(batched_results) == len(single_results) == len(windows)
+        for left, right in zip(single_results, batched_results):
+            assert left.window_index == right.window_index
+            assert left.ok and right.ok
+            np.testing.assert_array_equal(left.completed.values,
+                                          right.completed.values)
+
+    def test_mid_batch_refit_keeps_earlier_windows_alive(self, registry,
+                                                         small_panel):
+        scenario = MissingScenario("drift_outage", {})
+        incomplete, _ = apply_scenario(small_panel, scenario, seed=2)
+        windows = list(WindowedStream.from_tensor(
+            incomplete, window_size=24, stride=24))
+        svc = StreamingService(registry=registry)
+        # refit_every=2: serving 4+ windows in one step refits mid-batch,
+        # superseding the model that the first windows were queued against.
+        svc.open_stream("s", method="mean", refit_every=2)
+        for window in windows[:4]:
+            svc.push("s", window)
+        results = svc.step(max_windows=4)
+        assert len(results) == 4
+        assert all(result.ok for result in results)
+        assert any(result.refit for result in results)
+        # Only the newest model survives the step.
+        state = svc._streams["s"]
+        assert svc.service.store.list_models() == [state.model_id]
+
+    def test_negative_max_windows_rejected(self, registry):
+        svc = StreamingService(registry=registry)
+        with pytest.raises(ValidationError):
+            svc.step(max_windows=-1)
