@@ -29,6 +29,12 @@ organised as:
     :class:`~repro.streaming.WindowedStreamingImputer` refits on bounded
     history, the multi-stream :class:`~repro.streaming.StreamingService`,
     and the :func:`~repro.streaming.replay` scoring harness.
+``repro.gateway``
+    The concurrent serving gateway: a bounded two-lane request queue with
+    admission control and deadlines, an adaptive micro-batcher fusing
+    same-model requests into shared forward calls, a worker pool over the
+    store's LRU model cache, and serving telemetry
+    (:meth:`~repro.gateway.Gateway.stats`).
 """
 
 from repro.core.config import DeepMVIConfig
@@ -58,11 +64,16 @@ from repro.api import (
 )
 from repro import streaming
 from repro.streaming import StreamingService, StreamWindow, WindowedStream
+from repro import gateway
+from repro.gateway import Gateway, GatewayConfig
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "api",
+    "gateway",
+    "Gateway",
+    "GatewayConfig",
     "streaming",
     "StreamingService",
     "StreamWindow",

@@ -36,6 +36,7 @@ from repro.api.requests import (
     tensor_from_dict,
     tensor_to_dict,
 )
+from repro.api.model_cache import LRUModelCache
 from repro.api.service import (
     ImputationService,
     ModelStore,
@@ -57,6 +58,7 @@ __all__ = [
     "ImputationService",
     "ImputeRequest",
     "ImputeResult",
+    "LRUModelCache",
     "MethodInfo",
     "ModelStore",
     "as_tensor",

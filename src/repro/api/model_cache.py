@@ -1,0 +1,112 @@
+"""Bounded LRU cache for fitted imputers.
+
+:class:`LRUModelCache` is the in-memory layer of
+:class:`~repro.api.service.ModelStore`: hot models are served straight from
+memory, cold models round-trip through the on-disk engine artifact exactly
+once, and — when a bound is set — the least-recently-used model is evicted
+so a long-running service over a large store keeps a fixed memory
+footprint.  The serving gateway (:mod:`repro.gateway`) fronts its worker
+pool with the same cache and reports its hit rate in ``Gateway.stats()``.
+
+The cache is thread-safe: gateway worker threads, producer threads and the
+owning service may all hit one instance concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterable, Optional
+
+__all__ = ["LRUModelCache"]
+
+#: sentinel distinguishing "no cached value" from a cached ``None``
+_MISSING: object = object()
+
+
+class LRUModelCache:
+    """Least-recently-used mapping with hit/miss/eviction accounting.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of entries kept in memory; ``None`` means unbounded
+        (the cache then never evicts and behaves like a plain dict with
+        statistics).  Bounded caches only make sense when evicted entries
+        can be recreated — :class:`~repro.api.service.ModelStore` therefore
+        refuses a bound unless it has a disk directory to reload from.
+    """
+
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1 or None, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: str, default=None):
+        """The cached value (refreshing its recency), counting hit/miss."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: str, value) -> None:
+        """Insert/refresh an entry, evicting the LRU tail past ``maxsize``."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while self.maxsize is not None and \
+                    len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def pop(self, key: str, default=None):
+        """Remove and return an entry without touching the statistics."""
+        with self._lock:
+            return self._entries.pop(key, default)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, key: str) -> bool:
+        # Pure presence probe: no recency refresh, no hit/miss accounting,
+        # so ``in`` checks (e.g. ModelStore.__contains__) cannot distort
+        # the serving hit rate.
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> Iterable[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss/eviction counters plus the current occupancy."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            }
+
+    def __repr__(self) -> str:
+        return (f"LRUModelCache(size={len(self)}, maxsize={self.maxsize}, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -232,11 +232,18 @@ class ImputeRequest:
     request_id:
         Correlation id; assigned by the service at :meth:`submit` time when
         omitted.
+    enqueued_at:
+        ``time.perf_counter()`` stamp set when the request is admitted to a
+        queue (service ``submit`` or the gateway).  Used to report true
+        end-to-end ``latency_seconds`` (queue wait + compute) on the
+        result.  Process-local timing state: it is deliberately **not**
+        part of the wire encoding.
     """
 
     model_id: str
     data: Optional[TimeSeriesTensor] = None
     request_id: Optional[str] = None
+    enqueued_at: Optional[float] = None
 
     def validate(self) -> "ImputeRequest":
         """Check the request; raises :class:`ValidationError` when invalid."""
@@ -275,6 +282,12 @@ class ImputeResult:
     method: str
     completed: TimeSeriesTensor
     runtime_seconds: float = 0.0
+    #: end-to-end latency: queue wait + compute.  Equals
+    #: ``runtime_seconds`` for synchronous ``impute()`` calls; for queued
+    #: requests (service ``submit``/``gather``, the gateway) it is measured
+    #: from the admission stamp (``ImputeRequest.enqueued_at``) to result
+    #: completion.
+    latency_seconds: float = 0.0
     #: True when the result came out of a micro-batched ``gather()`` sweep
     from_batch: bool = False
     #: True when the batch was served by one fused forward call
@@ -290,6 +303,7 @@ class ImputeResult:
             "method": self.method,
             "completed": tensor_to_dict(self.completed),
             "runtime_seconds": float(self.runtime_seconds),
+            "latency_seconds": float(self.latency_seconds),
             "from_batch": bool(self.from_batch),
             "fused": bool(self.fused),
         }
@@ -302,6 +316,7 @@ class ImputeResult:
             method=payload["method"],
             completed=tensor_from_dict(payload["completed"]),
             runtime_seconds=float(payload.get("runtime_seconds", 0.0)),
+            latency_seconds=float(payload.get("latency_seconds", 0.0)),
             from_batch=bool(payload.get("from_batch", False)),
             fused=bool(payload.get("fused", False)),
         )

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.api.model_cache import LRUModelCache
 from repro.api.requests import (
     FitRequest,
     ImputeRequest,
@@ -48,8 +49,8 @@ from repro.engine.executor import ExecutionReport, make_executor
 from repro.engine.jobs import JobResult
 from repro.exceptions import ServiceError, ValidationError
 
-__all__ = ["ImputationService", "ModelStore", "as_tensor", "impute",
-           "make_imputer"]
+__all__ = ["ImputationService", "LRUModelCache", "ModelStore", "as_tensor",
+           "coerce_impute_request", "impute", "make_imputer"]
 
 TensorLike = Union[TimeSeriesTensor, np.ndarray, Sequence]
 
@@ -76,6 +77,30 @@ def make_imputer(method: str, **method_kwargs) -> BaseImputer:
     return get_registry().create(method, **method_kwargs)
 
 
+def coerce_impute_request(request, model_id: Optional[str] = None,
+                          ) -> ImputeRequest:
+    """Normalise the (request | tensor, model_id) calling convention.
+
+    Shared by :class:`ImputationService` and the serving gateway so both
+    front doors accept the same shapes: a validated
+    :class:`~repro.api.requests.ImputeRequest`, or a raw tensor/array plus
+    ``model_id=...`` (``None`` data means "the tensor the model was fitted
+    on").
+    """
+    if isinstance(request, ImputeRequest):
+        if model_id is not None and model_id != request.model_id:
+            raise ValidationError(
+                f"conflicting model ids: the ImputeRequest names "
+                f"{request.model_id!r} but model_id={model_id!r} was "
+                "also passed")
+        return request.validate()
+    if model_id is None:
+        raise ValidationError(
+            "pass an ImputeRequest, or a tensor together with model_id=...")
+    data = as_tensor(request) if request is not None else None
+    return ImputeRequest(model_id=model_id, data=data).validate()
+
+
 # ---------------------------------------------------------------------- #
 # fitted-model store
 # ---------------------------------------------------------------------- #
@@ -86,16 +111,29 @@ class ModelStore:
     engine artifact (:func:`repro.engine.artifacts.save_imputer`) under
     ``directory/<model_id>/``, so models survive restarts and can be served
     by worker processes that only receive the artifact path.
+
+    The in-memory layer is an :class:`~repro.api.model_cache.LRUModelCache`.
+    ``max_cached_models`` bounds it: hot models serve from memory, cold ones
+    reload from their disk artifact on demand, and the least-recently-used
+    model is evicted so long-running services (and the serving gateway) keep
+    a fixed memory footprint no matter how many models the store has
+    accumulated.  A bound requires a ``directory`` — evicting a memory-only
+    model would lose it outright.
     """
 
     #: sidecar file recording serving metadata next to the artifact
     META_FILENAME = "service.json"
 
-    def __init__(self, directory: Optional[str] = None) -> None:
+    def __init__(self, directory: Optional[str] = None,
+                 max_cached_models: Optional[int] = None) -> None:
         from pathlib import Path
 
+        if max_cached_models is not None and directory is None:
+            raise ValidationError(
+                "max_cached_models requires a store directory: evicted "
+                "models must have a disk artifact to reload from")
         self.directory = Path(directory) if directory else None
-        self._models: Dict[str, BaseImputer] = {}
+        self._models = LRUModelCache(max_cached_models)
         self._method_names: Dict[str, str] = {}
 
     # ------------------------------------------------------------------ #
@@ -110,7 +148,7 @@ class ModelStore:
     def put(self, model_id: str, imputer: BaseImputer,
             method: Optional[str] = None) -> str:
         check_model_id(model_id)
-        self._models[model_id] = imputer
+        self._models.put(model_id, imputer)
         if method is not None:
             self._method_names[model_id] = method
         if self.directory is not None:
@@ -144,19 +182,24 @@ class ModelStore:
         return None
 
     def get(self, model_id: str) -> BaseImputer:
-        """The stored imputer; loads lazily from disk on a cold start."""
+        """The stored imputer; loads lazily from disk on a cache miss."""
         check_model_id(model_id)
-        if model_id in self._models:
-            return self._models[model_id]
+        cached = self._models.get(model_id)
+        if cached is not None:
+            return cached
         if self.directory is not None:
             artifact = self.directory / model_id
             if (artifact / MANIFEST_FILENAME).exists():
                 imputer = load_imputer(artifact)
-                self._models[model_id] = imputer
+                self._models.put(model_id, imputer)
                 return imputer
         raise ServiceError(
             f"unknown model id {model_id!r}; known: "
             + (", ".join(sorted(self.list_models())) or "<none>"))
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Hit/miss/eviction statistics of the in-memory model cache."""
+        return self._models.stats()
 
     def __contains__(self, model_id: str) -> bool:
         if model_id in self._models:
@@ -177,7 +220,7 @@ class ModelStore:
         no-op.
         """
         check_model_id(model_id)
-        self._models.pop(model_id, None)
+        self._models.pop(model_id)
         self._method_names.pop(model_id, None)
         if self.directory is not None:
             target = self.directory / model_id
@@ -187,7 +230,7 @@ class ModelStore:
                 shutil.rmtree(target)
 
     def list_models(self) -> List[str]:
-        names = set(self._models)
+        names = set(self._models.keys())
         if self.directory is not None and self.directory.exists():
             names.update(
                 entry.name for entry in self.directory.iterdir()
@@ -223,6 +266,21 @@ class ServingBatch:
     def needs_execution(self) -> bool:
         # Serving results are never cache-served: requests are one-shot.
         return True
+
+
+def _latency(request: ImputeRequest, end: float, compute: float) -> float:
+    """End-to-end latency of ``request``: queue wait + compute.
+
+    Measured from the admission stamp (``enqueued_at``, set by the
+    service's ``submit`` or by the gateway) to ``end``.  Requests served
+    without queueing have no stamp and report the compute time itself.
+    ``perf_counter`` is CLOCK_MONOTONIC system-wide on the platforms we
+    run, so the stamp stays comparable across the engine's worker
+    processes on one host.
+    """
+    if request.enqueued_at is None:
+        return compute
+    return max(end - request.enqueued_at, compute)
 
 
 def execute_serving_batch(batch: ServingBatch,
@@ -272,7 +330,8 @@ def execute_serving_batch(batch: ServingBatch,
             start = time.perf_counter()
             completed_many = imputer.impute_many(
                 [request.data for request in batch.requests])
-            share = (time.perf_counter() - start) / len(batch.requests)
+            end = time.perf_counter()
+            share = (end - start) / len(batch.requests)
             fused_results = [
                 ImputeResult(
                     request_id=str(request.request_id),
@@ -280,6 +339,7 @@ def execute_serving_batch(batch: ServingBatch,
                     method=method,
                     completed=completed,
                     runtime_seconds=share,
+                    latency_seconds=_latency(request, end, share),
                     from_batch=True,
                     fused=True,
                 )
@@ -298,12 +358,14 @@ def execute_serving_batch(batch: ServingBatch,
         try:
             start = time.perf_counter()
             completed = imputer.impute(request.data)
+            end = time.perf_counter()
             results.append(ImputeResult(
                 request_id=str(request.request_id),
                 model_id=batch.model_id,
                 method=method,
                 completed=completed,
-                runtime_seconds=time.perf_counter() - start,
+                runtime_seconds=end - start,
+                latency_seconds=_latency(request, end, end - start),
                 from_batch=True,
             ))
         except Exception:
@@ -333,13 +395,19 @@ class ImputationService:
         models, so prefer a store directory for parallel serving.
     registry:
         Method registry; defaults to the process-wide plugin registry.
+    max_cached_models:
+        Bound on the store's in-memory LRU model cache; requires a
+        ``store_dir`` so evicted models can reload from their artifact.
+        ``None`` keeps every model in memory (the historical behaviour).
     """
 
     def __init__(self, store_dir: Optional[str] = None, workers: int = 1,
                  registry: Optional[ImputerRegistry] = None,
-                 store: Optional[ModelStore] = None) -> None:
+                 store: Optional[ModelStore] = None,
+                 max_cached_models: Optional[int] = None) -> None:
         self.registry = registry or get_registry()
-        self.store = store or ModelStore(store_dir)
+        self.store = store or ModelStore(store_dir,
+                                         max_cached_models=max_cached_models)
         self.workers = workers
         self._pending: List[ImputeRequest] = []
         self._model_counter = itertools.count(1)
@@ -408,12 +476,14 @@ class ImputationService:
             request_id = self._next_request_id()
         start = time.perf_counter()
         completed = imputer.impute(request.data)
+        runtime = time.perf_counter() - start
         return ImputeResult(
             request_id=str(request_id),
             model_id=request.model_id,
             method=self._method_for(request.model_id, imputer),
             completed=completed,
-            runtime_seconds=time.perf_counter() - start,
+            runtime_seconds=runtime,
+            latency_seconds=runtime,
         )
 
     # -- batched serving ------------------------------------------------ #
@@ -436,6 +506,10 @@ class ImputationService:
             # silently hand one result to both callers.
             raise ValidationError(
                 f"request id {request.request_id!r} is already queued")
+        # Queue-admission stamp (on a copy — the caller's object is never
+        # mutated): results report end-to-end latency from this moment.
+        request = dataclasses.replace(request,
+                                      enqueued_at=time.perf_counter())
         self._pending.append(request)
         self._pending_ids.add(str(request.request_id))
         return str(request.request_id)
@@ -511,22 +585,12 @@ class ImputationService:
             "workers": self.workers,
             "store_dir": str(self.store.directory) if self.store.directory
             else None,
+            "model_cache": self.store.cache_stats(),
         }
 
     # -- internals ------------------------------------------------------ #
     def _coerce_request(self, request, model_id: Optional[str]) -> ImputeRequest:
-        if isinstance(request, ImputeRequest):
-            if model_id is not None and model_id != request.model_id:
-                raise ValidationError(
-                    f"conflicting model ids: the ImputeRequest names "
-                    f"{request.model_id!r} but model_id={model_id!r} was "
-                    "also passed")
-            return request.validate()
-        if model_id is None:
-            raise ValidationError(
-                "pass an ImputeRequest, or a tensor together with model_id=...")
-        data = as_tensor(request) if request is not None else None
-        return ImputeRequest(model_id=model_id, data=data).validate()
+        return coerce_impute_request(request, model_id)
 
     def _next_request_id(self) -> str:
         return f"req-{next(self._request_counter):06d}"

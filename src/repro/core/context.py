@@ -94,6 +94,25 @@ def concatenate_batches(batches: Sequence[Batch]) -> Batch:
     )
 
 
+@dataclass
+class ContextStructure:
+    """The shareable, value-free structural tables of a :class:`DatasetContext`.
+
+    What ``structure_from`` actually needs: the shape-derived tables plus
+    the facts that decide compatibility.  Caching one of these instead of
+    a whole context avoids pinning the template request's value buffers
+    (four ``(n_series, padded_time)`` arrays) for the cache's lifetime.
+    """
+
+    window: int
+    flatten_dimensions: bool
+    n_series: int
+    dimension_sizes: List[int]
+    n_dims: int
+    index_table: np.ndarray
+    sibling_rows: List[np.ndarray]
+
+
 class DatasetContext:
     """Precomputed flat views and index tables for one dataset.
 
@@ -112,41 +131,93 @@ class DatasetContext:
     flatten_dimensions:
         Treat the member combination as a single flat dimension
         (the DeepMVI1D variant).
+    structure_from:
+        Optional :class:`ContextStructure` (or already-built context) to
+        share structural tables with.  The index table and sibling-row
+        tables depend only on the tensor's *shape* (dimension sizes), not
+        its values, yet they dominate context-construction cost — the
+        serving hot path builds one context per request over same-shaped
+        window tensors, so reusing a template's tables makes request
+        contexts cheap.  An incompatible template (different
+        shape/window/config) is silently ignored and the tables are
+        rebuilt, so passing a stale template is always safe.
     """
 
     def __init__(self, tensor: TimeSeriesTensor, window: int,
                  max_context_windows: int = 64,
-                 flatten_dimensions: bool = False):
+                 flatten_dimensions: bool = False,
+                 structure_from: Optional[ContextStructure] = None):
         self.window = window
         self.max_context_windows = max_context_windows
         self.flatten_dimensions = flatten_dimensions
 
-        normalised, self.mean, self.std = tensor.normalised()
-        matrix, mask = normalised.to_matrix()
+        # Value plumbing, open-coded for the serving hot path but
+        # bit-identical to the classic tensor.normalised().to_matrix()
+        # pipeline (same elementwise operations in the same order): one
+        # context is built per serving request, and the intermediate
+        # normalised TimeSeriesTensor plus np.pad bookkeeping used to
+        # dominate its cost.
+        self.mean, self.std = tensor.observed_mean_std()
+        self.n_series, self.n_time = tensor.n_series, tensor.n_time
+        matrix = ((tensor.values - self.mean) / self.std).reshape(
+            self.n_series, self.n_time)
+        mask = tensor.mask.reshape(self.n_series, self.n_time)
         matrix = np.where(mask == 1, matrix, 0.0)
         matrix = np.nan_to_num(matrix, nan=0.0)
-
-        self.n_series, self.n_time = matrix.shape
         self.matrix = matrix
-        self.avail = mask
+        self.avail = mask.copy()
 
         # Pad the time axis to a multiple of the window size.
         remainder = self.n_time % window
         pad = 0 if remainder == 0 else window - remainder
         self.padded_time = self.n_time + pad
-        self.padded_matrix = np.pad(matrix, ((0, 0), (0, pad)))
-        self.padded_avail = np.pad(mask, ((0, 0), (0, pad)))
+        self.padded_matrix = np.zeros((self.n_series, self.padded_time))
+        self.padded_matrix[:, :self.n_time] = matrix
+        self.padded_avail = np.zeros((self.n_series, self.padded_time))
+        self.padded_avail[:, :self.n_time] = self.avail
         self.n_windows = self.padded_time // window
 
-        # Member-index table and per-dimension sibling rows.
+        # Member-index table and per-dimension sibling rows — shared with
+        # the template when it matches, rebuilt otherwise.
         if flatten_dimensions or tensor.n_dims == 0:
-            self.dimension_sizes = [self.n_series]
+            sizes = [self.n_series]
+        else:
+            sizes = [d.size for d in tensor.dimensions]
+        if structure_from is not None \
+                and self._shares_structure(structure_from, sizes):
+            self.dimension_sizes = structure_from.dimension_sizes
+            self.index_table = structure_from.index_table
+            self.n_dims = structure_from.n_dims
+            self._sibling_rows = structure_from.sibling_rows
+            return
+        if flatten_dimensions or tensor.n_dims == 0:
+            self.dimension_sizes = sizes
             self.index_table = np.arange(self.n_series, dtype=np.int64)[:, None]
         else:
-            self.dimension_sizes = [d.size for d in tensor.dimensions]
+            self.dimension_sizes = sizes
             self.index_table = tensor.series_index_table()
         self.n_dims = len(self.dimension_sizes)
         self._sibling_rows = self._build_sibling_rows()
+
+    def _shares_structure(self, other: ContextStructure,
+                          sizes: List[int]) -> bool:
+        """Whether ``other``'s structural tables apply to this context."""
+        return (other.window == self.window
+                and other.flatten_dimensions == self.flatten_dimensions
+                and other.n_series == self.n_series
+                and other.dimension_sizes == sizes)
+
+    def structure(self) -> ContextStructure:
+        """This context's shareable structural tables (no value buffers)."""
+        return ContextStructure(
+            window=self.window,
+            flatten_dimensions=self.flatten_dimensions,
+            n_series=self.n_series,
+            dimension_sizes=self.dimension_sizes,
+            n_dims=self.n_dims,
+            index_table=self.index_table,
+            sibling_rows=self._sibling_rows,
+        )
 
     # ------------------------------------------------------------------ #
     def _build_sibling_rows(self) -> List[np.ndarray]:

@@ -23,7 +23,11 @@ import numpy as np
 
 from repro.baselines.base import BaseImputer
 from repro.core.config import DeepMVIConfig
-from repro.core.context import DatasetContext, concatenate_batches
+from repro.core.context import (
+    ContextStructure,
+    DatasetContext,
+    concatenate_batches,
+)
 from repro.core.model import DeepMVIModel
 from repro.core.sampling import MissingShapeSampler
 from repro.core.training import DeepMVITrainer, TrainingHistory
@@ -80,6 +84,9 @@ class DeepMVIImputer(BaseImputer):
             config.window = max(2, tensor.n_time // 4)
 
         self.config = config
+        # A refit may have changed the window/config: every cached serving
+        # template is structured for the old settings.
+        self._structure_cache().clear()
         self.context = self._build_context(tensor)
         self.model = DeepMVIModel(
             config=config,
@@ -129,8 +136,12 @@ class DeepMVIImputer(BaseImputer):
                 # Imputing a different tensor re-uses the trained parameters
                 # with a dataset context built around the new data.  The
                 # context is local: the fitted state must survive for later
-                # no-arg calls.
-                context = self._build_context(tensor)
+                # no-arg calls.  Structural tables (index/sibling rows) are
+                # shared via a per-shape template so window-shaped serving
+                # traffic pays only the per-request value plumbing.
+                context = self._build_context(
+                    tensor, structure_from=self._structure_template(tensor))
+                self._remember_structure(tensor, context)
             missing_cells = np.argwhere(context.avail == 0)
             # Ignore cells that fall outside the original (unpadded) range.
             missing_cells = missing_cells[missing_cells[:, 1] < context.n_time]
@@ -202,13 +213,50 @@ class DeepMVIImputer(BaseImputer):
     # ------------------------------------------------------------------ #
     # serialisation (engine artifacts / process boundaries)
     # ------------------------------------------------------------------ #
-    def _build_context(self, tensor: TimeSeriesTensor) -> DatasetContext:
+    def _build_context(self, tensor: TimeSeriesTensor,
+                       structure_from: Optional[ContextStructure] = None,
+                       ) -> DatasetContext:
         return DatasetContext(
             tensor,
             window=self.config.window,
             max_context_windows=self.config.max_context_windows,
             flatten_dimensions=self.config.flatten_dimensions,
+            structure_from=structure_from,
         )
+
+    # -- serving structure cache ---------------------------------------- #
+    # Contexts over same-shaped tensors share their structural tables
+    # (index table, sibling rows); the serving hot path builds one context
+    # per request, so value-free ContextStructure templates are remembered
+    # per shape.  The cache is transient (never serialised — get_state
+    # doesn't know about it) and lazily created so instances restored via
+    # set_state/clone work too; fit() clears it because a refit may change
+    # config.window, invalidating every template.
+    _STRUCTURE_CACHE_LIMIT = 8
+
+    def _structure_cache(self) -> dict:
+        cache = getattr(self, "_serving_structures", None)
+        if cache is None:
+            cache = {}
+            self._serving_structures = cache
+        return cache
+
+    def _structure_template(self, tensor: TimeSeriesTensor):
+        if self.context is not None and self._fitted_tensor is not None \
+                and tensor.values.shape == self._fitted_tensor.values.shape:
+            return self.context.structure()
+        return self._structure_cache().get(tensor.values.shape)
+
+    def _remember_structure(self, tensor: TimeSeriesTensor,
+                            context: DatasetContext) -> None:
+        cache = self._structure_cache()
+        if len(cache) >= self._STRUCTURE_CACHE_LIMIT \
+                and tensor.values.shape not in cache:
+            cache.clear()
+        # Unconditional refresh: a template gone stale (e.g. the window
+        # changed between refits) must be replaced, not shadow the cache
+        # slot forever.  Only the value-free structural tables are kept.
+        cache[tensor.values.shape] = context.structure()
 
     def get_state(self) -> Dict[str, object]:
         """Snapshot config + trained parameters as arrays and plain values.

@@ -27,6 +27,14 @@ per-window latency and end-to-end windows/sec::
     python -m repro.evaluation.cli stream --dataset airq --method interpolation \
         --scenario drift_outage --window 24 --streams 2 --size tiny
 
+Hammer the serving gateway with concurrent producers — fit one model, then
+compare one-at-a-time serving against the gateway's admission-controlled,
+micro-batched worker pool (requests/sec, latency percentiles, fusion rate,
+cache hit rate)::
+
+    python -m repro.evaluation.cli gateway-bench --dataset airq \
+        --method deepmvi --producers 8 --requests 8 --size tiny
+
 Run one (dataset, scenario, method) cell::
 
     python -m repro.evaluation.cli run --dataset climate --scenario mcar \
@@ -149,6 +157,44 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--quiet", action="store_true",
                         help="print only the summary, not per-window rows")
 
+    gateway = subparsers.add_parser(
+        "gateway-bench", help="load-generate against the serving gateway "
+                              "and report QPS/latency/fusion telemetry")
+    gateway.add_argument("--dataset", required=True, choices=list_datasets())
+    gateway.add_argument("--scenario", default="mcar",
+                         choices=list_scenarios())
+    gateway.add_argument("--method", default="deepmvi")
+    gateway.add_argument("--size", default="tiny",
+                         choices=["tiny", "small", "default"])
+    gateway.add_argument("--window", type=int, default=24,
+                         help="length of each request's time window "
+                              "(window-shaped traffic)")
+    gateway.add_argument("--producers", type=int, default=8,
+                         help="concurrent producer threads")
+    gateway.add_argument("--requests", type=int, default=8,
+                         help="requests submitted per producer")
+    gateway.add_argument("--max-batch-size", type=int, default=16,
+                         help="gateway micro-batch bound")
+    gateway.add_argument("--max-wait-ms", type=float, default=5.0,
+                         help="how long an open batch waits for stragglers")
+    gateway.add_argument("--workers", type=int, default=1,
+                         help="gateway worker threads")
+    gateway.add_argument("--queue-depth", type=int, default=1024,
+                         help="bounded queue depth (admission control)")
+    gateway.add_argument("--admission", default="block",
+                         choices=["reject", "block"],
+                         help="policy when the queue is full")
+    gateway.add_argument("--batch-lane-share", type=float, default=0.25,
+                         help="fraction of each producer's requests sent "
+                              "on the low-priority 'batch' lane")
+    gateway.add_argument("--skip-baseline", action="store_true",
+                         help="skip the one-at-a-time baseline pass")
+    gateway.add_argument("--block-size", type=int, default=10)
+    gateway.add_argument("--incomplete-fraction", type=float, default=1.0)
+    gateway.add_argument("--seed", type=int, default=0)
+    gateway.add_argument("--store-dir", default=None,
+                         help="persist the fitted model as an artifact here")
+
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's experiments")
     experiment.add_argument("experiment_id", choices=list_experiments())
@@ -240,6 +286,111 @@ def _command_impute(args: argparse.Namespace) -> int:
                   for result in results}
         np.savez_compressed(args.output, **arrays)
         print(f"\nwrote {len(arrays)} completed tensor(s) to {args.output}")
+    return 0
+
+
+def _command_gateway_bench(args: argparse.Namespace) -> int:
+    """Hammer the gateway with concurrent producers; print the telemetry."""
+    import threading
+    import time
+
+    from repro.gateway import Gateway, GatewayConfig
+
+    truth = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    scenario = _scenario_from_args(args)
+    incomplete, _ = apply_scenario(truth, scenario, seed=args.seed)
+    window = min(args.window, max(2, truth.n_time - 1))
+    method_kwargs = (_deepmvi_kwargs(args.size)
+                     if args.method.lower().startswith("deepmvi") else {})
+
+    service = ImputationService(store_dir=args.store_dir)
+    model_id = service.fit(incomplete, method=args.method, **method_kwargs)
+    print(f"[gateway] fitted {args.method!r} once -> model {model_id}")
+
+    producers = max(1, args.producers)
+    per_producer = max(1, args.requests)
+    traffic = []
+    for producer in range(producers):
+        windows = []
+        for index in range(per_producer):
+            start = ((producer * per_producer + index) * 7) \
+                % max(1, truth.n_time - window)
+            windows.append(incomplete.slice_time(start, start + window))
+        traffic.append(windows)
+    total = producers * per_producer
+
+    sequential_rps = None
+    if not args.skip_baseline:
+        start = time.perf_counter()
+        for windows in traffic:
+            for tensor in windows:
+                service.impute(tensor, model_id=model_id)
+        sequential_rps = total / (time.perf_counter() - start)
+        print(f"[gateway] baseline: one-at-a-time service.impute() "
+              f"{sequential_rps:,.1f} req/sec")
+
+    config = GatewayConfig(
+        max_queue_depth=args.queue_depth, admission=args.admission,
+        max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
+        workers=args.workers)
+    received = {}
+    batch_every = (int(round(1.0 / args.batch_lane_share))
+                   if args.batch_lane_share > 0 else 0)
+
+    with Gateway(service, config) as gateway:
+        barrier = threading.Barrier(producers + 1)
+
+        def producer_loop(producer_index: int) -> None:
+            barrier.wait()
+            futures = []
+            for index, tensor in enumerate(traffic[producer_index]):
+                lane = ("batch" if batch_every and (index + 1) % batch_every
+                        == 0 else "interactive")
+                futures.append(gateway.submit(tensor, model_id=model_id,
+                                              priority=lane))
+            received[producer_index] = [future.result(timeout=120.0)
+                                        for future in futures]
+
+        threads = [threading.Thread(target=producer_loop, args=(index,),
+                                    name=f"producer-{index}")
+                   for index in range(producers)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()                     # time serving, not Thread.start
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        stats = gateway.stats()
+
+    gateway_rps = total / elapsed
+    delivered = sum(len(results) for results in received.values())
+    print(f"[gateway] {producers} producers x {per_producer} requests "
+          f"(window={window}): {gateway_rps:,.1f} req/sec")
+    if sequential_rps:
+        print(f"[gateway] speedup vs one-at-a-time: "
+              f"{gateway_rps / sequential_rps:.2f}x")
+    print(f"\n{'metric':<26} value")
+    print("-" * 40)
+    rows = [
+        ("requests delivered", f"{delivered}/{total}"),
+        ("qps (window)", f"{stats['qps']:,.1f}"),
+        ("latency p50", f"{stats['latency_p50_seconds'] * 1e3:.2f} ms"),
+        ("latency p95", f"{stats['latency_p95_seconds'] * 1e3:.2f} ms"),
+        ("latency p99", f"{stats['latency_p99_seconds'] * 1e3:.2f} ms"),
+        ("fusion rate", f"{stats['fusion_rate']:.1%}"),
+        ("mean batch size", f"{stats['mean_batch_size']:.1f}"),
+        ("batches", str(stats["batches"])),
+        ("rejected / expired", f"{stats['rejected']} / {stats['expired']}"),
+        ("model-cache hit rate",
+         f"{stats['model_cache']['hit_rate']:.1%}"),
+    ]
+    for label, value in rows:
+        print(f"{label:<26} {value}")
+    if delivered != total:
+        print(f"[gateway] ERROR: lost {total - delivered} response(s)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -342,6 +493,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_impute(args)
     if args.command == "stream":
         return _command_stream(args)
+    if args.command == "gateway-bench":
+        return _command_gateway_bench(args)
     if args.command == "run":
         return _command_run(args)
     if args.command in ("experiment", "resume"):

@@ -58,3 +58,21 @@ class ServiceError(ReproError):
     """
 
     partial_results: list
+
+
+class QueueFullError(ServiceError):
+    """The gateway's bounded request queue rejected an admission.
+
+    Raised by :meth:`repro.gateway.Gateway.submit` under the ``"reject"``
+    admission policy when the queue is at ``max_queue_depth`` (and under
+    ``"block"`` when the submit timeout elapses before space frees up).
+    Callers are expected to back off and retry.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A gateway request's deadline passed before it could be served.
+
+    Delivered through the request's :class:`repro.gateway.GatewayFuture`;
+    the request consumed queue space but no compute.
+    """

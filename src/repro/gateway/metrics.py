@@ -1,0 +1,154 @@
+"""Serving telemetry for the gateway.
+
+:class:`GatewayMetrics` is a thread-safe accumulator every gateway owns.
+Producers and worker threads record events as they happen; ``snapshot()``
+renders the counters into the serving dashboard numbers:
+
+* **QPS** — completions per second over a sliding window (default 30 s),
+  falling back to the lifetime rate while the gateway is younger than the
+  window;
+* **latency percentiles** — p50/p95/p99 over a bounded reservoir of the
+  most recent end-to-end latencies (queue wait + compute);
+* **fusion rate** — fraction of completed requests served by a fused
+  ``impute_many`` forward call rather than a per-request ``impute``;
+* **batch shape** — mean batch size and total batches dispatched;
+* **admission outcomes** — submitted / completed / failed / rejected /
+  expired counts per priority lane.
+
+The model-cache hit rate is not accumulated here: the cache keeps its own
+counters (:meth:`repro.api.model_cache.LRUModelCache.stats`) and the
+gateway merges them into :meth:`Gateway.stats` snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["GatewayMetrics", "percentile"]
+
+
+def percentile(values: List[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) by linear interpolation.
+
+    Tiny and dependency-light on purpose — the reservoir is at most a few
+    thousand floats, so sorting per snapshot is cheap.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+
+
+class GatewayMetrics:
+    """Thread-safe counters + reservoirs behind ``Gateway.stats()``."""
+
+    def __init__(self, latency_reservoir: int = 4096,
+                 qps_window_seconds: float = 30.0) -> None:
+        if latency_reservoir < 1:
+            raise ValueError("latency_reservoir must be >= 1")
+        if qps_window_seconds <= 0:
+            raise ValueError("qps_window_seconds must be > 0")
+        self.qps_window_seconds = qps_window_seconds
+        self._lock = threading.Lock()
+        self._started_at = time.perf_counter()
+        self.submitted: Dict[str, int] = {}
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.expired = 0
+        self.fused_completed = 0
+        self.batches = 0
+        self.batch_size_sum = 0
+        self._latencies: Deque[float] = deque(maxlen=latency_reservoir)
+        #: completion stamps for the sliding-window QPS (bounded: stale
+        #: stamps are pruned on record and on snapshot)
+        self._completion_times: Deque[float] = deque()
+
+    # -- recording ------------------------------------------------------- #
+    def record_submit(self, lane: str) -> None:
+        with self._lock:
+            self.submitted[lane] = self.submitted.get(lane, 0) + 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_expired(self) -> None:
+        with self._lock:
+            self.expired += 1
+
+    def record_failed(self, count: int = 1) -> None:
+        with self._lock:
+            self.failed += count
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batch_size_sum += size
+
+    def record_completion(self, latency_seconds: float,
+                          fused: bool = False) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            self.completed += 1
+            if fused:
+                self.fused_completed += 1
+            self._latencies.append(float(latency_seconds))
+            self._completion_times.append(now)
+            self._prune_locked(now)
+
+    # -- reporting ------------------------------------------------------- #
+    def snapshot(self, queue_depth: int = 0,
+                 lane_depths: Optional[Dict[str, int]] = None,
+                 model_cache: Optional[Dict[str, object]] = None,
+                 ) -> Dict[str, object]:
+        """Render the current serving picture as plain JSON-able values."""
+        now = time.perf_counter()
+        with self._lock:
+            self._prune_locked(now)
+            uptime = max(now - self._started_at, 1e-9)
+            window = min(self.qps_window_seconds, uptime)
+            latencies = list(self._latencies)
+            submitted_total = sum(self.submitted.values())
+            snapshot: Dict[str, object] = {
+                "uptime_seconds": uptime,
+                "submitted": submitted_total,
+                "submitted_by_lane": dict(self.submitted),
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "expired": self.expired,
+                "in_flight": max(
+                    submitted_total - self.completed - self.failed
+                    - self.expired, 0),
+                "qps": len(self._completion_times) / window,
+                "latency_p50_seconds": percentile(latencies, 50.0),
+                "latency_p95_seconds": percentile(latencies, 95.0),
+                "latency_p99_seconds": percentile(latencies, 99.0),
+                "fusion_rate": (self.fused_completed / self.completed
+                                if self.completed else 0.0),
+                "batches": self.batches,
+                "mean_batch_size": (self.batch_size_sum / self.batches
+                                    if self.batches else 0.0),
+                "queue_depth": queue_depth,
+            }
+        if lane_depths is not None:
+            snapshot["queue_depth_by_lane"] = dict(lane_depths)
+        if model_cache is not None:
+            snapshot["model_cache"] = dict(model_cache)
+        return snapshot
+
+    # -- internals ------------------------------------------------------- #
+    def _prune_locked(self, now: float) -> None:
+        horizon = now - self.qps_window_seconds
+        while self._completion_times and self._completion_times[0] < horizon:
+            self._completion_times.popleft()

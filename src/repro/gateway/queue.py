@@ -1,0 +1,333 @@
+"""Bounded two-lane request queue with admission control and deadlines.
+
+This is the front door of the serving gateway: producers :meth:`put`
+requests in, worker threads pull **micro-batches** out with
+:meth:`next_batch`.  Three serving concerns live here:
+
+* **Admission control** — the queue is bounded by ``max_depth``.  The
+  ``"reject"`` policy fails fast with :class:`~repro.exceptions.QueueFullError`
+  (shed load, let the caller back off); ``"block"`` applies backpressure by
+  making ``put`` wait for space (optionally up to a timeout).
+* **Priority lanes** — ``"interactive"`` requests are served before
+  ``"batch"`` requests, but starvation-free: after
+  ``interactive_burst`` consecutive interactive picks the batch lane is
+  guaranteed a turn, so a flood of interactive traffic can delay bulk work
+  by at most a bounded factor, never forever.
+* **Deadlines** — every entry may carry an absolute deadline
+  (``time.perf_counter`` seconds).  Entries whose deadline passed while
+  they queued are completed with
+  :class:`~repro.exceptions.DeadlineExceededError` the moment a worker
+  encounters them — they consume queue space but never compute.
+
+Batch assembly is **adaptive**: ``next_batch`` pops one request, then keeps
+collecting requests of the same fusion group (same model, same tensor
+structure) until the batch reaches ``max_batch_size`` or ``max_wait``
+seconds have passed since the first pop — whichever comes first.  An empty
+queue never spins: workers sleep on the condition variable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional, Tuple
+
+from concurrent.futures import Future
+
+from repro.api.requests import ImputeRequest
+from repro.exceptions import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceError,
+    ValidationError,
+)
+
+__all__ = ["GatewayFuture", "QueuedRequest", "RequestQueue", "LANES"]
+
+#: the two priority lanes, in service-preference order
+LANES: Tuple[str, str] = ("interactive", "batch")
+
+
+class GatewayFuture:
+    """Handle to one in-flight gateway request.
+
+    ``result()`` blocks until the request is served and returns its
+    :class:`~repro.api.requests.ImputeResult`, or raises the
+    :class:`~repro.exceptions.ServiceError` the request failed with
+    (:class:`~repro.exceptions.DeadlineExceededError` when its deadline
+    passed in the queue, a plain ``ServiceError`` when the gateway was
+    closed underneath it, ...).  A ``timeout`` raises
+    :class:`TimeoutError` without consuming the eventual result.
+    """
+
+    __slots__ = ("request_id", "lane", "_future")
+
+    def __init__(self, request_id: str, lane: str) -> None:
+        self.request_id = request_id
+        self.lane = lane
+        self._future: Future = Future()
+
+    def result(self, timeout: Optional[float] = None):
+        return self._future.result(timeout)
+
+    def exception(self, timeout: Optional[float] = None):
+        return self._future.exception(timeout)
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return (f"GatewayFuture(request_id={self.request_id!r}, "
+                f"lane={self.lane!r}, {state})")
+
+
+@dataclass
+class QueuedRequest:
+    """One admitted request waiting in (or popped from) the queue."""
+
+    request: ImputeRequest
+    future: GatewayFuture
+    lane: str = "interactive"
+    #: absolute ``perf_counter`` deadline; ``None`` never expires
+    deadline: Optional[float] = None
+    #: fusion group — requests sharing it may be served in one batch
+    group: Hashable = None
+    #: the caller's original request id (results are rewritten back to it;
+    #: the gateway correlates internally by its own unique id)
+    caller_id: Optional[str] = None
+    admitted_at: float = field(default_factory=time.perf_counter)
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.perf_counter() if now is None else now) > self.deadline
+
+    def complete(self, result) -> None:
+        if not self.future.done():
+            self.future._future.set_result(result)
+
+    def fail(self, error: BaseException) -> None:
+        if not self.future.done():
+            self.future._future.set_exception(error)
+
+
+class RequestQueue:
+    """Bounded, deadline-aware, two-lane queue (see module docstring).
+
+    Parameters
+    ----------
+    max_depth:
+        Total entries (both lanes) admitted at once.
+    admission:
+        ``"reject"`` raises :class:`QueueFullError` when full; ``"block"``
+        waits for space.
+    interactive_burst:
+        Starvation bound: the batch lane is guaranteed a pick at least once
+        per ``interactive_burst + 1`` dispatches whenever it has entries.
+    on_expired:
+        Optional callback invoked (outside the lock is not guaranteed) for
+        every entry dropped because its deadline passed — the telemetry
+        hook.
+    """
+
+    def __init__(self, max_depth: int = 256, admission: str = "reject",
+                 interactive_burst: int = 4,
+                 on_expired: Optional[Callable[[QueuedRequest], None]] = None,
+                 ) -> None:
+        if max_depth < 1:
+            raise ValidationError(f"max_depth must be >= 1, got {max_depth}")
+        if admission not in ("reject", "block"):
+            raise ValidationError(
+                f"admission must be 'reject' or 'block', got {admission!r}")
+        if interactive_burst < 1:
+            raise ValidationError(
+                f"interactive_burst must be >= 1, got {interactive_burst}")
+        self.max_depth = max_depth
+        self.admission = admission
+        self.interactive_burst = interactive_burst
+        self.on_expired = on_expired
+        self._lanes = {lane: [] for lane in LANES}  # type: dict
+        self._cond = threading.Condition()
+        self._closed = False
+        self._interactive_streak = 0
+        #: entries popped by an in-progress next_batch but not yet returned
+        #: to the worker — visible to drain logic, which would otherwise
+        #: see them in neither depth() nor the gateway's in-flight count
+        self._assembling = 0
+
+    # -- producers ------------------------------------------------------- #
+    def put(self, entry: QueuedRequest,
+            timeout: Optional[float] = None) -> None:
+        """Admit ``entry``; admission control applies (see class docs)."""
+        if entry.lane not in self._lanes:
+            raise ValidationError(
+                f"unknown priority lane {entry.lane!r}; lanes: "
+                + ", ".join(LANES))
+        wait_until = None if timeout is None else \
+            time.perf_counter() + timeout
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise ServiceError(
+                        "gateway queue is closed; no new requests admitted")
+                if self._depth_locked() < self.max_depth:
+                    break
+                if self.admission == "reject":
+                    raise QueueFullError(
+                        f"request queue is full ({self.max_depth} deep); "
+                        "retry later or use admission='block'")
+                remaining = None if wait_until is None else \
+                    wait_until - time.perf_counter()
+                if remaining is not None and remaining <= 0:
+                    raise QueueFullError(
+                        f"request queue stayed full ({self.max_depth} deep) "
+                        f"for {timeout:.3f}s; giving up")
+                self._cond.wait(remaining)
+            self._lanes[entry.lane].append(entry)
+            self._cond.notify_all()
+
+    # -- consumers ------------------------------------------------------- #
+    def next_batch(self, max_batch_size: int, max_wait: float,
+                   timeout: Optional[float] = None) -> List[QueuedRequest]:
+        """Pop an adaptive micro-batch of one fusion group.
+
+        Blocks up to ``timeout`` seconds for the *first* request (``None``
+        waits forever), then keeps the batch open for at most ``max_wait``
+        seconds while same-group requests trickle in, closing early at
+        ``max_batch_size``.  Returns ``[]`` on timeout or shutdown — never
+        a batch spanning two fusion groups.
+        """
+        wait_until = None if timeout is None else \
+            time.perf_counter() + timeout
+        with self._cond:
+            first = None
+            while first is None:
+                first = self._pop_next_locked()
+                if first is not None:
+                    break
+                if self._closed:
+                    # Drained and closed: nothing will ever arrive.
+                    return []
+                remaining = None if wait_until is None else \
+                    wait_until - time.perf_counter()
+                if remaining is not None and remaining <= 0:
+                    return []
+                self._cond.wait(remaining)
+            self._assembling += 1
+            try:
+                batch = [first]
+                batch_deadline = time.perf_counter() + max_wait
+                while len(batch) < max_batch_size:
+                    more = self._pop_matching_locked(first.group)
+                    if more is not None:
+                        batch.append(more)
+                        continue
+                    remaining = batch_deadline - time.perf_counter()
+                    if remaining <= 0 or self._closed:
+                        break
+                    self._cond.wait(remaining)
+                return batch
+            finally:
+                self._assembling -= 1
+
+    def drain(self) -> List[QueuedRequest]:
+        """Remove and return every queued entry (shutdown path)."""
+        with self._cond:
+            entries: List[QueuedRequest] = []
+            for lane in LANES:
+                entries.extend(self._lanes[lane])
+                self._lanes[lane] = []
+            self._cond.notify_all()
+            return entries
+
+    # -- lifecycle / introspection --------------------------------------- #
+    def close(self) -> None:
+        """Stop admitting; queued entries may still be consumed."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def wake_all(self) -> None:
+        """Wake every waiter (used by the gateway's shutdown)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def depth(self) -> int:
+        with self._cond:
+            return self._depth_locked()
+
+    def assembling(self) -> int:
+        """Batches currently being assembled (entries held by next_batch)."""
+        with self._cond:
+            return self._assembling
+
+    def lane_depths(self) -> dict:
+        with self._cond:
+            return {lane: len(entries)
+                    for lane, entries in self._lanes.items()}
+
+    # -- internals (lock held) ------------------------------------------- #
+    def _depth_locked(self) -> int:
+        return sum(len(entries) for entries in self._lanes.values())
+
+    def _expire_locked(self, entry: QueuedRequest) -> None:
+        waited = time.perf_counter() - entry.admitted_at
+        entry.fail(DeadlineExceededError(
+            f"request {entry.future.request_id!r} expired after waiting "
+            f"{waited * 1e3:.1f} ms in the {entry.lane!r} lane"))
+        if self.on_expired is not None:
+            self.on_expired(entry)
+
+    def _pop_next_locked(self) -> Optional[QueuedRequest]:
+        """Starvation-free two-lane pick, dropping expired entries."""
+        now = time.perf_counter()
+        while True:
+            interactive = self._lanes["interactive"]
+            batch = self._lanes["batch"]
+            if interactive and (
+                    not batch
+                    or self._interactive_streak < self.interactive_burst):
+                entry = interactive.pop(0)
+                self._interactive_streak += 1
+            elif batch:
+                entry = batch.pop(0)
+                self._interactive_streak = 0
+            else:
+                return None
+            self._cond.notify_all()          # space freed for blocked puts
+            if entry.expired(now):
+                self._expire_locked(entry)
+                continue
+            return entry
+
+    def _pop_matching_locked(self, group: Hashable) -> Optional[QueuedRequest]:
+        """First same-group entry across both lanes (expired ones drop).
+
+        Batch joining is cross-lane on purpose: a batch-lane request that
+        fuses with an in-flight interactive batch rides along for free —
+        it neither delays the interactive requests (the batch was leaving
+        anyway) nor burns a scheduling turn.
+        """
+        now = time.perf_counter()
+        for lane in LANES:
+            entries = self._lanes[lane]
+            index = 0
+            while index < len(entries):
+                entry = entries[index]
+                if entry.expired(now):
+                    entries.pop(index)
+                    self._cond.notify_all()
+                    self._expire_locked(entry)
+                    continue
+                if entry.group == group:
+                    entries.pop(index)
+                    self._cond.notify_all()
+                    return entry
+                index += 1
+        return None

@@ -57,7 +57,8 @@ class StreamWindowResult:
     start: int
     stop: int
     completed: Optional[TimeSeriesTensor] = None
-    #: per-window impute time inside the serving batch
+    #: end-to-end serving latency of this window (queue wait inside the
+    #: sweep + its share of the compute)
     latency_seconds: float = 0.0
     #: True when this window triggered an incremental refit
     refit: bool = False
@@ -219,7 +220,8 @@ class StreamingService:
             raise ServiceError(f"stream {stream_id!r} is closed")
         state.pending.append(window)
 
-    def step(self, max_windows: int = 1) -> List[StreamWindowResult]:
+    def step(self, max_windows: int = 1,
+             gateway=None) -> List[StreamWindowResult]:
         """Serve pending windows of every stream, micro-batched together.
 
         Refits (when due) run first, serially in this process — they are
@@ -235,6 +237,14 @@ class StreamingService:
         fused sweep.  A model superseded by a mid-step refit is retired only
         after the sweep, so windows already queued against it still serve.
 
+        ``gateway`` routes the step's windows through a running
+        :class:`repro.gateway.Gateway` instead of the service's own
+        submit/gather sweep: the windows enter the gateway's ``"batch"``
+        lane (so a backlog drain never starves live interactive traffic),
+        its adaptive batcher fuses them with whatever else is in flight,
+        and this call blocks until every window of the step resolves.  The
+        gateway must serve the same model store as this streaming service.
+
         Failures never propagate across streams: each becomes a per-window
         error result.
 
@@ -243,6 +253,18 @@ class StreamingService:
         by this step and its result silently lost, so that state is
         rejected up front.
         """
+        if gateway is not None:
+            if gateway.service.store is not self.service.store:
+                raise ServiceError(
+                    "the gateway serves a different model store than this "
+                    "streaming service; build it over the same "
+                    "ImputationService (Gateway(streaming.service, ...))")
+            if not gateway.running:
+                # step() blocks on the gateway's futures; without a worker
+                # pool they would never resolve and the step would hang.
+                raise ServiceError(
+                    "the gateway's worker pool is not running; call "
+                    "gateway.start() before routing a step through it")
         if self.service.pending_count():
             raise ServiceError(
                 f"the wrapped ImputationService has "
@@ -254,6 +276,7 @@ class StreamingService:
                 f"max_windows must be >= 0, got {max_windows}")
         active: List[StreamWindowResult] = []
         requests: Dict[str, StreamWindowResult] = {}
+        futures: Dict[str, object] = {}
         retired: List[str] = []
         for state in self._streams.values():
             if state.closed or not state.pending:
@@ -274,15 +297,21 @@ class StreamingService:
                 try:
                     # Refit *and* submit failures stay on their stream: a
                     # submit that raises (e.g. the model was pruned from a
-                    # shared store) must neither abort the step nor strand
-                    # the sibling requests already queued.
+                    # shared store, or the gateway queue is full) must
+                    # neither abort the step nor strand the sibling
+                    # requests already queued.
                     if self._needs_refit(state):
                         result.refit = True
                         result.refit_seconds = self._refit(state, retired)
                     request_id = f"{state.stream_id}.w{window.index:06d}"
-                    self.service.submit(ImputeRequest(
+                    request = ImputeRequest(
                         model_id=state.model_id, data=window.tensor,
-                        request_id=request_id))
+                        request_id=request_id)
+                    if gateway is None:
+                        self.service.submit(request)
+                    else:
+                        futures[request_id] = gateway.submit(
+                            request, priority="batch")
                 except Exception:
                     import traceback
 
@@ -291,16 +320,27 @@ class StreamingService:
                     continue
                 requests[request_id] = result
 
-        served = self.service.gather(raise_on_error=False)
+        if gateway is None:
+            served = self.service.gather(raise_on_error=False)
+            errors = dict(self.service.last_errors)
+        else:
+            served, errors = [], {}
+            for request_id, future in futures.items():
+                try:
+                    served.append(future.result())
+                except Exception:
+                    import traceback
+
+                    errors[request_id] = traceback.format_exc()
         for impute_result in served:
             result = requests.get(impute_result.request_id)
             if result is None:
                 continue
             result.completed = impute_result.completed
-            result.latency_seconds = impute_result.runtime_seconds
+            result.latency_seconds = impute_result.latency_seconds
             state = self._streams[result.stream_id]
             state.windows_served += 1
-        for request_id, error in self.service.last_errors.items():
+        for request_id, error in errors.items():
             result = requests.get(request_id)
             if result is None:
                 continue

@@ -63,6 +63,34 @@ class TestImputeMany:
         np.testing.assert_array_equal(
             fused[1].values, fitted_deepmvi.impute(incomplete_short).values)
 
+    def test_refit_with_new_window_refreshes_structure_templates(self, truth):
+        """A refit that changes the window must not leave stale templates.
+
+        The per-shape structure cache would otherwise keep serving (or
+        keep rejecting) tables built for the old window for the imputer's
+        remaining lifetime.
+        """
+        import dataclasses as _dc
+
+        imputer = DeepMVIImputer(config=TINY_CONFIG, auto_window=False)
+        incomplete, _ = apply_scenario(truth, SCENARIO, seed=0)
+        imputer.fit(incomplete)
+        tensors = _requests(truth, (1, 2))
+        first = imputer.impute_many(tensors)
+        assert imputer._structure_cache()      # templates populated
+
+        refit_config = _dc.replace(TINY_CONFIG, window=TINY_CONFIG.window * 2)
+        imputer.config = refit_config
+        imputer.fit(incomplete)                # clears stale templates
+        second = imputer.impute_many(tensors)
+        sequential = [imputer.impute(t) for t in tensors]
+        for fused, direct in zip(second, sequential):
+            np.testing.assert_array_equal(fused.values, direct.values)
+        # The refreshed templates carry the new window.
+        for template in imputer._structure_cache().values():
+            assert template.window == imputer.config.window
+        assert first[0].values.shape == second[0].values.shape
+
     def test_base_imputer_default_loops(self, truth):
         from repro.baselines.simple import MeanImputer
 
@@ -140,6 +168,52 @@ class TestFusedGather:
         # The fallback results are per-request, not fused.
         assert all(not result.fused
                    for result in excinfo.value.partial_results)
+
+    def test_fused_latency_includes_queue_wait(self, truth):
+        """latency_seconds = queue wait + compute on the fused path."""
+        service = ImputationService()
+        incomplete, _ = apply_scenario(truth, SCENARIO, seed=0)
+        model_id = service.fit(incomplete, method="deepmvi",
+                               config=TINY_CONFIG)
+        for tensor in _requests(truth, (1, 2, 3)):
+            service.submit(tensor, model_id=model_id)
+        results = service.gather()
+        assert all(result.fused for result in results)
+        for result in results:
+            # Queue wait (submit -> serve) is real, so end-to-end latency
+            # must strictly dominate the request's compute share.
+            assert result.latency_seconds > result.runtime_seconds > 0
+
+    def test_fallback_latency_includes_queue_wait(self, truth):
+        """Same accounting on the per-request fallback path."""
+        service = ImputationService()
+        incomplete, _ = apply_scenario(truth, SCENARIO, seed=0)
+        model_id = service.fit(incomplete, method="mean")
+        for tensor in _requests(truth, (1, 2)):
+            service.submit(tensor, model_id=model_id)
+        results = service.gather()
+        assert all(not result.fused for result in results)
+        for result in results:
+            assert result.latency_seconds >= result.runtime_seconds
+            assert result.latency_seconds > 0
+
+    def test_synchronous_impute_latency_equals_runtime(self, truth):
+        service = ImputationService()
+        incomplete, _ = apply_scenario(truth, SCENARIO, seed=0)
+        model_id = service.fit(incomplete, method="mean")
+        result = service.impute(incomplete, model_id=model_id)
+        assert result.latency_seconds == result.runtime_seconds > 0
+
+    def test_latency_round_trips_the_wire(self, truth):
+        from repro.api.requests import ImputeResult
+
+        service = ImputationService()
+        incomplete, _ = apply_scenario(truth, SCENARIO, seed=0)
+        model_id = service.fit(incomplete, method="mean")
+        result = service.impute(incomplete, model_id=model_id)
+        clone = ImputeResult.from_dict(result.to_dict())
+        assert clone.latency_seconds == pytest.approx(
+            result.latency_seconds)
 
     def test_parallel_gather_fuses_and_matches_serial(self, truth, tmp_path):
         incomplete, _ = apply_scenario(truth, SCENARIO, seed=0)

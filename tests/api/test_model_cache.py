@@ -1,0 +1,127 @@
+"""Tests of the LRU model cache and its ModelStore integration."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import ImputationService, LRUModelCache, ModelStore
+from repro.baselines.simple import MeanImputer
+from repro.exceptions import ValidationError
+
+
+class TestLRUModelCache:
+    def test_unbounded_by_default(self):
+        cache = LRUModelCache()
+        for index in range(100):
+            cache.put(f"m{index}", index)
+        assert len(cache) == 100
+        assert cache.stats()["evictions"] == 0
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUModelCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")                 # refresh a: b is now the LRU tail
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_hit_miss_accounting(self):
+        cache = LRUModelCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        # Presence probes must not distort the hit rate.
+        assert "a" in cache
+        assert cache.stats()["hits"] == 1
+
+    def test_pop_and_clear(self):
+        cache = LRUModelCache()
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert cache.pop("a", "gone") == "gone"
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUModelCache(maxsize=0)
+
+    def test_thread_safety_smoke(self):
+        cache = LRUModelCache(maxsize=8)
+        errors = []
+
+        def worker(worker_index):
+            try:
+                for index in range(200):
+                    key = f"m{(worker_index * 7 + index) % 16}"
+                    cache.put(key, index)
+                    cache.get(key)
+            except Exception as error:     # pragma: no cover - fail loud
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 8
+
+
+class TestModelStoreEviction:
+    def _fitted(self, tensor):
+        return MeanImputer().fit(tensor)
+
+    def test_bound_requires_directory(self):
+        with pytest.raises(ValidationError):
+            ModelStore(max_cached_models=2)
+        with pytest.raises(ValidationError):
+            ImputationService(max_cached_models=2)
+
+    def test_evicted_model_reloads_from_disk(self, tmp_path, small_panel):
+        store = ModelStore(str(tmp_path), max_cached_models=2)
+        for index in range(3):
+            store.put(f"model-{index}", self._fitted(small_panel),
+                      method="mean")
+        stats = store.cache_stats()
+        assert stats["size"] == 2 and stats["evictions"] == 1
+        # The evicted model is still servable — cold-loaded from its
+        # artifact — and every id remains listed.
+        assert sorted(store.list_models()) == \
+            ["model-0", "model-1", "model-2"]
+        reloaded = store.get("model-0")
+        completed = reloaded.impute(small_panel)
+        np.testing.assert_array_equal(completed.values, small_panel.values)
+        # Reloading inserted model-0 back into the cache, evicting another.
+        assert store.cache_stats()["size"] == 2
+
+    def test_hot_models_never_touch_disk(self, tmp_path, small_panel):
+        store = ModelStore(str(tmp_path), max_cached_models=2)
+        store.put("hot", self._fitted(small_panel), method="mean")
+        before = store.cache_stats()["misses"]
+        for _ in range(5):
+            store.get("hot")
+        stats = store.cache_stats()
+        assert stats["misses"] == before
+        assert stats["hits"] >= 5
+
+    def test_service_passes_bound_through(self, tmp_path, small_panel):
+        service = ImputationService(store_dir=str(tmp_path),
+                                    max_cached_models=1)
+        first = service.fit(small_panel, method="mean")
+        second = service.fit(small_panel, method="interpolation")
+        assert service.store.cache_stats()["size"] == 1
+        # Both models still serve (one via cold reload).
+        assert service.impute(small_panel, model_id=first).completed \
+            is not None
+        assert service.impute(small_panel, model_id=second).completed \
+            is not None
+        assert service.describe()["model_cache"]["evictions"] >= 1

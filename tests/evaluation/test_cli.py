@@ -48,6 +48,30 @@ class TestImputeCommand:
             assert len(payload.files) == 2
 
 
+class TestGatewayBenchCommand:
+    def test_load_generates_and_reports_telemetry(self, capsys):
+        code = main(["gateway-bench", "--dataset", "airq", "--method",
+                     "mean", "--size", "tiny", "--producers", "4",
+                     "--requests", "3", "--window", "20",
+                     "--max-batch-size", "4", "--workers", "1"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fitted 'mean' once" in output
+        assert "requests delivered" in output and "12/12" in output
+        assert "latency p95" in output
+        assert "model-cache hit rate" in output
+        assert "speedup vs one-at-a-time" in output
+
+    def test_skip_baseline(self, capsys):
+        code = main(["gateway-bench", "--dataset", "airq", "--method",
+                     "interpolation", "--size", "tiny", "--producers", "2",
+                     "--requests", "2", "--skip-baseline"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "baseline" not in output
+        assert "4/4" in output
+
+
 class TestRunCommand:
     def test_runs_fast_methods(self, capsys):
         code = main(["run", "--dataset", "airq", "--scenario", "mcar",

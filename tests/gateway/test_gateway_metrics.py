@@ -1,0 +1,79 @@
+"""Unit tests of the gateway telemetry accumulator."""
+
+import pytest
+
+from repro.gateway.metrics import GatewayMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty_and_single(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([3.0], 99) == 3.0
+
+    def test_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_order_independent(self):
+        assert percentile([5.0, 1.0, 3.0], 50) == 3.0
+
+
+class TestGatewayMetrics:
+    def test_counters_roll_up(self):
+        metrics = GatewayMetrics()
+        metrics.record_submit("interactive")
+        metrics.record_submit("interactive")
+        metrics.record_submit("batch")
+        metrics.record_rejected()
+        metrics.record_expired()
+        metrics.record_batch(2)
+        metrics.record_completion(0.010, fused=True)
+        metrics.record_completion(0.030, fused=False)
+        snapshot = metrics.snapshot(queue_depth=1)
+        assert snapshot["submitted"] == 3
+        assert snapshot["submitted_by_lane"] == {"interactive": 2, "batch": 1}
+        assert snapshot["completed"] == 2
+        assert snapshot["rejected"] == 1
+        assert snapshot["expired"] == 1
+        assert snapshot["in_flight"] == 0
+        assert snapshot["fusion_rate"] == pytest.approx(0.5)
+        assert snapshot["mean_batch_size"] == pytest.approx(2.0)
+        assert snapshot["queue_depth"] == 1
+
+    def test_latency_percentiles_ordered(self):
+        metrics = GatewayMetrics()
+        for value in (0.001, 0.002, 0.005, 0.010, 0.100):
+            metrics.record_completion(value)
+        snapshot = metrics.snapshot()
+        assert snapshot["latency_p50_seconds"] <= \
+            snapshot["latency_p95_seconds"] <= \
+            snapshot["latency_p99_seconds"]
+        assert snapshot["latency_p99_seconds"] <= 0.100
+
+    def test_qps_counts_recent_completions(self):
+        metrics = GatewayMetrics(qps_window_seconds=60.0)
+        for _ in range(30):
+            metrics.record_completion(0.001)
+        assert metrics.snapshot()["qps"] > 0
+
+    def test_reservoir_is_bounded(self):
+        metrics = GatewayMetrics(latency_reservoir=16)
+        for index in range(100):
+            metrics.record_completion(float(index))
+        # Only the 16 most recent latencies survive: p50 of 84..99.
+        assert metrics.snapshot()["latency_p50_seconds"] >= 84.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GatewayMetrics(latency_reservoir=0)
+        with pytest.raises(ValueError):
+            GatewayMetrics(qps_window_seconds=0)
+
+    def test_cache_stats_passthrough(self):
+        snapshot = GatewayMetrics().snapshot(
+            model_cache={"hits": 3, "hit_rate": 1.0},
+            lane_depths={"interactive": 2, "batch": 0})
+        assert snapshot["model_cache"]["hits"] == 3
+        assert snapshot["queue_depth_by_lane"]["interactive"] == 2

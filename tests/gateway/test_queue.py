@@ -1,0 +1,163 @@
+"""Unit tests of the gateway's bounded two-lane request queue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.api.requests import ImputeRequest
+from repro.exceptions import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceError,
+    ValidationError,
+)
+from repro.gateway.queue import GatewayFuture, QueuedRequest, RequestQueue
+
+
+def entry(lane="interactive", group="g", deadline=None, request_id="r"):
+    return QueuedRequest(
+        request=ImputeRequest(model_id="m", request_id=request_id),
+        future=GatewayFuture(request_id, lane),
+        lane=lane, deadline=deadline, group=group)
+
+
+class TestAdmission:
+    def test_reject_policy_raises_when_full(self):
+        queue = RequestQueue(max_depth=2, admission="reject")
+        queue.put(entry())
+        queue.put(entry())
+        with pytest.raises(QueueFullError):
+            queue.put(entry())
+        assert queue.depth() == 2
+
+    def test_block_policy_waits_for_space(self):
+        queue = RequestQueue(max_depth=1, admission="block")
+        queue.put(entry(group="a"))
+        admitted = threading.Event()
+
+        def producer():
+            queue.put(entry(group="b"))
+            admitted.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)
+        assert not admitted.is_set()          # still blocked on a full queue
+        batch = queue.next_batch(1, max_wait=0.0)
+        assert len(batch) == 1
+        thread.join(timeout=2.0)
+        assert admitted.is_set()
+
+    def test_block_policy_times_out(self):
+        queue = RequestQueue(max_depth=1, admission="block")
+        queue.put(entry())
+        with pytest.raises(QueueFullError):
+            queue.put(entry(), timeout=0.05)
+
+    def test_closed_queue_rejects_new_entries(self):
+        queue = RequestQueue(max_depth=4)
+        queue.close()
+        with pytest.raises(ServiceError):
+            queue.put(entry())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            RequestQueue(max_depth=0)
+        with pytest.raises(ValidationError):
+            RequestQueue(max_depth=1, admission="shrug")
+        queue = RequestQueue(max_depth=1)
+        with pytest.raises(ValidationError):
+            queue.put(entry(lane="express"))
+
+
+class TestScheduling:
+    def test_interactive_served_first(self):
+        queue = RequestQueue(max_depth=8)
+        queue.put(entry(lane="batch", group="b", request_id="b0"))
+        queue.put(entry(lane="interactive", group="i", request_id="i0"))
+        (first,) = queue.next_batch(1, max_wait=0.0)
+        assert first.lane == "interactive"
+
+    def test_batch_lane_is_starvation_free(self):
+        # A full interactive lane must not starve the batch lane: with
+        # burst=2, the batch entry is served no later than the third pick.
+        queue = RequestQueue(max_depth=16, interactive_burst=2)
+        for index in range(6):
+            queue.put(entry(lane="interactive", group="i",
+                            request_id=f"i{index}"))
+        queue.put(entry(lane="batch", group="b", request_id="b0"))
+        order = [queue.next_batch(1, max_wait=0.0)[0].lane for _ in range(7)]
+        assert order.index("batch") <= 2
+        assert order.count("batch") == 1 and order.count("interactive") == 6
+
+    def test_batch_assembly_groups_and_caps(self):
+        queue = RequestQueue(max_depth=16)
+        for index in range(3):
+            queue.put(entry(group="a", request_id=f"a{index}"))
+        queue.put(entry(group="b", request_id="b0"))
+        queue.put(entry(group="a", request_id="a3"))
+        batch = queue.next_batch(16, max_wait=0.0)
+        # All four group-a entries fuse; the group-b entry stays queued.
+        assert [e.future.request_id for e in batch] == \
+            ["a0", "a1", "a2", "a3"]
+        assert queue.depth() == 1
+        (leftover,) = queue.next_batch(16, max_wait=0.0)
+        assert leftover.group == "b"
+
+    def test_batch_respects_max_batch_size(self):
+        queue = RequestQueue(max_depth=16)
+        for index in range(5):
+            queue.put(entry(group="a", request_id=f"a{index}"))
+        assert len(queue.next_batch(2, max_wait=0.0)) == 2
+        assert queue.depth() == 3
+
+    def test_batch_waits_for_stragglers(self):
+        queue = RequestQueue(max_depth=16)
+        queue.put(entry(group="a", request_id="a0"))
+
+        def late_producer():
+            time.sleep(0.03)
+            queue.put(entry(group="a", request_id="a1"))
+
+        thread = threading.Thread(target=late_producer)
+        thread.start()
+        batch = queue.next_batch(4, max_wait=0.5)
+        thread.join()
+        assert [e.future.request_id for e in batch] == ["a0", "a1"]
+
+    def test_empty_queue_times_out(self):
+        queue = RequestQueue(max_depth=4)
+        start = time.perf_counter()
+        assert queue.next_batch(4, max_wait=0.0, timeout=0.05) == []
+        assert time.perf_counter() - start < 1.0
+
+
+class TestDeadlines:
+    def test_expired_entry_fails_with_deadline_error(self):
+        queue = RequestQueue(max_depth=4)
+        expired = entry(deadline=time.perf_counter() - 0.01,
+                        request_id="late")
+        fresh = entry(request_id="fresh")
+        queue.put(expired)
+        queue.put(fresh)
+        batch = queue.next_batch(4, max_wait=0.0)
+        assert [e.future.request_id for e in batch] == ["fresh"]
+        with pytest.raises(DeadlineExceededError):
+            expired.future.result(timeout=0)
+
+    def test_expiry_callback_fires(self):
+        expired_entries = []
+        queue = RequestQueue(max_depth=4, on_expired=expired_entries.append)
+        queue.put(entry(deadline=time.perf_counter() - 0.01))
+        assert queue.next_batch(4, max_wait=0.0, timeout=0.05) == []
+        assert len(expired_entries) == 1
+
+
+class TestDrain:
+    def test_drain_empties_both_lanes(self):
+        queue = RequestQueue(max_depth=8)
+        queue.put(entry(lane="interactive"))
+        queue.put(entry(lane="batch"))
+        drained = queue.drain()
+        assert len(drained) == 2 and queue.depth() == 0

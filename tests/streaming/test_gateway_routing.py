@@ -1,0 +1,129 @@
+"""Routing streaming backlogs through the serving gateway."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import BaseImputer
+from repro.baselines.registry import ImputerRegistry, MethodInfo
+from repro.baselines.simple import LinearInterpolationImputer, MeanImputer
+from repro.data.missing import MissingScenario, apply_scenario
+from repro.exceptions import ServiceError
+from repro.gateway import Gateway, GatewayConfig
+from repro.streaming import StreamingService, WindowedStream
+
+
+class _SlowImputer(BaseImputer):
+    """Mean-like imputer whose impute sleeps — stalls the gateway worker."""
+
+    name = "slow"
+
+    def impute(self, tensor=None):
+        time.sleep(0.2)
+        if tensor is None:
+            tensor = self._fitted_tensor
+        return MeanImputer().fit(tensor).impute(tensor)
+
+
+@pytest.fixture
+def registry():
+    registry = ImputerRegistry()
+    registry.register(MethodInfo("mean", MeanImputer,
+                                 tags=("streaming", "simple")))
+    registry.register(MethodInfo("interpolation", LinearInterpolationImputer,
+                                 tags=("streaming", "simple")))
+    registry.register(MethodInfo("slow", _SlowImputer, tags=("streaming",)))
+    return registry
+
+
+@pytest.fixture
+def windows(small_panel):
+    scenario = MissingScenario("drift_outage", {})
+    incomplete, _ = apply_scenario(small_panel, scenario, seed=2)
+    return list(WindowedStream.from_tensor(incomplete, window_size=24,
+                                           stride=12))
+
+
+def _open_and_backlog(svc, windows, count=4):
+    svc.open_stream("plant-a", method="mean", refit_every=0)
+    svc.open_stream("plant-b", method="interpolation", refit_every=0)
+    for window in windows[:count]:
+        svc.push("plant-a", window)
+        svc.push("plant-b", window)
+
+
+class TestGatewayRouting:
+    def test_backlog_drain_matches_direct_path(self, registry, windows):
+        direct_svc = StreamingService(registry=registry)
+        _open_and_backlog(direct_svc, windows)
+        direct = direct_svc.step(max_windows=0)
+
+        routed_svc = StreamingService(registry=registry)
+        _open_and_backlog(routed_svc, windows)
+        with Gateway(routed_svc.service,
+                     GatewayConfig(max_batch_size=8,
+                                   max_wait_ms=5.0)) as gateway:
+            routed = routed_svc.step(max_windows=0, gateway=gateway)
+            stats = gateway.stats()
+
+        assert len(routed) == len(direct) == 8
+        by_key = {(r.stream_id, r.window_index): r for r in routed}
+        for reference in direct:
+            match = by_key[(reference.stream_id, reference.window_index)]
+            assert match.ok
+            np.testing.assert_array_equal(match.completed.values,
+                                          reference.completed.values)
+            assert match.latency_seconds > 0
+        # The backlog rode the low-priority lane.
+        assert stats["submitted_by_lane"] == {"batch": 8}
+        assert stats["completed"] == 8
+
+    def test_stream_bookkeeping_updates_through_gateway(self, registry,
+                                                        windows):
+        svc = StreamingService(registry=registry)
+        _open_and_backlog(svc, windows, count=2)
+        with Gateway(svc.service) as gateway:
+            svc.step(max_windows=0, gateway=gateway)
+        described = svc.describe()["streams"]
+        assert described["plant-a"]["windows_served"] == 2
+        assert described["plant-b"]["windows_served"] == 2
+
+    def test_foreign_store_gateway_is_rejected(self, registry, windows):
+        svc = StreamingService(registry=registry)
+        _open_and_backlog(svc, windows, count=1)
+        with Gateway(store_dir=None) as foreign:
+            with pytest.raises(ServiceError):
+                svc.step(gateway=foreign)
+
+    def test_unstarted_gateway_is_rejected(self, registry, windows):
+        svc = StreamingService(registry=registry)
+        svc.open_stream("plant-a", method="mean", refit_every=0)
+        svc.push("plant-a", windows[0])
+        gateway = Gateway(svc.service, start=False)
+        # step() blocks on gateway futures: a dormant worker pool must be
+        # rejected up front, not hang the step.
+        with pytest.raises(ServiceError):
+            svc.step(gateway=gateway)
+        gateway.close(drain=False)
+
+    def test_gateway_failure_stays_on_its_window(self, registry, windows):
+        svc = StreamingService(registry=registry)
+        svc.open_stream("plant-a", method="mean", refit_every=0)
+        svc.push("plant-a", windows[0])
+        with Gateway(svc.service,
+                     GatewayConfig(max_queue_depth=1, admission="reject",
+                                   max_batch_size=1, max_wait_ms=0.0),
+                     ) as gateway:
+            # Stall the worker with a slow request, then fill the single
+            # queue slot, so the stream's submit is rejected: the failure
+            # must land on the window result, not raise out of step().
+            model_id = svc.service.fit(windows[1].tensor, method="slow")
+            stall = gateway.submit(windows[1].tensor, model_id=model_id)
+            time.sleep(0.05)              # worker is now inside the stall
+            filler = gateway.submit(windows[1].tensor, model_id=model_id)
+            (result,) = svc.step(gateway=gateway)
+            assert not result.ok
+            assert "full" in result.error
+            assert stall.result(timeout=10.0) is not None
+            assert filler.result(timeout=10.0) is not None
