@@ -199,6 +199,7 @@ def test_gateway_throughput(results_dir):
         "gateway.mean_batch_size": best_stats["mean_batch_size"],
         "gateway.latency_p50_seconds": best_stats["latency_p50_seconds"],
         "gateway.latency_p95_seconds": best_stats["latency_p95_seconds"],
+        "gateway.latency_p99_seconds": best_stats["latency_p99_seconds"],
     }
     lines = [
         f"serving  sequential {sequential_rps:>8.1f} req/sec   "
@@ -209,7 +210,8 @@ def test_gateway_throughput(results_dir):
         f"gateway  fusion {best_stats['fusion_rate']:.0%}   "
         f"mean batch {best_stats['mean_batch_size']:.1f}   "
         f"p50 {best_stats['latency_p50_seconds'] * 1e3:.1f} ms   "
-        f"p95 {best_stats['latency_p95_seconds'] * 1e3:.1f} ms",
+        f"p95 {best_stats['latency_p95_seconds'] * 1e3:.1f} ms   "
+        f"p99 {best_stats['latency_p99_seconds'] * 1e3:.1f} ms",
     ]
 
     payload = {

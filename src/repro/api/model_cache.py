@@ -35,13 +35,24 @@ class LRUModelCache:
         statistics).  Bounded caches only make sense when evicted entries
         can be recreated — :class:`~repro.api.service.ModelStore` therefore
         refuses a bound unless it has a disk directory to reload from.
+    max_bytes:
+        Optional bound on the *reported* resident bytes of the entries
+        (the ``nbytes`` passed to :meth:`put`; entries inserted without a
+        size count as 0).  Evicts LRU-first like ``maxsize``; both bounds
+        may be active at once.  Fast-path tables can multiply a model's
+        footprint, so byte-bounded stores stay honest about them.
     """
 
-    def __init__(self, maxsize: Optional[int] = None) -> None:
+    def __init__(self, maxsize: Optional[int] = None,
+                 max_bytes: Optional[int] = None) -> None:
         if maxsize is not None and maxsize < 1:
             raise ValueError(f"maxsize must be >= 1 or None, got {maxsize}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
         self.maxsize = maxsize
+        self.max_bytes = max_bytes
         self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._nbytes: Dict[str, int] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
@@ -59,24 +70,49 @@ class LRUModelCache:
             self.hits += 1
             return value
 
-    def put(self, key: str, value) -> None:
-        """Insert/refresh an entry, evicting the LRU tail past ``maxsize``."""
+    def peek(self, key: str, default=None):
+        """The cached value without recency refresh or hit/miss accounting.
+
+        For telemetry readers (fast-path stats, health endpoints): polling
+        must not keep a cold model artificially hot nor skew the serving
+        hit rate.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            return default if value is _MISSING else value
+
+    def put(self, key: str, value, nbytes: Optional[int] = None) -> None:
+        """Insert/refresh an entry, evicting the LRU tail past the bounds.
+
+        ``nbytes`` is the entry's reported resident size, counted against
+        ``max_bytes``; an entry that alone exceeds the byte bound is still
+        kept (evicting everything would only force a reload loop).
+        """
         with self._lock:
             self._entries[key] = value
+            self._nbytes[key] = int(nbytes) if nbytes is not None else 0
             self._entries.move_to_end(key)
             while self.maxsize is not None and \
                     len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._nbytes.pop(evicted, None)
+                self.evictions += 1
+            while self.max_bytes is not None and len(self._entries) > 1 and \
+                    sum(self._nbytes.values()) > self.max_bytes:
+                evicted, _ = self._entries.popitem(last=False)
+                self._nbytes.pop(evicted, None)
                 self.evictions += 1
 
     def pop(self, key: str, default=None):
         """Remove and return an entry without touching the statistics."""
         with self._lock:
+            self._nbytes.pop(key, None)
             return self._entries.pop(key, default)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._nbytes.clear()
 
     # ------------------------------------------------------------------ #
     def __contains__(self, key: str) -> bool:
@@ -101,6 +137,8 @@ class LRUModelCache:
             return {
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
+                "bytes": sum(self._nbytes.values()),
+                "max_bytes": self.max_bytes,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,

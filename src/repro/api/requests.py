@@ -295,6 +295,10 @@ class ImputeResult:
     #: per-request ``runtime_seconds`` is then the request's share of the
     #: fused wall-clock.
     fused: bool = False
+    #: True when every missing cell of this request was answered from the
+    #: precomputed lookup tables (:mod:`repro.core.fast_path`) — no
+    #: transformer forward pass ran for it.
+    fast_path: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -306,6 +310,7 @@ class ImputeResult:
             "latency_seconds": float(self.latency_seconds),
             "from_batch": bool(self.from_batch),
             "fused": bool(self.fused),
+            "fast_path": bool(self.fast_path),
         }
 
     @classmethod
@@ -319,4 +324,5 @@ class ImputeResult:
             latency_seconds=float(payload.get("latency_seconds", 0.0)),
             from_batch=bool(payload.get("from_batch", False)),
             fused=bool(payload.get("fused", False)),
+            fast_path=bool(payload.get("fast_path", False)),
         )

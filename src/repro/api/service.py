@@ -125,15 +125,19 @@ class ModelStore:
     META_FILENAME = "service.json"
 
     def __init__(self, directory: Optional[str] = None,
-                 max_cached_models: Optional[int] = None) -> None:
+                 max_cached_models: Optional[int] = None,
+                 max_cached_bytes: Optional[int] = None) -> None:
         from pathlib import Path
 
-        if max_cached_models is not None and directory is None:
+        if (max_cached_models is not None or max_cached_bytes is not None) \
+                and directory is None:
             raise ValidationError(
-                "max_cached_models requires a store directory: evicted "
-                "models must have a disk artifact to reload from")
+                "max_cached_models/max_cached_bytes require a store "
+                "directory: evicted models must have a disk artifact to "
+                "reload from")
         self.directory = Path(directory) if directory else None
-        self._models = LRUModelCache(max_cached_models)
+        self._models = LRUModelCache(max_cached_models,
+                                     max_bytes=max_cached_bytes)
         self._method_names: Dict[str, str] = {}
 
     # ------------------------------------------------------------------ #
@@ -145,10 +149,17 @@ class ModelStore:
         # escape the store directory.
         return str(self.directory / check_model_id(model_id))
 
+    @staticmethod
+    def _imputer_nbytes(imputer: BaseImputer) -> Optional[int]:
+        """Resident size of an imputer, when it can report one."""
+        probe = getattr(imputer, "memory_nbytes", None)
+        return int(probe()) if callable(probe) else None
+
     def put(self, model_id: str, imputer: BaseImputer,
             method: Optional[str] = None) -> str:
         check_model_id(model_id)
-        self._models.put(model_id, imputer)
+        self._models.put(model_id, imputer,
+                         nbytes=self._imputer_nbytes(imputer))
         if method is not None:
             self._method_names[model_id] = method
         if self.directory is not None:
@@ -191,15 +202,40 @@ class ModelStore:
             artifact = self.directory / model_id
             if (artifact / MANIFEST_FILENAME).exists():
                 imputer = load_imputer(artifact)
-                self._models.put(model_id, imputer)
+                self._models.put(model_id, imputer,
+                                 nbytes=self._imputer_nbytes(imputer))
                 return imputer
         raise ServiceError(
             f"unknown model id {model_id!r}; known: "
             + (", ".join(sorted(self.list_models())) or "<none>"))
 
+    def peek(self, model_id: str) -> Optional[BaseImputer]:
+        """The warm in-memory imputer, or None — never touches the disk.
+
+        For opportunistic readers (the gateway's fast lane, telemetry):
+        no artifact load, no recency refresh, no hit/miss accounting.
+        """
+        check_model_id(model_id)
+        return self._models.peek(model_id)
+
     def cache_stats(self) -> Dict[str, object]:
         """Hit/miss/eviction statistics of the in-memory model cache."""
         return self._models.stats()
+
+    def fast_path_stats(self) -> Dict[str, Dict[str, object]]:
+        """Fast-path telemetry per *warm* model (build cost, staleness).
+
+        Reads the cache with :meth:`LRUModelCache.peek` so telemetry
+        polling distorts neither the hit/miss counters nor the LRU
+        recency order; cold models are simply absent.
+        """
+        stats: Dict[str, Dict[str, object]] = {}
+        for model_id in self._models.keys():
+            imputer = self._models.peek(model_id)
+            probe = getattr(imputer, "fast_path_info", None)
+            if callable(probe):
+                stats[model_id] = probe()
+        return stats
 
     def __contains__(self, model_id: str) -> bool:
         if model_id in self._models:
@@ -283,6 +319,19 @@ def _latency(request: ImputeRequest, end: float, compute: float) -> float:
     return max(end - request.enqueued_at, compute)
 
 
+def _fast_path_flags(imputer: BaseImputer, count: int) -> List[bool]:
+    """Per-request fast-path flags of the imputer's most recent serve.
+
+    Methods with a fast path (:class:`repro.core.imputer.DeepMVIImputer`)
+    record one entry per served tensor in ``last_impute_info``; everything
+    else reports False for every request.
+    """
+    info = getattr(imputer, "last_impute_info", None)
+    if isinstance(info, list) and len(info) == count:
+        return [bool(entry.get("fast_path", False)) for entry in info]
+    return [False] * count
+
+
 def execute_serving_batch(batch: ServingBatch,
                           key: Optional[str] = None) -> JobResult:
     """Run one micro-batch: load the model once, impute every request.
@@ -332,6 +381,7 @@ def execute_serving_batch(batch: ServingBatch,
                 [request.data for request in batch.requests])
             end = time.perf_counter()
             share = (end - start) / len(batch.requests)
+            fast_flags = _fast_path_flags(imputer, len(batch.requests))
             fused_results = [
                 ImputeResult(
                     request_id=str(request.request_id),
@@ -342,8 +392,10 @@ def execute_serving_batch(batch: ServingBatch,
                     latency_seconds=_latency(request, end, share),
                     from_batch=True,
                     fused=True,
+                    fast_path=fast,
                 )
-                for request, completed in zip(batch.requests, completed_many)
+                for request, completed, fast in zip(
+                    batch.requests, completed_many, fast_flags)
             ]
         except Exception:
             # One request poisoned the fused pass; re-serve one-at-a-time so
@@ -367,6 +419,7 @@ def execute_serving_batch(batch: ServingBatch,
                 runtime_seconds=end - start,
                 latency_seconds=_latency(request, end, end - start),
                 from_batch=True,
+                fast_path=_fast_path_flags(imputer, 1)[0],
             ))
         except Exception:
             failures.append({"request_id": str(request.request_id),
@@ -484,6 +537,7 @@ class ImputationService:
             completed=completed,
             runtime_seconds=runtime,
             latency_seconds=runtime,
+            fast_path=_fast_path_flags(imputer, 1)[0],
         )
 
     # -- batched serving ------------------------------------------------ #
@@ -568,6 +622,30 @@ class ImputationService:
             raise error
         return ordered
 
+    # -- fast-path lifecycle -------------------------------------------- #
+    def refresh_fast_path(self, model_id: str,
+                          background: bool = False) -> Dict[str, object]:
+        """Rebuild a stored model's fast-path lookup tables.
+
+        Called after a refit (or on demand) so steady-state traffic keeps
+        hitting fresh tables.  With ``background=True`` the build runs in
+        the imputer's daemon thread and serving continues meanwhile; the
+        synchronous form also re-persists the artifact so a cold-started
+        store serves fast immediately.  Returns the model's fast-path
+        telemetry snapshot.
+        """
+        imputer = self.store.get(model_id)
+        refresh = getattr(imputer, "refresh_fast_path", None)
+        if not callable(refresh):
+            raise ServiceError(
+                f"model {model_id!r} ({type(imputer).__name__}) has no "
+                "fast path to refresh")
+        refresh(background=background)
+        if not background and self.store.directory is not None:
+            self.store.put(model_id, imputer,
+                           method=self.store.method_for(model_id))
+        return imputer.fast_path_info()
+
     # -- introspection -------------------------------------------------- #
     def list_models(self) -> List[str]:
         """Ids of every model this service can serve."""
@@ -586,6 +664,7 @@ class ImputationService:
             "store_dir": str(self.store.directory) if self.store.directory
             else None,
             "model_cache": self.store.cache_stats(),
+            "fast_path": self.store.fast_path_stats(),
         }
 
     # -- internals ------------------------------------------------------ #

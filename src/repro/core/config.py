@@ -67,6 +67,15 @@ class DeepMVIConfig:
 
     # -- inference -------------------------------------------------------- #
     impute_batch_size: int = 256
+    #: fast-path lookup tables (:mod:`repro.core.fast_path`): ``"fit"``
+    #: builds them synchronously at fit time, ``"lazy"`` on first serve,
+    #: ``"background"`` in a daemon thread spawned by ``fit()`` (serving
+    #: falls back to the full forward until the build lands), ``"off"``
+    #: disables the fast path entirely.
+    fast_path: str = "fit"
+    #: serve from tables at most this many seconds after their build;
+    #: older tables are treated as a total miss (``None`` = no budget).
+    fast_path_staleness_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_filters < 1:
@@ -85,6 +94,13 @@ class DeepMVIConfig:
             raise ConfigError("batch_size and samples_per_epoch must be positive")
         if self.kernel_gamma <= 0:
             raise ConfigError("kernel_gamma must be positive")
+        if self.fast_path not in ("fit", "lazy", "background", "off"):
+            raise ConfigError(
+                "fast_path must be one of 'fit', 'lazy', 'background', 'off'")
+        if self.fast_path_staleness_seconds is not None \
+                and self.fast_path_staleness_seconds <= 0:
+            raise ConfigError(
+                "fast_path_staleness_seconds must be positive when set")
 
     # ------------------------------------------------------------------ #
     def with_window_for_block_size(self, average_block_size: float) -> "DeepMVIConfig":

@@ -16,8 +16,9 @@ and downstream code can treat every method uniformly::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import asdict
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -28,6 +29,7 @@ from repro.core.context import (
     DatasetContext,
     concatenate_batches,
 )
+from repro.core.fast_path import FastPathTables, build_fast_path_tables
 from repro.core.model import DeepMVIModel
 from repro.core.sampling import MissingShapeSampler
 from repro.core.training import DeepMVITrainer, TrainingHistory
@@ -51,7 +53,8 @@ class DeepMVIImputer(BaseImputer):
     """
 
     name = "DeepMVI"
-    _fitted_attributes = ("model", "context", "history", "_fitted_tensor")
+    _fitted_attributes = ("model", "context", "history", "_fitted_tensor",
+                          "fast_path_tables")
 
     def __init__(self, config: Optional[DeepMVIConfig] = None,
                  auto_window: bool = True):
@@ -61,6 +64,11 @@ class DeepMVIImputer(BaseImputer):
         self.context: Optional[DatasetContext] = None
         self.history: Optional[TrainingHistory] = None
         self._fitted_tensor: Optional[TimeSeriesTensor] = None
+        #: precomputed serving tables (:mod:`repro.core.fast_path`);
+        #: immutable once built, swapped atomically on (re)build
+        self.fast_path_tables: Optional[FastPathTables] = None
+        #: per-plan telemetry of the most recent :meth:`impute_many` call
+        self.last_impute_info: Optional[List[Dict[str, object]]] = None
 
     # ------------------------------------------------------------------ #
     def fit(self, tensor: TimeSeriesTensor) -> "DeepMVIImputer":
@@ -101,6 +109,11 @@ class DeepMVIImputer(BaseImputer):
         )
         self.history = trainer.fit()
         self._fitted_tensor = tensor
+        self.fast_path_tables = None
+        if config.fast_path == "fit":
+            self.refresh_fast_path()
+        elif config.fast_path == "background":
+            self.refresh_fast_path(background=True)
         return self
 
     # ------------------------------------------------------------------ #
@@ -147,6 +160,34 @@ class DeepMVIImputer(BaseImputer):
             missing_cells = missing_cells[missing_cells[:, 1] < context.n_time]
             plans.append((tensor, context, missing_cells,
                           context.matrix.copy()))
+
+        # Serve what the precomputed tables cover (repeat traffic over the
+        # fitted data) with gathers instead of forward passes; only the
+        # leftover cells flow into the fused-forward sweep below.
+        tables = self._fast_path_ready()
+        info: list = []
+        for plan_index, (tensor, context, missing_cells, matrix) in \
+                enumerate(plans):
+            total = int(missing_cells.shape[0])
+            served = 0
+            if tables is not None:
+                match = tables.match_windows(context)
+                if match is not None and total:
+                    hits, predictions = tables.lookup(
+                        context, missing_cells, match)
+                    served = int(hits.sum())
+                    if served:
+                        hit_cells = missing_cells[hits]
+                        matrix[hit_cells[:, 0], hit_cells[:, 1]] = \
+                            predictions[hits]
+                        plans[plan_index] = (tensor, context,
+                                             missing_cells[~hits], matrix)
+            info.append({
+                "cells": total,
+                "fast_path_hits": served,
+                "fast_path": tables is not None and served == total,
+            })
+        self.last_impute_info = info
 
         # Fuse across tensors whose batches can be concatenated.
         groups: dict = {}
@@ -211,6 +252,140 @@ class DeepMVIImputer(BaseImputer):
         return self.fit(tensor).impute(tensor)
 
     # ------------------------------------------------------------------ #
+    # fast-path lifecycle (precompute-and-lookup serving)
+    # ------------------------------------------------------------------ #
+    def refresh_fast_path(self,
+                          background: bool = False) -> Optional[FastPathTables]:
+        """(Re)build the lookup tables for the current model + context.
+
+        With ``background=True`` the build runs in a daemon thread and the
+        finished tables are swapped in atomically — serving continues on
+        the old tables (or the full forward) meanwhile.  The swap is
+        skipped if a refit replaced the model while the build ran.
+        """
+        if self.model is None or self.context is None:
+            raise NotFittedError("call fit() before refresh_fast_path()")
+        if self.config.fast_path == "off":
+            return None
+        if not background:
+            tables = build_fast_path_tables(
+                self.model, self.context,
+                batch_size=self.config.impute_batch_size)
+            self.fast_path_tables = tables
+            return tables
+        model, context = self.model, self.context
+
+        def _build() -> None:
+            tables = build_fast_path_tables(
+                model, context, batch_size=self.config.impute_batch_size)
+            if self.model is model and self.context is context:
+                self.fast_path_tables = tables
+
+        thread = threading.Thread(target=_build, name="fast-path-build",
+                                  daemon=True)
+        self._fast_path_thread = thread
+        thread.start()
+        return None
+
+    def wait_for_fast_path(self, timeout: Optional[float] = None) -> bool:
+        """Block until a pending background table build lands (or times out)."""
+        thread = getattr(self, "_fast_path_thread", None)
+        if thread is not None:
+            thread.join(timeout)
+        return self.fast_path_tables is not None
+
+    def _fast_path_ready(self) -> Optional[FastPathTables]:
+        """Usable tables for serving, or None (off / not built / stale).
+
+        ``"lazy"`` mode builds on first use; ``"background"`` mode never
+        builds here — requests run the full forward until the build thread
+        lands, which is what keeps streaming refits non-blocking.
+        """
+        mode = self.config.fast_path
+        if mode == "off" or self.model is None:
+            return None
+        tables = self.fast_path_tables
+        if tables is None:
+            if mode != "lazy":
+                return None
+            tables = self.refresh_fast_path()
+        if tables.stale(self.config.fast_path_staleness_seconds):
+            return None
+        return tables
+
+    def try_fast_path(self, tensors) -> Optional[list]:
+        """All-or-nothing table-only serving; None unless *every* cell hits.
+
+        The gateway's no-lock fast lane: reads only immutable state (the
+        table object, the frozen fitted context) and writes none of the
+        caches, so concurrent calls need no model lock.  Never builds
+        tables lazily — a miss must stay cheap.
+        """
+        if self.model is None or self.context is None:
+            return None
+        tables = self.fast_path_tables
+        if self.config.fast_path == "off" or tables is None \
+                or tables.stale(self.config.fast_path_staleness_seconds):
+            return None
+        completed = []
+        for tensor in tensors:
+            if tensor is None or tensor is self._fitted_tensor:
+                tensor = self._fitted_tensor
+                context = self.context
+            else:
+                context = self._build_context(
+                    tensor, structure_from=self._structure_template(tensor))
+            match = tables.match_windows(context)
+            if match is None:
+                return None
+            missing_cells = np.argwhere(context.avail == 0)
+            missing_cells = missing_cells[missing_cells[:, 1] < context.n_time]
+            hits, predictions = tables.lookup(context, missing_cells, match)
+            if not hits.all():
+                return None
+            matrix = context.matrix.copy()
+            if missing_cells.shape[0]:
+                matrix[missing_cells[:, 0], missing_cells[:, 1]] = predictions
+            filled = context.denormalise(matrix)
+            completed.append(tensor.fill(filled.reshape(tensor.values.shape)))
+        return completed
+
+    def fast_path_info(self) -> Dict[str, object]:
+        """JSON-able fast-path telemetry (mode, build cost, staleness)."""
+        tables = self.fast_path_tables
+        info: Dict[str, object] = {
+            "mode": self.config.fast_path,
+            "built": tables is not None,
+            "staleness_budget_seconds":
+                self.config.fast_path_staleness_seconds,
+        }
+        if tables is not None:
+            info.update(tables.describe())
+            info["stale"] = tables.stale(
+                self.config.fast_path_staleness_seconds)
+        return info
+
+    def memory_nbytes(self) -> int:
+        """Resident bytes of the fitted state (for LRU byte accounting).
+
+        Sums the live arrays without copying: parameters, the fitted
+        tensor, the context's padded buffers and the fast-path tables.
+        """
+        total = 0
+        if self.model is not None:
+            total += sum(param.data.nbytes
+                         for _, param in self.model.named_parameters())
+        if self._fitted_tensor is not None:
+            total += self._fitted_tensor.values.nbytes
+            total += self._fitted_tensor.mask.nbytes
+        if self.context is not None:
+            total += self.context.padded_matrix.nbytes
+            total += self.context.padded_avail.nbytes
+        if self.fast_path_tables is not None:
+            total += self.fast_path_tables.nbytes
+        return total
+
+    # ------------------------------------------------------------------ #
     # serialisation (engine artifacts / process boundaries)
     # ------------------------------------------------------------------ #
     def _build_context(self, tensor: TimeSeriesTensor,
@@ -273,6 +448,10 @@ class DeepMVIImputer(BaseImputer):
                               if self._fitted_tensor is not None else None),
             "model": None,
             "history": None,
+            # Tables travel with the model so cold-started stores serve
+            # fast immediately (no rebuild on artifact load).
+            "fast_path": (self.fast_path_tables.to_state()
+                          if self.fast_path_tables is not None else None),
         }
         if self.model is not None:
             state["model"] = {
@@ -300,6 +479,8 @@ class DeepMVIImputer(BaseImputer):
         self.model = None
         self.context = None
         self.history = None
+        self.fast_path_tables = None
+        self.last_impute_info = None
 
         model_state = state.get("model")
         if model_state is not None:
@@ -311,6 +492,13 @@ class DeepMVIImputer(BaseImputer):
             self.model.load_state_dict(model_state["state_dict"])
         if self._fitted_tensor is not None and self.model is not None:
             self.context = self._build_context(self._fitted_tensor)
+
+        fast_state = state.get("fast_path")
+        if fast_state is not None and self.context is not None:
+            # Hit detection re-anchors on the rebuilt context's padded
+            # arrays; the reference data itself is never stored twice.
+            self.fast_path_tables = \
+                FastPathTables.from_state(fast_state).attach(self.context)
 
         history_state = state.get("history")
         if history_state is not None:

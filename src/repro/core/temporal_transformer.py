@@ -125,6 +125,20 @@ class TemporalTransformer(Module):
         Tensor
             ``(B, n_filters)`` coarse-grained temporal signal.
         """
+        hidden = self.pooled_hidden(window_values, window_avail,
+                                    absolute_index, target_window)
+        return self.decode_offset(hidden, target_offset)
+
+    def pooled_hidden(self, window_values: np.ndarray, window_avail: np.ndarray,
+                      absolute_index: np.ndarray,
+                      target_window: np.ndarray) -> Tensor:
+        """Attention-pooled hidden vector per target *window* (Eqns. 7-13).
+
+        Everything up to (but excluding) the per-offset output transform:
+        the result depends only on the target's (series, window) pair, not
+        on the offset within the window — which is what makes it
+        precomputable per window by :mod:`repro.core.fast_path`.
+        """
         batch, context, window = window_values.shape
         if window != self.window:
             raise ValueError(f"window mismatch: got {window}, expected {self.window}")
@@ -168,9 +182,18 @@ class TemporalTransformer(Module):
         pooled = pooled.reshape(batch, self.n_heads * self.n_filters)  # Eqn. 12
 
         # Eqn. 13 — feed-forward decoding.
-        hidden = self.decoder2(self.decoder1(pooled.relu()).relu()).relu()  # (B, p)
+        return self.decoder2(self.decoder1(pooled.relu()).relu()).relu()  # (B, p)
 
-        # Eqn. 14 — per-offset output vectors; pick the target offset.
+    def decode_offset(self, hidden: Tensor,
+                      target_offset: np.ndarray) -> Tensor:
+        """Per-offset output transform (Eqn. 14) applied to a pooled hidden.
+
+        Computes every offset's output vector and selects the target's —
+        the exact operation order of the original fused forward, so the
+        split ``pooled_hidden`` + ``decode_offset`` pipeline is
+        bit-identical to it.
+        """
+        batch = hidden.shape[0]
         hidden_b = hidden.reshape(batch, 1, 1, self.n_filters)
         per_offset = hidden_b @ self.position_decoder              # (B, w, 1, p)
         per_offset = per_offset.reshape(batch, self.window, self.n_filters)

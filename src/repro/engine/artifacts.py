@@ -56,6 +56,8 @@ class _ArrayVault:
 def _encode(value, vault: _ArrayVault):
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
+    if isinstance(value, np.bool_):
+        return bool(value)
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.floating,)):

@@ -379,12 +379,18 @@ def _command_gateway_bench(args: argparse.Namespace) -> int:
         ("latency p95", f"{stats['latency_p95_seconds'] * 1e3:.2f} ms"),
         ("latency p99", f"{stats['latency_p99_seconds'] * 1e3:.2f} ms"),
         ("fusion rate", f"{stats['fusion_rate']:.1%}"),
+        ("fast-path hit rate", f"{stats['fast_path_hit_rate']:.1%}"),
         ("mean batch size", f"{stats['mean_batch_size']:.1f}"),
         ("batches", str(stats["batches"])),
         ("rejected / expired", f"{stats['rejected']} / {stats['expired']}"),
         ("model-cache hit rate",
          f"{stats['model_cache']['hit_rate']:.1%}"),
     ]
+    table_info = (stats.get("fast_path") or {}).get(model_id)
+    if table_info and table_info.get("built"):
+        rows.append(("fast-path tables",
+                     f"{table_info['nbytes'] / 1024:.1f} KiB, built in "
+                     f"{table_info['build_seconds'] * 1e3:.1f} ms"))
     for label, value in rows:
         print(f"{label:<26} {value}")
     if delivered != total:

@@ -57,6 +57,7 @@ from repro.api.requests import ImputeRequest, ImputeResult
 from repro.api.service import (
     ImputationService,
     ServingBatch,
+    _latency,
     coerce_impute_request,
     execute_serving_batch,
 )
@@ -117,6 +118,11 @@ class GatewayConfig:
     #: builds its own service (requires ``store_dir``); ignored when an
     #: existing service is passed in
     max_cached_models: Optional[int] = None
+    #: route batches whose every request hits the precomputed lookup
+    #: tables (:mod:`repro.core.fast_path`) down a no-lock fast lane:
+    #: pure table reads need no per-model serialisation, so fast-lane
+    #: batches overlap freely with a full forward holding the model lock
+    use_fast_path: bool = True
 
     def validate(self) -> "GatewayConfig":
         if self.max_batch_size < 1:
@@ -330,11 +336,17 @@ class Gateway:
         return self._started
 
     def stats(self) -> Dict[str, object]:
-        """Serving telemetry snapshot (see :mod:`repro.gateway.metrics`)."""
+        """Serving telemetry snapshot (see :mod:`repro.gateway.metrics`).
+
+        Includes ``fast_path_hit_rate`` (fraction of completions served
+        entirely from lookup tables) and per-model ``fast_path`` table
+        provenance: build seconds, size, staleness age.
+        """
         return self.metrics.snapshot(
             queue_depth=self._queue.depth(),
             lane_depths=self._queue.lane_depths(),
-            model_cache=self.service.store.cache_stats())
+            model_cache=self.service.store.cache_stats(),
+            fast_path=self.service.store.fast_path_stats())
 
     def describe(self) -> Dict[str, object]:
         """Config + live stats + wrapped-service snapshot, for logs."""
@@ -413,6 +425,12 @@ class Gateway:
             return
         self.metrics.record_batch(len(live))
         model_id = live[0].request.model_id
+        # No-lock fast lane: when every request in the batch is fully
+        # answerable from the model's precomputed lookup tables, serve it
+        # with pure reads — no model lock, no forward pass.  All-or-
+        # nothing per batch; any miss falls through to the locked path.
+        if self.config.use_fast_path and self._try_fast_lane(model_id, live):
+            return
         # One batch per model at a time: the fitted imputers (live network
         # objects) are not guaranteed re-entrant, and on one interpreter
         # the throughput lever is fusion, not intra-model thread overlap.
@@ -447,13 +465,60 @@ class Gateway:
                                                  request_id=entry.caller_id)
                 entry.complete(result)
                 self.metrics.record_completion(result.latency_seconds,
-                                               fused=result.fused)
+                                               fused=result.fused,
+                                               fast_path=result.fast_path)
             else:
                 entry.fail(ServiceError(
                     errors.get(internal_id,
                                f"request {internal_id!r} produced no "
                                "result")))
                 self.metrics.record_failed()
+
+    def _try_fast_lane(self, model_id: str,
+                       live: List[QueuedRequest]) -> bool:
+        """Serve the whole batch from lookup tables; False on any miss.
+
+        Reads the model with :meth:`ModelStore.peek` (warm memory only —
+        a cold model should pay its disk load under the model lock, once)
+        and the imputer's read-only ``try_fast_path``, so this path takes
+        no lock and can run concurrently with a locked full forward on
+        the same model.
+        """
+        imputer = self.service.store.peek(model_id)
+        probe = getattr(imputer, "try_fast_path", None)
+        if not callable(probe):
+            return False
+        start = time.perf_counter()
+        try:
+            completed = probe([entry.request.data for entry in live])
+        except Exception:
+            # The fast lane is opportunistic: any failure (a structurally
+            # odd tensor, a mid-refresh model) falls back to the locked
+            # path, which owns real error reporting.
+            return False
+        if completed is None:
+            return False
+        end = time.perf_counter()
+        share = (end - start) / len(live)
+        method = self.service.store.method_for(model_id) or \
+            getattr(imputer, "name", type(imputer).__name__)
+        for entry, tensor in zip(live, completed):
+            request = entry.request
+            result = ImputeResult(
+                request_id=entry.caller_id or str(request.request_id),
+                model_id=model_id,
+                method=method,
+                completed=tensor,
+                runtime_seconds=share,
+                latency_seconds=_latency(request, end, share),
+                from_batch=True,
+                fused=False,
+                fast_path=True,
+            )
+            entry.complete(result)
+            self.metrics.record_completion(result.latency_seconds,
+                                           fused=False, fast_path=True)
+        return True
 
     def _fail_all(self, entries: List[QueuedRequest],
                   error: ServiceError) -> None:

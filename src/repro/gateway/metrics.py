@@ -11,6 +11,9 @@ renders the counters into the serving dashboard numbers:
   most recent end-to-end latencies (queue wait + compute);
 * **fusion rate** — fraction of completed requests served by a fused
   ``impute_many`` forward call rather than a per-request ``impute``;
+* **fast-path hit rate** — fraction of completed requests answered
+  entirely from the precomputed lookup tables
+  (:mod:`repro.core.fast_path`), i.e. without any transformer forward;
 * **batch shape** — mean batch size and total batches dispatched;
 * **admission outcomes** — submitted / completed / failed / rejected /
   expired counts per priority lane.
@@ -66,6 +69,7 @@ class GatewayMetrics:
         self.rejected = 0
         self.expired = 0
         self.fused_completed = 0
+        self.fast_path_completed = 0
         self.batches = 0
         self.batch_size_sum = 0
         self._latencies: Deque[float] = deque(maxlen=latency_reservoir)
@@ -96,12 +100,15 @@ class GatewayMetrics:
             self.batch_size_sum += size
 
     def record_completion(self, latency_seconds: float,
-                          fused: bool = False) -> None:
+                          fused: bool = False,
+                          fast_path: bool = False) -> None:
         now = time.perf_counter()
         with self._lock:
             self.completed += 1
             if fused:
                 self.fused_completed += 1
+            if fast_path:
+                self.fast_path_completed += 1
             self._latencies.append(float(latency_seconds))
             self._completion_times.append(now)
             self._prune_locked(now)
@@ -110,6 +117,7 @@ class GatewayMetrics:
     def snapshot(self, queue_depth: int = 0,
                  lane_depths: Optional[Dict[str, int]] = None,
                  model_cache: Optional[Dict[str, object]] = None,
+                 fast_path: Optional[Dict[str, object]] = None,
                  ) -> Dict[str, object]:
         """Render the current serving picture as plain JSON-able values."""
         now = time.perf_counter()
@@ -136,6 +144,9 @@ class GatewayMetrics:
                 "latency_p99_seconds": percentile(latencies, 99.0),
                 "fusion_rate": (self.fused_completed / self.completed
                                 if self.completed else 0.0),
+                "fast_path_hit_rate": (
+                    self.fast_path_completed / self.completed
+                    if self.completed else 0.0),
                 "batches": self.batches,
                 "mean_batch_size": (self.batch_size_sum / self.batches
                                     if self.batches else 0.0),
@@ -145,6 +156,10 @@ class GatewayMetrics:
             snapshot["queue_depth_by_lane"] = dict(lane_depths)
         if model_cache is not None:
             snapshot["model_cache"] = dict(model_cache)
+        if fast_path is not None:
+            # Per-model table provenance (build seconds, staleness age),
+            # merged in by the gateway from the model store.
+            snapshot["fast_path"] = dict(fast_path)
         return snapshot
 
     # -- internals ------------------------------------------------------- #

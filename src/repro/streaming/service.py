@@ -13,6 +13,14 @@ service's micro-batched ``submit``/``gather`` path, so
   produces one failed :class:`StreamWindowResult` while every other
   stream's window in the same step completes normally.
 
+Methods with a serving fast path (:mod:`repro.core.fast_path`) compose
+with the refit cadence: fit DeepMVI with
+``DeepMVIConfig(fast_path="background")`` and every refit-every-K model
+spawns its table build off-thread — windows keep serving through the full
+forward (stale-but-correct) until the tables land, at which point repeat
+traffic drops to table lookups.  :meth:`StreamingService.wait_for_fast_path`
+waits that gap out when determinism matters more than latency.
+
 The typical loop::
 
     svc = StreamingService(workers=4, store_dir="models/")
@@ -404,6 +412,32 @@ class StreamingService:
             raise ServiceError(
                 f"unknown stream {stream_id!r}; open streams: {known}"
             ) from None
+
+    # -- fast path ------------------------------------------------------ #
+    def wait_for_fast_path(self, stream_id: str,
+                           timeout: Optional[float] = None) -> bool:
+        """Block until the stream's current model has serving tables.
+
+        Streams whose method builds fast-path lookup tables in the
+        background (``DeepMVIConfig(fast_path="background")``) serve
+        full-forward — stale-but-correct — between a refit and the table
+        build landing; this waits that gap out (tests, controlled
+        benchmarks).  Returns False when the stream has no fitted model,
+        the method has no fast path, or the wait timed out.
+        """
+        state = self._state(stream_id)
+        if state.model_id is None:
+            return False
+        imputer = self.service.store.peek(state.model_id)
+        if imputer is None:
+            try:
+                imputer = self.service.store.get(state.model_id)
+            except ServiceError:
+                return False
+        waiter = getattr(imputer, "wait_for_fast_path", None)
+        if not callable(waiter):
+            return False
+        return bool(waiter(timeout))
 
     def _needs_refit(self, state: StreamState) -> bool:
         return refit_due(state.model_id is not None, state.windows_since_fit,

@@ -52,6 +52,55 @@ class TestLRUModelCache:
     def test_invalid_maxsize(self):
         with pytest.raises(ValueError):
             LRUModelCache(maxsize=0)
+        with pytest.raises(ValueError):
+            LRUModelCache(max_bytes=0)
+
+    def test_byte_accounting(self):
+        cache = LRUModelCache()
+        cache.put("a", 1, nbytes=100)
+        cache.put("b", 2)              # unknown size counts as 0 bytes
+        stats = cache.stats()
+        assert stats["bytes"] == 100
+        assert stats["max_bytes"] is None
+        cache.pop("a")
+        assert cache.stats()["bytes"] == 0
+
+    def test_byte_budget_evicts_lru(self):
+        cache = LRUModelCache(max_bytes=250)
+        cache.put("a", 1, nbytes=100)
+        cache.put("b", 2, nbytes=100)
+        cache.get("a")                 # refresh a: b is now the LRU tail
+        cache.put("c", 3, nbytes=100)  # 300 bytes > 250 -> evict b
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats()["bytes"] == 200
+        assert cache.stats()["evictions"] == 1
+
+    def test_lone_oversize_entry_is_kept(self):
+        cache = LRUModelCache(max_bytes=50)
+        cache.put("big", 1, nbytes=500)
+        # A single over-budget model stays resident: evicting the only
+        # entry would make the cache useless (thrash on every request).
+        assert "big" in cache
+        cache.put("bigger", 2, nbytes=600)
+        assert "bigger" in cache and "big" not in cache
+
+    def test_peek_does_not_distort_stats_or_recency(self):
+        cache = LRUModelCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        before = cache.stats()
+        assert cache.peek("a") == 1
+        assert cache.peek("missing") is None
+        assert cache.peek("missing", "default") == "default"
+        after = cache.stats()
+        assert after["hits"] == before["hits"]
+        assert after["misses"] == before["misses"]
+        # peek("a") must NOT have refreshed a's recency: a is still the
+        # LRU tail and gets evicted first.
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
 
     def test_thread_safety_smoke(self):
         cache = LRUModelCache(maxsize=8)
@@ -85,6 +134,29 @@ class TestModelStoreEviction:
             ModelStore(max_cached_models=2)
         with pytest.raises(ValidationError):
             ImputationService(max_cached_models=2)
+        with pytest.raises(ValidationError):
+            ModelStore(max_cached_bytes=1 << 20)
+
+    def test_byte_bound_evicts_and_reloads(self, tmp_path, small_panel):
+        from repro.core.config import DeepMVIConfig
+        from repro.core.imputer import DeepMVIImputer
+
+        incomplete = small_panel.with_missing(
+            np.arange(small_panel.values.size).reshape(
+                small_panel.values.shape) % 17 == 0)
+        store = ModelStore(str(tmp_path), max_cached_bytes=1)
+        for index in range(2):
+            imputer = DeepMVIImputer(config=DeepMVIConfig.fast(),
+                                     auto_window=False).fit(incomplete)
+            assert imputer.memory_nbytes() > 0
+            store.put(f"model-{index}", imputer, method="deepmvi")
+        stats = store.cache_stats()
+        # A 1-byte budget keeps exactly the most recent model resident
+        # (a lone over-budget entry is never evicted) ...
+        assert stats["size"] == 1 and stats["evictions"] == 1
+        assert stats["bytes"] > 1
+        # ... and the evicted one still serves via cold reload.
+        assert store.get("model-0").impute(incomplete) is not None
 
     def test_evicted_model_reloads_from_disk(self, tmp_path, small_panel):
         store = ModelStore(str(tmp_path), max_cached_models=2)

@@ -400,3 +400,35 @@ class TestBatchedStep:
         svc = StreamingService(registry=registry)
         with pytest.raises(ValidationError):
             svc.step(max_windows=-1)
+
+
+class TestStreamingFastPath:
+    def test_background_tables_land_after_refit(self, incomplete_stream):
+        from repro.core.config import DeepMVIConfig
+
+        svc = StreamingService()            # default registry has deepmvi
+        svc.open_stream("plant-a", method="deepmvi", refit_every=4,
+                        config=DeepMVIConfig.fast(fast_path="background"))
+        svc.push("plant-a", next(iter(incomplete_stream)))
+        (result,) = svc.step()
+        # Serving never waits on the table build: the window is answered
+        # by the (stale-but-correct) full forward immediately.
+        assert result.ok and result.refit
+        # ... and the background build lands without another refit.
+        assert svc.wait_for_fast_path("plant-a", timeout=30.0)
+        state = svc._streams["plant-a"]
+        imputer = svc.service.store.peek(state.model_id)
+        assert imputer.fast_path_tables is not None
+
+    def test_wait_for_fast_path_degrades_gracefully(self, registry,
+                                                    incomplete_stream):
+        svc = StreamingService(registry=registry)
+        svc.open_stream("a", method="mean", refit_every=4)
+        # No fitted model yet.
+        assert svc.wait_for_fast_path("a") is False
+        svc.push("a", next(iter(incomplete_stream)))
+        svc.step()
+        # Fitted, but the method has no fast path.
+        assert svc.wait_for_fast_path("a") is False
+        with pytest.raises(ServiceError):
+            svc.wait_for_fast_path("nope")
