@@ -35,6 +35,13 @@ organised as:
     same-model requests into shared forward calls, a worker pool over the
     store's LRU model cache, and serving telemetry
     (:meth:`~repro.gateway.Gateway.stats`).
+``repro.cluster``
+    The sharded, durable serving tier: consistent-hash routing of models
+    across shard worker processes, a SQLite-backed durable store with an
+    append-only request journal and exactly-once replay on restart, the
+    :class:`~repro.cluster.ClusterRouter` front door (same
+    ``submit()/gather()`` surface as the service), and SQL
+    window-function analytics over the request logs.
 """
 
 from repro.core.config import DeepMVIConfig
@@ -66,11 +73,15 @@ from repro import streaming
 from repro.streaming import StreamingService, StreamWindow, WindowedStream
 from repro import gateway
 from repro.gateway import Gateway, GatewayConfig
+from repro import cluster
+from repro.cluster import ClusterRouter
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "api",
+    "cluster",
+    "ClusterRouter",
     "gateway",
     "Gateway",
     "GatewayConfig",

@@ -38,6 +38,7 @@ from repro.api.requests import (
 )
 from repro.api.model_cache import LRUModelCache
 from repro.api.service import (
+    DirectoryBackend,
     ImputationService,
     ModelStore,
     as_tensor,
@@ -54,6 +55,7 @@ from repro.baselines.registry import (
 )
 
 __all__ = [
+    "DirectoryBackend",
     "FitRequest",
     "ImputationService",
     "ImputeRequest",

@@ -49,8 +49,9 @@ from repro.engine.executor import ExecutionReport, make_executor
 from repro.engine.jobs import JobResult
 from repro.exceptions import ServiceError, ValidationError
 
-__all__ = ["ImputationService", "LRUModelCache", "ModelStore", "as_tensor",
-           "coerce_impute_request", "impute", "make_imputer"]
+__all__ = ["DirectoryBackend", "ImputationService", "LRUModelCache",
+           "ModelStore", "as_tensor", "coerce_impute_request", "impute",
+           "make_imputer"]
 
 TensorLike = Union[TimeSeriesTensor, np.ndarray, Sequence]
 
@@ -104,50 +105,132 @@ def coerce_impute_request(request, model_id: Optional[str] = None,
 # ---------------------------------------------------------------------- #
 # fitted-model store
 # ---------------------------------------------------------------------- #
-class ModelStore:
-    """Fitted imputers by ``model_id``, in memory and optionally on disk.
+class DirectoryBackend:
+    """Persistence backend writing engine artifacts under a directory.
 
-    With a ``directory``, every stored model is also persisted as an
-    engine artifact (:func:`repro.engine.artifacts.save_imputer`) under
-    ``directory/<model_id>/``, so models survive restarts and can be served
-    by worker processes that only receive the artifact path.
+    One artifact directory per model (``directory/<model_id>/``, written by
+    :func:`repro.engine.artifacts.save_imputer`) plus a small sidecar
+    recording serving metadata.  This is the historical ``ModelStore``
+    disk behaviour, extracted so other backends (e.g. the cluster tier's
+    SQLite :class:`~repro.cluster.store.SQLiteBackend`) can slot in behind
+    the same LRU cache.
 
-    The in-memory layer is an :class:`~repro.api.model_cache.LRUModelCache`.
-    ``max_cached_models`` bounds it: hot models serve from memory, cold ones
-    reload from their disk artifact on demand, and the least-recently-used
-    model is evicted so long-running services (and the serving gateway) keep
-    a fixed memory footprint no matter how many models the store has
-    accumulated.  A bound requires a ``directory`` — evicting a memory-only
-    model would lose it outright.
+    Any object with this surface is a valid ``ModelStore`` backend:
+    ``save/load/exists/delete/list_ids/method_for/location``.
     """
 
     #: sidecar file recording serving metadata next to the artifact
     META_FILENAME = "service.json"
 
-    def __init__(self, directory: Optional[str] = None,
-                 max_cached_models: Optional[int] = None,
-                 max_cached_bytes: Optional[int] = None) -> None:
+    def __init__(self, directory) -> None:
         from pathlib import Path
 
-        if (max_cached_models is not None or max_cached_bytes is not None) \
-                and directory is None:
+        self.directory = Path(directory)
+
+    def location(self, model_id: str) -> Optional[str]:
+        """Filesystem artifact path (``None`` for path-less backends)."""
+        return str(self.directory / model_id)
+
+    def save(self, model_id: str, imputer: BaseImputer,
+             method: Optional[str] = None) -> None:
+        target = self.directory / model_id
+        save_imputer(imputer, target)
+        if method is not None:
+            import json
+
+            (target / self.META_FILENAME).write_text(
+                json.dumps({"method": method}), encoding="utf-8")
+
+    def load(self, model_id: str) -> Optional[BaseImputer]:
+        artifact = self.directory / model_id
+        if (artifact / MANIFEST_FILENAME).exists():
+            return load_imputer(artifact)
+        return None
+
+    def exists(self, model_id: str) -> bool:
+        return (self.directory / model_id / MANIFEST_FILENAME).exists()
+
+    def delete(self, model_id: str) -> None:
+        target = self.directory / model_id
+        if (target / MANIFEST_FILENAME).exists():
+            import shutil
+
+            shutil.rmtree(target)
+
+    def list_ids(self) -> List[str]:
+        if not self.directory.exists():
+            return []
+        return sorted(entry.name for entry in self.directory.iterdir()
+                      if (entry / MANIFEST_FILENAME).exists())
+
+    def method_for(self, model_id: str) -> Optional[str]:
+        meta = self.directory / model_id / self.META_FILENAME
+        if meta.exists():
+            import json
+
+            return json.loads(meta.read_text(encoding="utf-8")).get("method")
+        return None
+
+
+class ModelStore:
+    """Fitted imputers by ``model_id``, in memory and optionally persisted.
+
+    With a ``directory``, every stored model is also persisted as an
+    engine artifact (:func:`repro.engine.artifacts.save_imputer`) under
+    ``directory/<model_id>/``, so models survive restarts and can be served
+    by worker processes that only receive the artifact path.  Persistence
+    is pluggable: pass ``backend=`` instead of ``directory`` to park models
+    somewhere else (the cluster tier stores them as blobs in SQLite via
+    :class:`~repro.cluster.store.SQLiteBackend`); ``directory`` is sugar
+    for ``backend=DirectoryBackend(directory)``.
+
+    The in-memory layer is an :class:`~repro.api.model_cache.LRUModelCache`.
+    ``max_cached_models`` bounds it: hot models serve from memory, cold ones
+    reload from the backend on demand, and the least-recently-used model is
+    evicted so long-running services (and the serving gateway) keep a fixed
+    memory footprint no matter how many models the store has accumulated.
+    A bound requires a persistence backend — evicting a memory-only model
+    would lose it outright.
+    """
+
+    #: sidecar file recording serving metadata next to the artifact
+    META_FILENAME = DirectoryBackend.META_FILENAME
+
+    def __init__(self, directory: Optional[str] = None,
+                 max_cached_models: Optional[int] = None,
+                 max_cached_bytes: Optional[int] = None,
+                 backend=None) -> None:
+        if directory is not None and backend is not None:
             raise ValidationError(
-                "max_cached_models/max_cached_bytes require a store "
-                "directory: evicted models must have a disk artifact to "
-                "reload from")
-        self.directory = Path(directory) if directory else None
+                "pass either directory= or backend=, not both")
+        if directory is not None:
+            backend = DirectoryBackend(directory)
+        if (max_cached_models is not None or max_cached_bytes is not None) \
+                and backend is None:
+            raise ValidationError(
+                "max_cached_models/max_cached_bytes require a persistence "
+                "backend (a store directory or backend=...): evicted "
+                "models must have an artifact to reload from")
+        self.backend = backend
+        #: artifact root when the backend is directory-shaped, else None
+        self.directory = getattr(backend, "directory", None)
         self._models = LRUModelCache(max_cached_models,
                                      max_bytes=max_cached_bytes)
         self._method_names: Dict[str, str] = {}
 
+    @property
+    def persistent(self) -> bool:
+        """Whether stored models survive this process (backend present)."""
+        return self.backend is not None
+
     # ------------------------------------------------------------------ #
     def path(self, model_id: str) -> Optional[str]:
         """On-disk artifact directory for ``model_id`` (``None`` if memory-only)."""
-        if self.directory is None:
+        if self.backend is None:
             return None
         # Ids become path components; a wire-supplied "../evil" must never
         # escape the store directory.
-        return str(self.directory / check_model_id(model_id))
+        return self.backend.location(check_model_id(model_id))
 
     @staticmethod
     def _imputer_nbytes(imputer: BaseImputer) -> Optional[int]:
@@ -162,46 +245,35 @@ class ModelStore:
                          nbytes=self._imputer_nbytes(imputer))
         if method is not None:
             self._method_names[model_id] = method
-        if self.directory is not None:
-            target = self.directory / model_id
-            save_imputer(imputer, target)
-            if method is not None:
-                import json
-
-                (target / self.META_FILENAME).write_text(
-                    json.dumps({"method": method}), encoding="utf-8")
+        if self.backend is not None:
+            self.backend.save(model_id, imputer, method=method)
         return model_id
 
     def method_for(self, model_id: str) -> Optional[str]:
         """Registry method name the model was fitted with, if recorded.
 
-        Survives restarts: cold stores read the sidecar written by
-        :meth:`put`, so result rows report the same method name whether the
-        model is warm or reloaded from disk.
+        Survives restarts: cold stores ask the backend (the sidecar written
+        by :meth:`put`, or the backend's metadata table), so result rows
+        report the same method name whether the model is warm or reloaded.
         """
         if model_id in self._method_names:
             return self._method_names[model_id]
-        if self.directory is not None:
-            meta = self.directory / model_id / self.META_FILENAME
-            if meta.exists():
-                import json
-
-                method = json.loads(meta.read_text(encoding="utf-8")).get("method")
-                if method:
-                    self._method_names[model_id] = method
-                    return method
+        if self.backend is not None:
+            method = self.backend.method_for(model_id)
+            if method:
+                self._method_names[model_id] = method
+                return method
         return None
 
     def get(self, model_id: str) -> BaseImputer:
-        """The stored imputer; loads lazily from disk on a cache miss."""
+        """The stored imputer; loads lazily from the backend on a miss."""
         check_model_id(model_id)
         cached = self._models.get(model_id)
         if cached is not None:
             return cached
-        if self.directory is not None:
-            artifact = self.directory / model_id
-            if (artifact / MANIFEST_FILENAME).exists():
-                imputer = load_imputer(artifact)
+        if self.backend is not None:
+            imputer = self.backend.load(model_id)
+            if imputer is not None:
                 self._models.put(model_id, imputer,
                                  nbytes=self._imputer_nbytes(imputer))
                 return imputer
@@ -240,16 +312,16 @@ class ModelStore:
     def __contains__(self, model_id: str) -> bool:
         if model_id in self._models:
             return True
-        if self.directory is not None:
+        if self.backend is not None:
             try:
                 check_model_id(model_id)
             except ValidationError:
                 return False
-            return (self.directory / model_id / MANIFEST_FILENAME).exists()
+            return self.backend.exists(model_id)
         return False
 
     def discard(self, model_id: str) -> None:
-        """Forget a stored model: the memory entry and the disk artifact.
+        """Forget a stored model: the memory entry and the persisted artifact.
 
         Long-running callers that replace models (e.g. streaming refits)
         use this to keep the store bounded; discarding an unknown id is a
@@ -258,19 +330,13 @@ class ModelStore:
         check_model_id(model_id)
         self._models.pop(model_id)
         self._method_names.pop(model_id, None)
-        if self.directory is not None:
-            target = self.directory / model_id
-            if (target / MANIFEST_FILENAME).exists():
-                import shutil
-
-                shutil.rmtree(target)
+        if self.backend is not None:
+            self.backend.delete(model_id)
 
     def list_models(self) -> List[str]:
         names = set(self._models.keys())
-        if self.directory is not None and self.directory.exists():
-            names.update(
-                entry.name for entry in self.directory.iterdir()
-                if (entry / MANIFEST_FILENAME).exists())
+        if self.backend is not None:
+            names.update(self.backend.list_ids())
         return sorted(names)
 
 
@@ -641,7 +707,7 @@ class ImputationService:
                 f"model {model_id!r} ({type(imputer).__name__}) has no "
                 "fast path to refresh")
         refresh(background=background)
-        if not background and self.store.directory is not None:
+        if not background and self.store.persistent:
             self.store.put(model_id, imputer,
                            method=self.store.method_for(model_id))
         return imputer.fast_path_info()

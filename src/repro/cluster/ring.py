@@ -1,0 +1,102 @@
+"""Consistent-hash ring: model ids → shards, stable under membership churn.
+
+Each shard owns ``replicas`` virtual nodes placed on a 64-bit hash circle;
+a key is assigned to the first virtual node clockwise of its own hash.
+The property the cluster tier relies on: when a shard joins or leaves,
+only the keys falling in the arcs that shard's virtual nodes bound move —
+every other key keeps its owner, so an in-place membership change
+invalidates neither warm model caches nor journal locality on the
+surviving shards.
+
+Hashing is :func:`hashlib.sha1` (stable across processes and Python
+versions, unlike the salted builtin ``hash``), so the router and every
+shard agree on ownership without coordination.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _position(token: str) -> int:
+    """Stable 64-bit ring position of an arbitrary string token."""
+    digest = hashlib.sha1(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing over named nodes with virtual replicas.
+
+    >>> ring = HashRing(["shard-0", "shard-1"])
+    >>> owner = ring.assign("deepmvi-0001")
+    >>> ring.add("shard-2")          # only ~1/3 of keys move
+    >>> ring.remove("shard-1")       # shard-1's keys spread over survivors
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._nodes: set = set()
+        #: sorted virtual-node positions and their owners, kept in lockstep
+        self._positions: List[int] = []
+        self._owners: List[str] = []
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------ #
+    def add(self, node: str) -> None:
+        """Join ``node``; raises :class:`ValueError` if already present."""
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            position = _position(f"{node}#{replica}")
+            index = bisect.bisect(self._positions, position)
+            self._positions.insert(index, position)
+            self._owners.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        """Leave ``node``; raises :class:`KeyError` if unknown."""
+        if node not in self._nodes:
+            raise KeyError(f"node {node!r} is not on the ring")
+        self._nodes.discard(node)
+        keep = [(p, o) for p, o in zip(self._positions, self._owners)
+                if o != node]
+        self._positions = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def assign(self, key: str) -> str:
+        """The node owning ``key`` (first virtual node clockwise)."""
+        if not self._positions:
+            raise LookupError("cannot assign on an empty ring")
+        index = bisect.bisect(self._positions, _position(key))
+        if index == len(self._positions):        # wrap past 2**64
+            index = 0
+        return self._owners[index]
+
+    def assignments(self, keys: Sequence[str]) -> Dict[str, List[str]]:
+        """Group ``keys`` by owning node (owners with no keys are absent)."""
+        grouped: Dict[str, List[str]] = {}
+        for key in keys:
+            grouped.setdefault(self.assign(key), []).append(key)
+        return grouped
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def describe(self) -> Dict[str, object]:
+        return {"nodes": list(self.nodes), "replicas": self.replicas,
+                "virtual_nodes": len(self._positions)}

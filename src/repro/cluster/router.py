@@ -1,0 +1,571 @@
+"""Cluster router: the service's ``submit()/gather()`` surface over shards.
+
+:class:`ClusterRouter` starts N shard worker processes, places model ids
+on a consistent-hash ring, and forwards traffic over the shard socket
+protocol.  It is deliberately shaped like
+:class:`~repro.api.service.ImputationService` — ``fit`` / ``impute`` /
+``submit`` / ``gather`` / ``list_models`` and a ``store`` attribute — so
+the serving :class:`~repro.gateway.Gateway` can front a whole cluster
+unchanged (``Gateway(service=router)``).
+
+Failure handling is where the durability work pays off: when a shard
+connection dies mid-call, the router restarts the shard over its durable
+directory and **resends the same request ids**.  The shard's journal
+replay plus the exactly-once result ledger make the resend safe — every
+request is answered exactly once no matter where the kill landed
+(:mod:`repro.cluster.store`).
+
+Analytics (:meth:`ClusterRouter.analytics`) attach every shard's SQLite
+journal and run the window-function queries over the union, so
+p99-over-time, per-model QPS and fusion trends come straight from the
+durable log rather than in-process counters.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.api.requests import FitRequest, ImputeRequest, ImputeResult
+from repro.api.service import TensorLike, as_tensor, coerce_impute_request
+from repro.cluster.ring import HashRing
+from repro.cluster.shard import (
+    ShardHandle,
+    recv_message,
+    send_message,
+    start_shard,
+)
+from repro.cluster.store import DB_FILENAME, cluster_analytics
+from repro.exceptions import ServiceError, ValidationError
+
+__all__ = ["ClusterRouter", "RemoteModel", "ShardClient"]
+
+
+class ShardClient:
+    """One persistent length-prefixed connection to a shard."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1",
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+        return self._sock
+
+    def call(self, payload: Dict) -> Dict:
+        """One request/reply round trip; raises on transport failure."""
+        sock = self._connect()
+        send_message(sock, payload)
+        reply = recv_message(sock)
+        if reply is None:
+            raise ConnectionError(
+                f"shard at port {self.port} closed the connection")
+        return reply
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+
+class RemoteModel:
+    """Gateway-facing proxy for a model living on a shard.
+
+    Quacks just enough like a fitted imputer for the gateway's serving
+    path: ``impute_many`` (one fused ``serve`` RPC for the whole batch —
+    the router-side analogue of a fused forward call), ``impute``, and
+    ``last_impute_info`` so fusion/fast-path flags flow into gateway
+    telemetry.  Deliberately *not* a ``BaseImputer`` subclass: defining
+    its own ``impute_many`` is what routes gateway batches through the
+    single-RPC path.
+    """
+
+    name = "remote"
+
+    def __init__(self, router: "ClusterRouter", model_id: str) -> None:
+        self._router = router
+        self.model_id = model_id
+        #: one entry per tensor of the most recent serve, mirroring
+        #: DeepMVIImputer's telemetry contract
+        self.last_impute_info: List[Dict[str, object]] = []
+
+    def impute_many(self, tensors: Sequence) -> List:
+        results = self._router._serve_remote(self.model_id, list(tensors))
+        self.last_impute_info = [
+            {"fast_path": result.fast_path, "fused": result.fused}
+            for result in results]
+        return [result.completed for result in results]
+
+    def impute(self, tensor=None):
+        return self.impute_many([tensor])[0]
+
+
+class ClusterModelStore:
+    """``ModelStore``-shaped façade over the cluster, for the gateway.
+
+    ``get``/``peek`` hand out :class:`RemoteModel` proxies; membership and
+    listings ask the owning shard over the wire (memoised — model ids are
+    immutable once fitted); cache and fast-path telemetry aggregate the
+    per-shard stores.
+    """
+
+    def __init__(self, router: "ClusterRouter") -> None:
+        self._router = router
+        #: no artifact directory: the artifacts live in the shards' SQLite
+        self.directory = None
+        self._remote_models: Dict[str, RemoteModel] = {}
+        self._known: set = set()
+
+    def __contains__(self, model_id: str) -> bool:
+        if model_id in self._known:
+            return True
+        try:
+            owner = self._router.ring.assign(model_id)
+            reply = self._router._call(owner, {"op": "has_model",
+                                               "model_id": model_id})
+        except (ServiceError, ConnectionError, OSError, LookupError):
+            return False
+        if reply.get("exists"):
+            self._known.add(model_id)
+            return True
+        return False
+
+    def get(self, model_id: str) -> RemoteModel:
+        if model_id not in self:
+            raise ServiceError(f"unknown model id {model_id!r}; known: "
+                               + (", ".join(self._router.list_models())
+                                  or "<none>"))
+        proxy = self._remote_models.get(model_id)
+        if proxy is None:
+            proxy = self._remote_models[model_id] = RemoteModel(
+                self._router, model_id)
+        return proxy
+
+    def peek(self, model_id: str) -> Optional[RemoteModel]:
+        # No try_fast_path on RemoteModel, so the gateway's no-lock fast
+        # lane declines and batches flow through the fused RPC path.
+        return self._remote_models.get(model_id)
+
+    def method_for(self, model_id: str) -> Optional[str]:
+        return self._router._methods.get(model_id)
+
+    def list_models(self) -> List[str]:
+        return self._router.list_models()
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Cluster-wide LRU telemetry: per-shard counters summed."""
+        totals = {"size": 0, "bytes": 0, "hits": 0, "misses": 0,
+                  "evictions": 0}
+        for stats in self._router.shard_stats().values():
+            cache = stats.get("model_cache") or {}
+            for key in totals:
+                totals[key] += int(cache.get(key) or 0)
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = (totals["hits"] / lookups) if lookups else 0.0
+        return totals
+
+    def fast_path_stats(self) -> Dict[str, Dict[str, object]]:
+        merged: Dict[str, Dict[str, object]] = {}
+        for stats in self._router.shard_stats().values():
+            merged.update(stats.get("fast_path") or {})
+        return merged
+
+
+class ClusterRouter:
+    """Front door of the sharded serving tier.
+
+    Parameters
+    ----------
+    directory:
+        Root of the cluster's durable state; each shard owns
+        ``directory/shard-<i>/`` (SQLite store + journal).  Restarting a
+        router over an existing directory reattaches to the persisted
+        models and journals.
+    shards:
+        Number of shard worker processes.
+    replicas:
+        Virtual nodes per shard on the consistent-hash ring.
+    max_cached_models:
+        Per-shard LRU bound; evicted models rehydrate from SQLite.
+    auto_restart:
+        Restart a dead shard (over its durable directory) and resend the
+        in-flight requests when a call fails mid-flight.  The journal +
+        result ledger make the resend exactly-once.
+    """
+
+    def __init__(self, directory: Union[str, Path], shards: int = 2,
+                 replicas: int = 64,
+                 max_cached_models: Optional[int] = None,
+                 auto_restart: bool = True, start: bool = True,
+                 deadline_ms: Optional[float] = None) -> None:
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        self.directory = Path(directory)
+        self.max_cached_models = max_cached_models
+        self.auto_restart = auto_restart
+        self.default_deadline_ms = deadline_ms
+        self.shard_names = [f"shard-{index}" for index in range(shards)]
+        self.ring = HashRing(self.shard_names, replicas=replicas)
+        self.handles: Dict[str, ShardHandle] = {}
+        self._clients: Dict[str, ShardClient] = {}
+        #: model id -> registry method name (filled by fit/put_model)
+        self._methods: Dict[str, str] = {}
+        self._model_counter = 0
+        self._request_counter = 0
+        #: per-router id nonce: a restarted router must never mint an id a
+        #: previous router already burned into a shard's ledger
+        self._nonce = uuid.uuid4().hex[:8]
+        self._pending: List[Dict] = []
+        self._pending_ids: set = set()
+        #: request id -> traceback for the most recent gather()
+        self.last_errors: Dict[str, str] = {}
+        #: ledger hits among the most recent gather()'s results
+        self.last_deduped = 0
+        #: [{shard, seconds}] for every auto/explicit restart
+        self.recoveries: List[Dict[str, object]] = []
+        self._store = ClusterModelStore(self)
+        if start:
+            for name in self.shard_names:
+                self._start(name)
+
+    # -- lifecycle ------------------------------------------------------- #
+    def _shard_dir(self, name: str) -> Path:
+        return self.directory / name
+
+    def _start(self, name: str) -> ShardHandle:
+        handle = start_shard(name, str(self._shard_dir(name)),
+                             max_cached_models=self.max_cached_models)
+        self.handles[name] = handle
+        self._clients.pop(name, None)
+        return handle
+
+    def _client(self, name: str) -> ShardClient:
+        client = self._clients.get(name)
+        if client is None:
+            handle = self.handles.get(name)
+            if handle is None:
+                raise ServiceError(f"shard {name!r} is not running")
+            client = self._clients[name] = ShardClient(handle.port)
+        return client
+
+    def kill_shard(self, name: str) -> None:
+        """SIGKILL a shard process (chaos injection; state survives)."""
+        handle = self.handles.get(name)
+        if handle is None:
+            raise ServiceError(f"shard {name!r} is not running")
+        handle.kill()
+        client = self._clients.pop(name, None)
+        if client is not None:
+            client.close()
+
+    def restart_shard(self, name: str) -> float:
+        """Restart a shard over its durable directory; returns seconds.
+
+        The elapsed time covers process start, SQLite open, journal
+        ingest and replay of unanswered requests — the cluster bench's
+        recovery-time metric.
+        """
+        started = time.perf_counter()
+        old = self.handles.get(name)
+        if old is not None and old.alive:
+            old.kill()
+        client = self._clients.pop(name, None)
+        if client is not None:
+            client.close()
+        self._start(name)
+        elapsed = time.perf_counter() - started
+        self.recoveries.append({"shard": name, "seconds": elapsed})
+        return elapsed
+
+    def close(self) -> None:
+        """Shut every shard down (politely, then firmly)."""
+        for name, handle in list(self.handles.items()):
+            try:
+                self._call(name, {"op": "shutdown"}, retries=0)
+            except (ServiceError, ConnectionError, OSError):
+                pass
+            client = self._clients.pop(name, None)
+            if client is not None:
+                client.close()
+            handle.process.join(timeout=5.0)
+            if handle.alive:
+                handle.kill()
+        self.handles.clear()
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- transport ------------------------------------------------------- #
+    def _call(self, name: str, payload: Dict, retries: int = 1) -> Dict:
+        """One RPC to a shard, with restart-and-resend on a dead socket.
+
+        The resend is what makes auto-restart safe to combine with
+        at-least-once delivery: the shard's result ledger dedupes, so the
+        caller observes exactly-once.
+        """
+        try:
+            reply = self._client(name).call(payload)
+        except (ConnectionError, OSError):
+            client = self._clients.pop(name, None)
+            if client is not None:
+                client.close()
+            if retries <= 0 or not self.auto_restart:
+                raise
+            self.restart_shard(name)
+            return self._call(name, payload, retries=retries - 1)
+        if not reply.get("ok"):
+            raise ServiceError(
+                f"shard {name!r} rejected {payload.get('op')!r}:\n"
+                f"{reply.get('error')}")
+        return reply
+
+    # -- fitting / model placement --------------------------------------- #
+    def fit(self, data: Union[TensorLike, FitRequest],
+            method: Optional[str] = None, model_id: Optional[str] = None,
+            **method_kwargs) -> str:
+        """Fit on the shard the ring assigns; returns the model id."""
+        if isinstance(data, FitRequest):
+            request = data
+            if method is not None or model_id is not None or method_kwargs:
+                raise ValidationError(
+                    "pass either a FitRequest or (data, method=..., "
+                    "model_id=..., **kwargs), not both")
+        else:
+            request = FitRequest(data=as_tensor(data),
+                                 method=method or "deepmvi",
+                                 method_kwargs=dict(method_kwargs),
+                                 model_id=model_id)
+        request.validate()
+        if request.model_id is None:
+            # Ids are assigned router-side so the ring owner is known
+            # before any shard is contacted.
+            self._model_counter += 1
+            request = FitRequest(data=request.data, method=request.method,
+                                 method_kwargs=request.method_kwargs,
+                                 model_id=f"{request.method}-"
+                                          f"c{self._model_counter:04d}")
+        owner = self.ring.assign(request.model_id)
+        reply = self._call(owner, {"op": "fit",
+                                   "request": request.to_dict()})
+        self._methods[reply["model_id"]] = reply.get("method") \
+            or request.method
+        self._store._known.add(reply["model_id"])
+        return reply["model_id"]
+
+    def put_model(self, model_id: str, imputer,
+                  method: Optional[str] = None) -> str:
+        """Ship an already-fitted imputer to its owning shard."""
+        import base64
+
+        from repro.engine.artifacts import dump_imputer_bytes
+
+        owner = self.ring.assign(model_id)
+        blob = base64.b64encode(dump_imputer_bytes(imputer)).decode("ascii")
+        self._call(owner, {"op": "put_model", "model_id": model_id,
+                           "method": method, "blob": blob})
+        if method is not None:
+            self._methods[model_id] = method
+        self._store._known.add(model_id)
+        return model_id
+
+    # -- serving --------------------------------------------------------- #
+    @property
+    def store(self) -> ClusterModelStore:
+        return self._store
+
+    def submit(self, request=None, model_id: Optional[str] = None,
+               deadline_ms: Optional[float] = None) -> str:
+        """Queue one request for the next :meth:`gather`; returns its id."""
+        request = coerce_impute_request(request, model_id)
+        if request.model_id not in self._store:
+            raise ServiceError(
+                f"unknown model id {request.model_id!r}; fit() a model "
+                "through this router first")
+        if request.request_id is None:
+            self._request_counter += 1
+            request_id = f"req-{self._nonce}-{self._request_counter:06d}"
+        else:
+            request_id = str(request.request_id)
+        if request_id in self._pending_ids:
+            raise ValidationError(
+                f"request id {request_id!r} is already queued")
+        now = time.perf_counter()
+        deadline_ms = (self.default_deadline_ms
+                       if deadline_ms is None else deadline_ms)
+        wire = request.to_dict()
+        wire["request_id"] = request_id
+        self._pending.append({
+            "request": wire,
+            "enqueued_at": now,
+            "deadline_at": (None if deadline_ms is None
+                            else now + deadline_ms / 1000.0),
+        })
+        self._pending_ids.add(request_id)
+        return request_id
+
+    def gather(self, raise_on_error: bool = True) -> List[ImputeResult]:
+        """Serve every queued request; results come back in submit order.
+
+        Each shard receives one ``serve`` RPC carrying all of its queued
+        requests (the shard micro-batches them per model).  A shard dying
+        mid-call is restarted and the same entries are resent — the
+        exactly-once ledger turns the resend into idempotent delivery.
+        """
+        if not self._pending:
+            return []
+        pending, self._pending = self._pending, []
+        self._pending_ids = set()
+        by_owner: Dict[str, List[Dict]] = {}
+        for entry in pending:
+            owner = self.ring.assign(entry["request"]["model_id"])
+            by_owner.setdefault(owner, []).append(entry)
+        results: Dict[str, ImputeResult] = {}
+        self.last_errors = {}
+        self.last_deduped = 0
+        for owner, entries in by_owner.items():
+            try:
+                reply = self._call(owner, {"op": "serve",
+                                           "entries": entries})
+            except (ServiceError, ConnectionError, OSError) as error:
+                for entry in entries:
+                    self.last_errors[entry["request"]["request_id"]] = \
+                        str(error)
+                continue
+            self.last_deduped += int(reply.get("deduped", 0))
+            for request_id, wire in reply["results"].items():
+                results[request_id] = ImputeResult.from_dict(wire)
+            for failure in reply["failures"]:
+                self.last_errors[failure["request_id"]] = failure["error"]
+        ordered = [results[entry["request"]["request_id"]]
+                   for entry in pending
+                   if entry["request"]["request_id"] in results]
+        if self.last_errors and raise_on_error:
+            error = ServiceError(
+                f"{len(self.last_errors)} of {len(pending)} request(s) "
+                f"failed ({', '.join(sorted(self.last_errors))}); "
+                f"first error:\n{next(iter(self.last_errors.values()))}")
+            error.partial_results = ordered
+            raise error
+        return ordered
+
+    def impute(self, request=None, model_id: Optional[str] = None,
+               deadline_ms: Optional[float] = None) -> ImputeResult:
+        """Serve one request immediately (no queueing)."""
+        request = coerce_impute_request(request, model_id)
+        results = self._serve_remote(
+            request.model_id,
+            [request.data],
+            request_ids=[str(request.request_id)]
+            if request.request_id is not None else None,
+            deadline_ms=deadline_ms)
+        return results[0]
+
+    def _serve_remote(self, model_id: str, tensors: List,
+                      request_ids: Optional[List[str]] = None,
+                      deadline_ms: Optional[float] = None,
+                      ) -> List[ImputeResult]:
+        """Serve ``tensors`` against one model in a single shard RPC."""
+        now = time.perf_counter()
+        deadline_ms = (self.default_deadline_ms
+                       if deadline_ms is None else deadline_ms)
+        entries = []
+        for index, tensor in enumerate(tensors):
+            if request_ids is not None:
+                request_id = request_ids[index]
+            else:
+                self._request_counter += 1
+                request_id = f"req-{self._nonce}-{self._request_counter:06d}"
+            wire = ImputeRequest(
+                model_id=model_id,
+                data=as_tensor(tensor) if tensor is not None else None,
+                request_id=request_id).to_dict()
+            entries.append({
+                "request": wire,
+                "enqueued_at": now,
+                "deadline_at": (None if deadline_ms is None
+                                else now + deadline_ms / 1000.0),
+            })
+        owner = self.ring.assign(model_id)
+        reply = self._call(owner, {"op": "serve", "entries": entries})
+        self.last_deduped = int(reply.get("deduped", 0))
+        if reply["failures"]:
+            first = reply["failures"][0]
+            raise ServiceError(
+                f"{len(reply['failures'])} request(s) failed on shard "
+                f"{owner!r}; first ({first['request_id']!r}):\n"
+                f"{first['error']}")
+        return [ImputeResult.from_dict(
+                    reply["results"][entry["request"]["request_id"]])
+                for entry in entries]
+
+    # -- introspection ---------------------------------------------------- #
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def list_models(self) -> List[str]:
+        models: set = set()
+        for name in self.shard_names:
+            try:
+                reply = self._call(name, {"op": "list_models"}, retries=0)
+            except (ServiceError, ConnectionError, OSError):
+                continue
+            models.update(reply.get("models", ()))
+        return sorted(models)
+
+    def shard_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-shard rollups (dead shards report ``alive: False``)."""
+        stats: Dict[str, Dict[str, object]] = {}
+        for name in self.shard_names:
+            try:
+                reply = self._call(name, {"op": "stats"}, retries=0)
+            except (ServiceError, ConnectionError, OSError) as error:
+                stats[name] = {"alive": False, "error": str(error)}
+                continue
+            reply.pop("ok", None)
+            stats[name] = reply
+        return stats
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "ring": self.ring.describe(),
+            "shards": self.shard_stats(),
+            "recoveries": list(self.recoveries),
+            "pending_requests": len(self._pending),
+            "models": self.list_models(),
+        }
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            **self.stats(),
+            "directory": str(self.directory),
+            "shards": list(self.shard_names),
+            "shard_stats": self.shard_stats(),
+            "default_deadline_ms": self.default_deadline_ms,
+            "auto_restart": self.auto_restart,
+        }
+
+    def analytics(self, bucket_seconds: float = 1.0) -> Dict[str, object]:
+        """SQL window-function analytics over every shard's journal.
+
+        Reads the shards' SQLite files directly (they may be mid-restart
+        or even dead — the durable log still answers), unioning the
+        journals with ``ATTACH`` so one query set covers the cluster:
+        p99-over-time, per-model QPS, fusion-rate trend.
+        """
+        paths = [(name, str(self._shard_dir(name) / DB_FILENAME))
+                 for name in self.shard_names
+                 if (self._shard_dir(name) / DB_FILENAME).exists()]
+        return cluster_analytics(paths, bucket_seconds=bucket_seconds)

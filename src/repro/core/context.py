@@ -141,12 +141,20 @@ class DatasetContext:
         contexts cheap.  An incompatible template (different
         shape/window/config) is silently ignored and the tables are
         rebuilt, so passing a stale template is always safe.
+    normalisation:
+        Optional ``(mean, std)`` override.  By default the context
+        estimates normalisation from the tensor's own observed cells; a
+        serving caller passes the *fitted* statistics instead so request
+        tensors are normalised exactly like the training data — which is
+        what lets the fast-path tables compare request windows to fitted
+        windows bit-for-bit (:meth:`FastPathTables.match_windows`).
     """
 
     def __init__(self, tensor: TimeSeriesTensor, window: int,
                  max_context_windows: int = 64,
                  flatten_dimensions: bool = False,
-                 structure_from: Optional[ContextStructure] = None):
+                 structure_from: Optional[ContextStructure] = None,
+                 normalisation: Optional[Tuple[float, float]] = None):
         self.window = window
         self.max_context_windows = max_context_windows
         self.flatten_dimensions = flatten_dimensions
@@ -157,7 +165,11 @@ class DatasetContext:
         # context is built per serving request, and the intermediate
         # normalised TimeSeriesTensor plus np.pad bookkeeping used to
         # dominate its cost.
-        self.mean, self.std = tensor.observed_mean_std()
+        if normalisation is not None:
+            self.mean, self.std = float(normalisation[0]), \
+                float(normalisation[1])
+        else:
+            self.mean, self.std = tensor.observed_mean_std()
         self.n_series, self.n_time = tensor.n_series, tensor.n_time
         matrix = ((tensor.values - self.mean) / self.std).reshape(
             self.n_series, self.n_time)

@@ -33,6 +33,15 @@ copies hit after an elementwise comparison; anything else falls back to
 the fused forward — which is why the lookup can be bit-comparable to the
 full network instead of "close".
 
+The hit condition is **per window**, not all-or-nothing: serving
+contexts over tensors shaped like the fitted one adopt the fitted
+normalisation (:meth:`DeepMVIImputer._serving_normalisation`), so the
+global mean/std compatibility check in :meth:`FastPathTables.
+match_windows` passes for any same-shaped request and raw per-window
+content agreement decides each window individually.  Sliding-window
+streaming traffic therefore serves its unchanged windows from the tables
+and pays forward passes only for the windows that actually moved.
+
 Tables are immutable once built: concurrent readers (the gateway's
 no-lock fast lane) see either the old or the new table object, never a
 half-built one, so refreshes can happen in a background thread while
@@ -155,8 +164,18 @@ class FastPathTables:
         shape, window size or normalisation) — a total miss.  Comparison
         happens on the *normalised* padded matrices: the network only ever
         sees normalised values, so agreement there is exactly the
-        condition under which the precomputed signals apply (the request's
-        own mean/std are used for denormalisation either way).
+        condition under which the precomputed signals apply (the context's
+        mean/std are used for denormalisation either way).
+
+        The mean/std equality below is not as restrictive as it looks:
+        same-shaped serving contexts are built with the *fitted*
+        normalisation (:meth:`DeepMVIImputer._serving_normalisation`), so
+        for them the check passes by construction and per-window raw
+        content agreement decides hits — which is what lets sliding-window
+        traffic hit on its unchanged windows.  Contexts that estimated
+        their own statistics (differently-shaped tensors, tables restored
+        against a different fit) still miss wholesale here, keeping the
+        lookups exact.
         """
         if self._ref_matrix is None or self._ref_avail is None:
             return None

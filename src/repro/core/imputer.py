@@ -151,9 +151,12 @@ class DeepMVIImputer(BaseImputer):
                 # context is local: the fitted state must survive for later
                 # no-arg calls.  Structural tables (index/sibling rows) are
                 # shared via a per-shape template so window-shaped serving
-                # traffic pays only the per-request value plumbing.
+                # traffic pays only the per-request value plumbing, and
+                # same-shaped traffic normalises with the fitted statistics
+                # so unchanged windows stay fast-path-compatible.
                 context = self._build_context(
-                    tensor, structure_from=self._structure_template(tensor))
+                    tensor, structure_from=self._structure_template(tensor),
+                    normalisation=self._serving_normalisation(tensor))
                 self._remember_structure(tensor, context)
             missing_cells = np.argwhere(context.avail == 0)
             # Ignore cells that fall outside the original (unpadded) range.
@@ -334,7 +337,8 @@ class DeepMVIImputer(BaseImputer):
                 context = self.context
             else:
                 context = self._build_context(
-                    tensor, structure_from=self._structure_template(tensor))
+                    tensor, structure_from=self._structure_template(tensor),
+                    normalisation=self._serving_normalisation(tensor))
             match = tables.match_windows(context)
             if match is None:
                 return None
@@ -390,6 +394,7 @@ class DeepMVIImputer(BaseImputer):
     # ------------------------------------------------------------------ #
     def _build_context(self, tensor: TimeSeriesTensor,
                        structure_from: Optional[ContextStructure] = None,
+                       normalisation: Optional[tuple] = None,
                        ) -> DatasetContext:
         return DatasetContext(
             tensor,
@@ -397,7 +402,29 @@ class DeepMVIImputer(BaseImputer):
             max_context_windows=self.config.max_context_windows,
             flatten_dimensions=self.config.flatten_dimensions,
             structure_from=structure_from,
+            normalisation=normalisation,
         )
+
+    def _serving_normalisation(self, tensor: TimeSeriesTensor,
+                               ) -> Optional[tuple]:
+        """Fitted ``(mean, std)`` for same-shaped serving traffic.
+
+        Serving contexts over tensors shaped like the fitted one adopt the
+        *training* normalisation instead of re-estimating statistics from
+        the request: that is the standard serve-with-training-stats
+        contract, and it is what widens the fast path from "globally
+        identical snapshot" to **per-window** compatibility — a sliding
+        window whose raw content overlaps the fitted data normalises
+        bit-identically on the unchanged windows, so
+        :meth:`FastPathTables.match_windows` can serve those windows from
+        the tables and only the genuinely new windows pay a forward pass.
+        Differently-shaped tensors (a refit candidate, an unrelated
+        dataset) keep estimating their own statistics.
+        """
+        if self.context is not None and self._fitted_tensor is not None \
+                and tensor.values.shape == self._fitted_tensor.values.shape:
+            return (self.context.mean, self.context.std)
+        return None
 
     # -- serving structure cache ---------------------------------------- #
     # Contexts over same-shaped tensors share their structural tables

@@ -10,7 +10,12 @@ are resumable; and :mod:`repro.engine.artifacts` saves/loads fitted
 imputers so a model trained once can impute many scenarios.
 """
 
-from repro.engine.artifacts import load_imputer, save_imputer
+from repro.engine.artifacts import (
+    dump_imputer_bytes,
+    load_imputer,
+    load_imputer_bytes,
+    save_imputer,
+)
 from repro.engine.cache import ResultCache
 from repro.engine.executor import (
     ExecutionReport,
@@ -39,8 +44,10 @@ __all__ = [
     "ParallelExecutor",
     "ResultCache",
     "SerialExecutor",
+    "dump_imputer_bytes",
     "execute_job",
     "load_imputer",
+    "load_imputer_bytes",
     "make_executor",
     "save_imputer",
 ]

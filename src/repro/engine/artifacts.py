@@ -25,8 +25,10 @@ serialisable; methods whose state holds live network objects must override
 from __future__ import annotations
 
 import importlib
+import io
 import json
 import os
+import zipfile
 from pathlib import Path
 from typing import Dict, Union
 
@@ -139,22 +141,89 @@ def save_imputer(imputer: BaseImputer, path: Union[str, os.PathLike]) -> Path:
     return directory
 
 
-def load_imputer(path: Union[str, os.PathLike]) -> BaseImputer:
-    """Restore an imputer previously written by :func:`save_imputer`."""
-    directory = Path(path)
-    manifest = json.loads(
-        (directory / MANIFEST_FILENAME).read_text(encoding="utf-8"))
+def _restore(manifest: dict, arrays: Dict[str, np.ndarray],
+             trusted: bool) -> BaseImputer:
+    """Instantiate and rehydrate the imputer a manifest describes.
+
+    With ``trusted=False`` (byte blobs that may arrive over a socket) the
+    manifest's class must live inside the ``repro`` package: resolving an
+    arbitrary ``module:qualname`` from untrusted input would make
+    deserialisation an arbitrary-import (and thus code-execution) primitive.
+    """
     if manifest.get("format") != ARTIFACT_FORMAT:
         raise ValueError(f"unsupported artifact format {manifest.get('format')!r}")
-    arrays_path = directory / ARRAYS_FILENAME
-    arrays: Dict[str, np.ndarray] = {}
-    if arrays_path.exists():
-        with np.load(arrays_path, allow_pickle=False) as payload:
-            arrays = {key: payload[key] for key in payload.files}
     module_name, _, qualname = manifest["class"].partition(":")
+    if not trusted and not (module_name == "repro"
+                            or module_name.startswith("repro.")):
+        raise ValueError(
+            f"refusing to import imputer class from {module_name!r}: "
+            "wire-delivered artifacts may only name repro.* classes")
     target = importlib.import_module(module_name)
     for part in qualname.split("."):
         target = getattr(target, part)
     imputer = target.__new__(target)
     imputer.set_state(_decode(manifest["state"], arrays))
     return imputer
+
+
+def load_imputer(path: Union[str, os.PathLike]) -> BaseImputer:
+    """Restore an imputer previously written by :func:`save_imputer`."""
+    directory = Path(path)
+    manifest = json.loads(
+        (directory / MANIFEST_FILENAME).read_text(encoding="utf-8"))
+    arrays_path = directory / ARRAYS_FILENAME
+    arrays: Dict[str, np.ndarray] = {}
+    if arrays_path.exists():
+        with np.load(arrays_path, allow_pickle=False) as payload:
+            arrays = {key: payload[key] for key in payload.files}
+    return _restore(manifest, arrays, trusted=True)
+
+
+# ---------------------------------------------------------------------- #
+# byte-blob round trip (for stores and sockets)
+# ---------------------------------------------------------------------- #
+def dump_imputer_bytes(imputer: BaseImputer) -> bytes:
+    """Serialise ``imputer`` to one artifact blob (zip of manifest + arrays).
+
+    The blob holds exactly the files :func:`save_imputer` would write, so a
+    model can round-trip through a database column or a socket without ever
+    touching the filesystem.  Restore with :func:`load_imputer_bytes`.
+    """
+    vault = _ArrayVault()
+    state = _encode(imputer.get_state(), vault)
+    manifest = {
+        "format": ARTIFACT_FORMAT,
+        "class": f"{type(imputer).__module__}:{type(imputer).__qualname__}",
+        "state": state,
+    }
+    arrays_buffer = io.BytesIO()
+    np.savez_compressed(arrays_buffer, **vault.arrays)
+    blob = io.BytesIO()
+    # The arrays are already deflated; a STORED container avoids paying for
+    # a second compression pass over incompressible bytes.
+    with zipfile.ZipFile(blob, "w", compression=zipfile.ZIP_STORED) as archive:
+        archive.writestr(MANIFEST_FILENAME, json.dumps(manifest))
+        archive.writestr(ARRAYS_FILENAME, arrays_buffer.getvalue())
+    return blob.getvalue()
+
+
+def load_imputer_bytes(blob: bytes, trusted: bool = False) -> BaseImputer:
+    """Restore an imputer from a :func:`dump_imputer_bytes` blob.
+
+    Blobs are treated as **untrusted** by default (they cross sockets in
+    the cluster tier): the manifest may only name classes inside the
+    ``repro`` package, mirroring the wire-config guard in
+    :mod:`repro.api.requests`.
+    """
+    with zipfile.ZipFile(io.BytesIO(blob)) as archive:
+        manifest = json.loads(archive.read(MANIFEST_FILENAME).decode("utf-8"))
+        arrays: Dict[str, np.ndarray] = {}
+        try:
+            arrays_blob = archive.read(ARRAYS_FILENAME)
+        except KeyError:
+            arrays_blob = None
+        if arrays_blob:
+            with np.load(io.BytesIO(arrays_blob),
+                         allow_pickle=False) as payload:
+                arrays = {key: payload[key] for key in payload.files}
+    return _restore(manifest, arrays, trusted=trusted)

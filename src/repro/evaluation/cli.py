@@ -35,6 +35,12 @@ cache hit rate)::
     python -m repro.evaluation.cli gateway-bench --dataset airq \
         --method deepmvi --producers 8 --requests 8 --size tiny
 
+Route requests through the sharded cluster tier, kill a shard mid-load,
+and verify exactly-once delivery (zero lost, zero duplicated)::
+
+    python -m repro.evaluation.cli cluster-bench --dataset airq \
+        --method mean --shards 2 --requests 12 --size tiny
+
 Run one (dataset, scenario, method) cell::
 
     python -m repro.evaluation.cli run --dataset climate --scenario mcar \
@@ -194,6 +200,30 @@ def _build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--seed", type=int, default=0)
     gateway.add_argument("--store-dir", default=None,
                          help="persist the fitted model as an artifact here")
+
+    cluster = subparsers.add_parser(
+        "cluster-bench", help="serve through the sharded cluster router, "
+                              "kill a shard mid-load, and verify "
+                              "exactly-once delivery")
+    cluster.add_argument("--dataset", required=True, choices=list_datasets())
+    cluster.add_argument("--scenario", default="mcar",
+                         choices=list_scenarios())
+    cluster.add_argument("--method", default="deepmvi")
+    cluster.add_argument("--size", default="tiny",
+                         choices=["tiny", "small", "default"])
+    cluster.add_argument("--shards", type=int, default=2,
+                         help="shard worker processes behind the router")
+    cluster.add_argument("--requests", type=int, default=12,
+                         help="impute requests to route through the cluster")
+    cluster.add_argument("--window", type=int, default=24,
+                         help="length of each request's time window "
+                              "(window-shaped traffic)")
+    cluster.add_argument("--block-size", type=int, default=10)
+    cluster.add_argument("--incomplete-fraction", type=float, default=1.0)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--store-dir", default=None,
+                         help="shard state directory (default: a temp dir "
+                              "removed on exit)")
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's experiments")
@@ -400,6 +430,91 @@ def _command_gateway_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cluster_bench(args: argparse.Namespace) -> int:
+    """Route traffic through shard processes; prove exactly-once delivery.
+
+    The crash drill: fit once, route window-shaped requests across the
+    shards, SIGKILL the shard that owns the model while a full batch is
+    queued, and verify that the restarted shard's journal replay plus the
+    results ledger deliver every request exactly once — nothing lost,
+    nothing served twice.
+    """
+    import tempfile
+    import time
+
+    from repro.api.requests import ImputeRequest
+    from repro.cluster import ClusterRouter
+
+    truth = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    scenario = _scenario_from_args(args)
+    incomplete, _ = apply_scenario(truth, scenario, seed=args.seed)
+    window = min(args.window, max(2, truth.n_time - 1))
+    method_kwargs = (_deepmvi_kwargs(args.size)
+                     if args.method.lower().startswith("deepmvi") else {})
+    total = max(1, args.requests)
+    windows = []
+    for index in range(total):
+        start = (index * 7) % max(1, truth.n_time - window)
+        windows.append(incomplete.slice_time(start, start + window))
+
+    with tempfile.TemporaryDirectory() as scratch:
+        store_dir = args.store_dir or scratch
+        with ClusterRouter(directory=store_dir,
+                           shards=max(1, args.shards)) as router:
+            model_id = router.fit(incomplete, method=args.method,
+                                  **method_kwargs)
+            owner = router.ring.assign(model_id)
+            print(f"[cluster] fitted {args.method!r} once -> model "
+                  f"{model_id} on {owner} "
+                  f"({len(router.handles)} shard(s))")
+
+            request_ids = [router.submit(tensor, model_id=model_id)
+                           for tensor in windows]
+            print(f"[cluster] queued {total} request(s); killing {owner} "
+                  f"mid-load")
+            router.kill_shard(owner)
+            start = time.perf_counter()
+            results = router.gather()
+            elapsed = time.perf_counter() - start
+            delivered = {result.request_id for result in results}
+            lost = [rid for rid in request_ids if rid not in delivered]
+
+            # Resend every id: the ledger must dedupe all of them, and the
+            # journal must hold exactly one result row per request.
+            for request_id, tensor in zip(request_ids, windows):
+                router.submit(ImputeRequest(model_id=model_id, data=tensor,
+                                            request_id=request_id))
+            router.gather()
+            deduped = router.last_deduped
+            ledger_rows = sum(info.get("results", 0)
+                              for info in router.shard_stats().values()
+                              if info.get("alive"))
+            duplicated = ledger_rows - total
+
+            print(f"\n{'metric':<26} value")
+            print("-" * 40)
+            for label, value in [
+                    ("requests delivered", f"{len(delivered)}/{total}"),
+                    ("lost", str(len(lost))),
+                    ("duplicated ledger rows", str(duplicated)),
+                    ("resend dedupe hits", f"{deduped}/{total}"),
+                    ("recoveries", str(len(router.recoveries))),
+                    ("throughput", f"{total / elapsed:,.1f} req/sec "
+                                   f"(incl. shard restart)")]:
+                print(f"{label:<26} {value}")
+            report = router.analytics(bucket_seconds=60.0)
+            for row in report["p99_over_time"]:
+                print(f"p99 bucket {row['bucket']:<15} "
+                      f"{row['p99_seconds'] * 1e3:.2f} ms "
+                      f"({row['completions']} completions)")
+            ok = not lost and duplicated == 0 and deduped == total
+            if not ok:
+                print(f"[cluster] ERROR: lost={len(lost)} "
+                      f"duplicated={duplicated} deduped={deduped}/{total}",
+                      file=sys.stderr)
+            return 0 if ok else 1
+
+
 def _command_stream(args: argparse.Namespace) -> int:
     """Replay a dataset as a stream; per-window MAE + overall windows/sec."""
     from repro.streaming import replay
@@ -501,6 +616,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_stream(args)
     if args.command == "gateway-bench":
         return _command_gateway_bench(args)
+    if args.command == "cluster-bench":
+        return _command_cluster_bench(args)
     if args.command == "run":
         return _command_run(args)
     if args.command in ("experiment", "resume"):

@@ -340,13 +340,17 @@ class Gateway:
 
         Includes ``fast_path_hit_rate`` (fraction of completions served
         entirely from lookup tables) and per-model ``fast_path`` table
-        provenance: build seconds, size, staleness age.
+        provenance: build seconds, size, staleness age.  When the wrapped
+        service is a cluster router (anything exposing ``shard_stats()``),
+        the snapshot also carries per-shard rollups under ``"shards"``.
         """
+        shard_probe = getattr(self.service, "shard_stats", None)
         return self.metrics.snapshot(
             queue_depth=self._queue.depth(),
             lane_depths=self._queue.lane_depths(),
             model_cache=self.service.store.cache_stats(),
-            fast_path=self.service.store.fast_path_stats())
+            fast_path=self.service.store.fast_path_stats(),
+            shards=shard_probe() if callable(shard_probe) else None)
 
     def describe(self) -> Dict[str, object]:
         """Config + live stats + wrapped-service snapshot, for logs."""

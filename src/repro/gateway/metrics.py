@@ -118,40 +118,58 @@ class GatewayMetrics:
                  lane_depths: Optional[Dict[str, int]] = None,
                  model_cache: Optional[Dict[str, object]] = None,
                  fast_path: Optional[Dict[str, object]] = None,
+                 shards: Optional[Dict[str, Dict[str, object]]] = None,
                  ) -> Dict[str, object]:
-        """Render the current serving picture as plain JSON-able values."""
+        """Render the current serving picture as plain JSON-able values.
+
+        The snapshot is **consistent**: every counter and reservoir is
+        copied inside one short critical section, so a concurrent soak
+        reader can never observe a torn pair (e.g. ``fused_completed``
+        from after a completion but ``completed`` from before it, which
+        would report a fusion rate above 1.0).  The derived numbers —
+        three percentile sorts, rates — are computed *outside* the lock so
+        telemetry polling never stalls the recording hot path.
+        """
         now = time.perf_counter()
         with self._lock:
             self._prune_locked(now)
-            uptime = max(now - self._started_at, 1e-9)
-            window = min(self.qps_window_seconds, uptime)
+            submitted_by_lane = dict(self.submitted)
+            completed = self.completed
+            failed = self.failed
+            rejected = self.rejected
+            expired = self.expired
+            fused_completed = self.fused_completed
+            fast_path_completed = self.fast_path_completed
+            batches = self.batches
+            batch_size_sum = self.batch_size_sum
             latencies = list(self._latencies)
-            submitted_total = sum(self.submitted.values())
-            snapshot: Dict[str, object] = {
-                "uptime_seconds": uptime,
-                "submitted": submitted_total,
-                "submitted_by_lane": dict(self.submitted),
-                "completed": self.completed,
-                "failed": self.failed,
-                "rejected": self.rejected,
-                "expired": self.expired,
-                "in_flight": max(
-                    submitted_total - self.completed - self.failed
-                    - self.expired, 0),
-                "qps": len(self._completion_times) / window,
-                "latency_p50_seconds": percentile(latencies, 50.0),
-                "latency_p95_seconds": percentile(latencies, 95.0),
-                "latency_p99_seconds": percentile(latencies, 99.0),
-                "fusion_rate": (self.fused_completed / self.completed
-                                if self.completed else 0.0),
-                "fast_path_hit_rate": (
-                    self.fast_path_completed / self.completed
-                    if self.completed else 0.0),
-                "batches": self.batches,
-                "mean_batch_size": (self.batch_size_sum / self.batches
-                                    if self.batches else 0.0),
-                "queue_depth": queue_depth,
-            }
+            window_completions = len(self._completion_times)
+        uptime = max(now - self._started_at, 1e-9)
+        window = min(self.qps_window_seconds, uptime)
+        submitted_total = sum(submitted_by_lane.values())
+        snapshot: Dict[str, object] = {
+            "uptime_seconds": uptime,
+            "submitted": submitted_total,
+            "submitted_by_lane": submitted_by_lane,
+            "completed": completed,
+            "failed": failed,
+            "rejected": rejected,
+            "expired": expired,
+            "in_flight": max(
+                submitted_total - completed - failed - expired, 0),
+            "qps": window_completions / window,
+            "latency_p50_seconds": percentile(latencies, 50.0),
+            "latency_p95_seconds": percentile(latencies, 95.0),
+            "latency_p99_seconds": percentile(latencies, 99.0),
+            "fusion_rate": (fused_completed / completed
+                            if completed else 0.0),
+            "fast_path_hit_rate": (fast_path_completed / completed
+                                   if completed else 0.0),
+            "batches": batches,
+            "mean_batch_size": (batch_size_sum / batches
+                                if batches else 0.0),
+            "queue_depth": queue_depth,
+        }
         if lane_depths is not None:
             snapshot["queue_depth_by_lane"] = dict(lane_depths)
         if model_cache is not None:
@@ -160,6 +178,11 @@ class GatewayMetrics:
             # Per-model table provenance (build seconds, staleness age),
             # merged in by the gateway from the model store.
             snapshot["fast_path"] = dict(fast_path)
+        if shards is not None:
+            # Per-shard rollups (journal counts, replay summaries, cache
+            # counters), merged in when the gateway fronts a cluster
+            # router instead of a single in-process service.
+            snapshot["shards"] = dict(shards)
         return snapshot
 
     # -- internals ------------------------------------------------------- #

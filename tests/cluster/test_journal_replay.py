@@ -1,0 +1,124 @@
+"""Journal-replay edge cases: the shard-restart recovery path (satellite).
+
+Covers the cases the durability bench doesn't isolate: an empty journal, a
+torn final record, replaying a request whose result already committed, and
+a restart under a stale ring (requests for a model this shard never had).
+"""
+
+import json
+
+import pytest
+
+from repro.api.requests import ImputeRequest
+from repro.api.service import ImputationService, ModelStore
+from repro.baselines.simple import MeanImputer
+from repro.cluster.shard import replay_pending
+from repro.cluster.store import DurableStore, SQLiteBackend
+
+
+def _service(store):
+    return ImputationService(store=ModelStore(backend=SQLiteBackend(store)))
+
+
+def _put_mean_model(store, tensor, model_id="m1"):
+    imputer = MeanImputer()
+    imputer.fit(tensor)
+    store.put_model(model_id, imputer, method="mean")
+    return imputer
+
+
+def _journal_serve(store, request_id, model_id="m1"):
+    wire = ImputeRequest(model_id=model_id, request_id=request_id).to_dict()
+    store.journal_request(request_id, model_id, wire)
+
+
+class TestReplayEdgeCases:
+    def test_empty_journal_replays_nothing(self, tmp_path):
+        store = DurableStore(tmp_path)
+        summary = replay_pending(store, _service(store))
+        assert summary == {"pending": 0, "replayed": 0, "deduped": 0,
+                           "stale": 0, "failed": 0}
+        assert store.truncated_records == 0
+        store.close()
+
+    def test_torn_final_record_is_dropped_then_replay_serves_the_rest(
+            self, tmp_path, tiny_tensor):
+        store = DurableStore(tmp_path)
+        _put_mean_model(store, tiny_tensor)
+        _journal_serve(store, "r1")
+        store.close()
+        # SIGKILL mid-append: the final line is half a JSON record.
+        journal = tmp_path / "journal.jsonl"
+        with journal.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"seq": 99, "kind": "request",
+                                     "request_id": "r-torn",
+                                     "model_id": "m1", "wall": 0.0,
+                                     "payload": {}})[:25])
+
+        reopened = DurableStore(tmp_path)
+        assert reopened.truncated_records == 1
+        summary = replay_pending(reopened, _service(reopened))
+        # The torn record never existed; the intact request is served.
+        assert summary["pending"] == 1
+        assert summary["replayed"] == 1
+        assert reopened.get_result("r1") is not None
+        assert reopened.get_result("r-torn") is None
+        reopened.close()
+
+    def test_replay_is_idempotent_over_committed_results(self, tmp_path,
+                                                         tiny_tensor):
+        store = DurableStore(tmp_path)
+        _put_mean_model(store, tiny_tensor)
+        service = _service(store)
+        _journal_serve(store, "r1")
+        _journal_serve(store, "r2")
+        first = replay_pending(store, service)
+        assert first["replayed"] == 2
+
+        # A second replay (double restart) finds nothing pending...
+        assert replay_pending(store, service)["pending"] == 0
+        # ...and even a forced re-serve of an answered request dedupes
+        # through the ledger instead of double-committing.
+        result_before = store.get_result("r1")
+        _journal_serve(store, "r3")
+        store._con.execute("DELETE FROM results WHERE request_id = 'r2'")
+        store._con.commit()
+        summary = replay_pending(store, service)
+        assert summary["pending"] == 2  # r2 (resurrected) + r3
+        assert summary["replayed"] == 2
+        assert store.get_result("r1") == result_before
+        assert store.result_count() == 3
+        store.close()
+
+    def test_stale_ring_requests_are_marked_failed(self, tmp_path,
+                                                   tiny_tensor):
+        store = DurableStore(tmp_path)
+        _put_mean_model(store, tiny_tensor)
+        _journal_serve(store, "r-mine", model_id="m1")
+        # A stale ring routed these to the wrong shard: no such model here.
+        _journal_serve(store, "r-alien-1", model_id="elsewhere")
+        _journal_serve(store, "r-alien-2", model_id="elsewhere")
+
+        summary = replay_pending(store, _service(store))
+        assert summary["replayed"] == 1
+        assert summary["stale"] == 2
+        assert store.get_result("r-alien-1") is None
+        # Marked failed: the next replay must not retry them forever.
+        assert replay_pending(store, _service(store))["pending"] == 0
+        assert store.journal_counts()["failed"] == 2
+        store.close()
+
+    def test_replayed_results_match_direct_serving(self, tmp_path,
+                                                   tiny_tensor):
+        import numpy as np
+
+        store = DurableStore(tmp_path)
+        imputer = _put_mean_model(store, tiny_tensor)
+        _journal_serve(store, "r1")
+        replay_pending(store, _service(store))
+        from repro.api.requests import ImputeResult
+
+        replayed = ImputeResult.from_dict(store.get_result("r1"))
+        direct = imputer.impute(tiny_tensor)
+        np.testing.assert_allclose(replayed.completed.values, direct.values)
+        store.close()

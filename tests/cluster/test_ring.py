@@ -1,0 +1,69 @@
+"""Tests of the consistent-hash ring behind the cluster router."""
+
+import pytest
+
+from repro.cluster.ring import HashRing
+
+
+KEYS = [f"model-{i:03d}" for i in range(200)]
+
+
+class TestHashRing:
+    def test_assignment_is_deterministic(self):
+        first = HashRing(["a", "b", "c"])
+        second = HashRing(["c", "a", "b"])  # insertion order irrelevant
+        for key in KEYS:
+            assert first.assign(key) == second.assign(key)
+
+    def test_every_node_gets_keys(self):
+        ring = HashRing(["a", "b", "c"])
+        owners = {ring.assign(key) for key in KEYS}
+        assert owners == {"a", "b", "c"}
+
+    def test_assignments_groups_every_key_once(self):
+        ring = HashRing(["a", "b"])
+        grouped = ring.assignments(KEYS)
+        flat = [key for keys in grouped.values() for key in keys]
+        assert sorted(flat) == sorted(KEYS)
+
+    def test_join_only_moves_keys_to_the_new_node(self):
+        ring = HashRing(["a", "b", "c"])
+        before = {key: ring.assign(key) for key in KEYS}
+        ring.add("d")
+        moved = 0
+        for key in KEYS:
+            after = ring.assign(key)
+            if after != before[key]:
+                # Consistency: a join may only pull keys onto the joiner.
+                assert after == "d"
+                moved += 1
+        assert 0 < moved < len(KEYS)
+
+    def test_leave_only_moves_the_departed_nodes_keys(self):
+        ring = HashRing(["a", "b", "c"])
+        before = {key: ring.assign(key) for key in KEYS}
+        ring.remove("c")
+        for key in KEYS:
+            if before[key] != "c":
+                assert ring.assign(key) == before[key]
+            else:
+                assert ring.assign(key) in {"a", "b"}
+
+    def test_membership_protocol(self):
+        ring = HashRing(["a"])
+        assert "a" in ring and "b" not in ring
+        assert len(ring) == 1
+        assert ring.nodes == ("a",)
+        with pytest.raises(ValueError):
+            ring.add("a")
+        with pytest.raises(KeyError):
+            ring.remove("missing")
+
+    def test_empty_ring_cannot_assign(self):
+        with pytest.raises(LookupError):
+            HashRing().assign("anything")
+
+    def test_describe_reports_spread(self):
+        description = HashRing(["a", "b"], replicas=8).describe()
+        assert description["replicas"] == 8
+        assert sorted(description["nodes"]) == ["a", "b"]

@@ -113,12 +113,15 @@ def test_forced_miss_falls_back_bit_identical(small_panel):
     small_panel = _incomplete(small_panel)
     imputer = _fit(small_panel)
     reference = _without_fast_path(imputer)
-    # Perturb one observed value: the normalisation stats shift, so every
-    # cell must miss the tables and route through the full forward.
+    # Same-shaped requests adopt the fitted normalisation, so shifting the
+    # global stats no longer forces a miss — per-window content agreement
+    # decides.  Perturbing every observed value of series 0 invalidates
+    # every window of that series: each missing cell either spans a
+    # perturbed window (series 0) or reads series 0 through its sibling
+    # column, so every cell must miss and route through the full forward.
     values = small_panel.values.copy()
-    observed = np.argwhere(small_panel.mask.reshape(values.shape) == 1)
-    row = tuple(observed[0])
-    values[row] += 1.0
+    mask = small_panel.mask.reshape(values.shape)
+    values[0] = np.where(mask[0] == 1, values[0] + 1.0, values[0])
     perturbed = TimeSeriesTensor(values=values,
                                  dimensions=list(small_panel.dimensions),
                                  mask=small_panel.mask.copy(),
@@ -130,6 +133,53 @@ def test_forced_miss_falls_back_bit_identical(small_panel):
     via_reference = reference.impute(perturbed)
     # Bit-identical: the miss path runs exactly today's fused forward.
     assert np.array_equal(via_tables_imputer.values, via_reference.values)
+
+
+def test_widened_hits_survive_global_stat_shift():
+    """Same-shaped traffic with shifted global stats still hits per window.
+
+    Before the per-window widening, *any* request whose observed mean/std
+    differed from the fitted tensor's missed the tables wholesale —
+    sliding-window streaming traffic never hit.  Serving contexts now
+    adopt the fitted normalisation for same-shaped tensors, so a request
+    that changed one window serves every unaffected window from the
+    tables and only the cells reading the changed window pay a forward
+    pass — still bit-identically to table-free serving.
+    """
+    rng = np.random.default_rng(11)
+    n_series, n_time = 4, 200
+    values = rng.normal(size=(n_series, n_time)).cumsum(axis=1)
+    mask = np.ones_like(values)
+    # window=5, max_context_windows=16 (DeepMVIConfig.fast): 40 windows.
+    mask[0, 12] = 0      # series 0, window 2  -> span windows 0..15
+    mask[0, 191] = 0     # series 0, window 38 -> span covers window 39
+    values = np.where(mask == 1, values, np.nan)
+    tensor = TimeSeriesTensor(
+        values=values, dimensions=[Dimension.categorical("s", n_series)],
+        mask=mask, name="stream")
+    imputer = _fit(tensor)
+    reference = _without_fast_path(imputer)
+
+    # New data lands in the final window only (the live-tail shape of
+    # sliding-window traffic); the global stats genuinely shift.
+    arrived = values.copy()
+    arrived[0, 197] += 3.5
+    request = TimeSeriesTensor(
+        values=arrived, dimensions=[Dimension.categorical("s", n_series)],
+        mask=mask.copy(), name="stream-tick")
+    assert float(request.observed_mean_std()[0]) != \
+        float(tensor.observed_mean_std()[0])
+
+    # All-or-nothing fast serving refuses (the tail cell misses) ...
+    assert imputer.try_fast_path([request]) is None
+    # ... but serving splits: the far cell hits, the tail cell forwards.
+    served = imputer.impute(request)
+    info = imputer.last_impute_info[0]
+    assert info["cells"] == 2
+    assert info["fast_path_hits"] == 1
+    assert info["fast_path"] is False
+    full = reference.impute(request)
+    np.testing.assert_allclose(served.values, full.values, atol=TIGHT_TOL)
 
 
 def test_partial_hits_within_one_request():

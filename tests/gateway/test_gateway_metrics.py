@@ -77,3 +77,56 @@ class TestGatewayMetrics:
             lane_depths={"interactive": 2, "batch": 0})
         assert snapshot["model_cache"]["hits"] == 3
         assert snapshot["queue_depth_by_lane"]["interactive"] == 2
+
+    def test_shards_rollup_passthrough(self):
+        snapshot = GatewayMetrics().snapshot(
+            shards={"shard-0": {"alive": True, "results": 7}})
+        assert snapshot["shards"]["shard-0"]["results"] == 7
+        # Absent unless a cluster-backed gateway provides them.
+        assert "shards" not in GatewayMetrics().snapshot()
+
+
+class TestSnapshotConsistency:
+    def test_concurrent_readers_never_see_torn_pairs(self):
+        """Counters copied under one lock: derived rates stay coherent.
+
+        Every completion is fused and fast-path, so any snapshot taken
+        mid-stream must report fusion_rate == fast_path_hit_rate == 1.0
+        exactly whenever completed > 0.  A torn read (fused_completed
+        sampled after a completion, completed sampled before it) would
+        report a rate above 1.0; stale pairs would report below 1.0.
+        """
+        import threading
+
+        metrics = GatewayMetrics()
+        stop = threading.Event()
+        torn = []
+
+        def recorder():
+            while not stop.is_set():
+                metrics.record_submit("interactive")
+                metrics.record_completion(0.001, fused=True, fast_path=True)
+
+        def reader():
+            while not stop.is_set():
+                snapshot = metrics.snapshot()
+                if snapshot["completed"]:
+                    for key in ("fusion_rate", "fast_path_hit_rate"):
+                        if snapshot[key] != 1.0:
+                            torn.append((key, snapshot[key],
+                                         snapshot["completed"]))
+                if snapshot["in_flight"] < 0:
+                    torn.append(("in_flight", snapshot["in_flight"], None))
+
+        threads = [threading.Thread(target=recorder) for _ in range(2)] + \
+                  [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert metrics.snapshot()["completed"] > 0
+        assert torn == []
