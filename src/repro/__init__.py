@@ -42,6 +42,13 @@ organised as:
     :class:`~repro.cluster.ClusterRouter` front door (same
     ``submit()/gather()`` surface as the service), and SQL
     window-function analytics over the request logs.
+``repro.online``
+    Closed-loop online learning: per-stream drift detectors scoring
+    self-masked probe cells, drift-triggered warm-start refits into
+    versioned model lineages (``model_id@version``,
+    :class:`~repro.api.ModelRef`), and a canary controller that
+    shadow-scores each new version before promoting it to ``@latest``
+    (or rolling it back), journalling every transition.
 """
 
 from repro.core.config import DeepMVIConfig
@@ -75,13 +82,17 @@ from repro import gateway
 from repro.gateway import Gateway, GatewayConfig
 from repro import cluster
 from repro.cluster import ClusterRouter
+from repro import online
+from repro.online import OnlineLoop
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "api",
     "cluster",
     "ClusterRouter",
+    "online",
+    "OnlineLoop",
     "gateway",
     "Gateway",
     "GatewayConfig",

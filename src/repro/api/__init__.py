@@ -29,6 +29,7 @@ Methods resolve through the capability-aware plugin registry
 :func:`register_imputer` decorator.
 """
 
+from repro.api.refs import ModelRef, check_model_id
 from repro.api.requests import (
     FitRequest,
     ImputeRequest,
@@ -37,6 +38,8 @@ from repro.api.requests import (
     tensor_to_dict,
 )
 from repro.api.model_cache import LRUModelCache
+from repro.api.telemetry import MetricsSnapshot
+from repro.api.versioning import VersionRegistry
 from repro.api.service import (
     DirectoryBackend,
     ImputationService,
@@ -62,8 +65,12 @@ __all__ = [
     "ImputeResult",
     "LRUModelCache",
     "MethodInfo",
+    "MetricsSnapshot",
+    "ModelRef",
     "ModelStore",
+    "VersionRegistry",
     "as_tensor",
+    "check_model_id",
     "get_registry",
     "impute",
     "list_method_infos",

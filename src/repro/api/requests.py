@@ -12,17 +12,23 @@ from __future__ import annotations
 import dataclasses
 import importlib
 import math
-import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+# model-id validation moved to repro.api.refs with the ModelRef redesign;
+# re-exported here because callers historically imported it from this module
+from repro.api.refs import (  # noqa: F401
+    _MODEL_ID_PATTERN,
+    ModelRef,
+    check_model_id,
+)
 from repro.data.dimensions import Dimension
 from repro.data.tensor import TimeSeriesTensor
 from repro.exceptions import ValidationError
 
-__all__ = ["FitRequest", "ImputeRequest", "ImputeResult",
+__all__ = ["FitRequest", "ImputeRequest", "ImputeResult", "check_model_id",
            "tensor_to_dict", "tensor_from_dict"]
 
 
@@ -85,21 +91,6 @@ def _require_tensor(value, label: str) -> None:
         raise ValidationError(
             f"{label} must be a TimeSeriesTensor, got {type(value).__name__} "
             "(wrap raw arrays with repro.api.as_tensor)")
-
-
-#: model ids become file names inside the model store, so they must not be
-#: able to escape it (no separators, no leading dots)
-_MODEL_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
-
-
-def check_model_id(model_id: str, label: str = "model_id") -> str:
-    """Reject ids that could traverse outside the model store directory."""
-    if not isinstance(model_id, str) or \
-            not _MODEL_ID_PATTERN.fullmatch(model_id):
-        raise ValidationError(
-            f"{label} must match {_MODEL_ID_PATTERN.pattern} (letters, "
-            f"digits, '.', '_', '-'; no path separators), got {model_id!r}")
-    return model_id
 
 
 # ---------------------------------------------------------------------- #
@@ -225,7 +216,13 @@ class ImputeRequest:
     Parameters
     ----------
     model_id:
-        Id returned by :meth:`ImputationService.fit`.
+        Which model to serve with: a :class:`repro.api.ModelRef`
+        (``ModelRef("climate", 2)``, ``ModelRef.latest("climate")``) or a
+        reference string (``"climate"``, ``"climate@2"``,
+        ``"climate@latest"``).  A bare id means ``@latest`` — the exact
+        meaning the legacy ``model_id: str`` convention always had.  The
+        serving façades resolve the ref to a concrete store id before
+        execution.
     data:
         Tensor to complete; ``None`` means "the tensor the model was fitted
         on" (the classic fit/impute flow).
@@ -240,25 +237,35 @@ class ImputeRequest:
         part of the wire encoding.
     """
 
-    model_id: str
+    model_id: Union[str, ModelRef]
     data: Optional[TimeSeriesTensor] = None
     request_id: Optional[str] = None
     enqueued_at: Optional[float] = None
 
+    @property
+    def model_ref(self) -> ModelRef:
+        """The request's model reference as a :class:`ModelRef`."""
+        return ModelRef.parse(self.model_id)
+
     def validate(self) -> "ImputeRequest":
         """Check the request; raises :class:`ValidationError` when invalid."""
-        if not isinstance(self.model_id, str) or not self.model_id.strip():
+        if isinstance(self.model_id, ModelRef):
+            pass  # validated at construction
+        elif not isinstance(self.model_id, str) or not self.model_id.strip():
             raise ValidationError(
-                "ImputeRequest.model_id must be a non-empty string "
-                "(the id returned by ImputationService.fit)")
-        check_model_id(self.model_id, "ImputeRequest.model_id")
+                "ImputeRequest.model_id must be a ModelRef or a non-empty "
+                "string (the id returned by ImputationService.fit)")
+        else:
+            ModelRef.parse(self.model_id)  # raises on malformed references
         if self.data is not None:
             _require_tensor(self.data, "ImputeRequest.data")
         return self
 
     def to_dict(self) -> Dict[str, object]:
+        model_id = self.model_id.wire_id() \
+            if isinstance(self.model_id, ModelRef) else self.model_id
         return {
-            "model_id": self.model_id,
+            "model_id": model_id,
             "data": tensor_to_dict(self.data) if self.data is not None else None,
             "request_id": self.request_id,
         }

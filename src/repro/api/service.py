@@ -34,12 +34,14 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.api.model_cache import LRUModelCache
+from repro.api.refs import ModelRef, warn_bare_model_id
 from repro.api.requests import (
     FitRequest,
     ImputeRequest,
     ImputeResult,
     check_model_id,
 )
+from repro.api.versioning import VersionRegistry
 from repro.baselines.base import BaseImputer
 from repro.baselines.registry import ImputerRegistry, get_registry
 from repro.data.dimensions import Dimension
@@ -78,28 +80,37 @@ def make_imputer(method: str, **method_kwargs) -> BaseImputer:
     return get_registry().create(method, **method_kwargs)
 
 
-def coerce_impute_request(request, model_id: Optional[str] = None,
-                          ) -> ImputeRequest:
+def coerce_impute_request(request, model_id=None) -> ImputeRequest:
     """Normalise the (request | tensor, model_id) calling convention.
 
-    Shared by :class:`ImputationService` and the serving gateway so both
-    front doors accept the same shapes: a validated
-    :class:`~repro.api.requests.ImputeRequest`, or a raw tensor/array plus
-    ``model_id=...`` (``None`` data means "the tensor the model was fitted
-    on").
+    Shared by :class:`ImputationService`, the serving gateway and the
+    cluster router so every front door accepts the same shapes: a
+    validated :class:`~repro.api.requests.ImputeRequest`, or a raw
+    tensor/array plus ``model_id=...`` (``None`` data means "the tensor
+    the model was fitted on").
+
+    ``model_id`` — wherever it appears — may be a
+    :class:`~repro.api.refs.ModelRef` or a legacy string; bare strings
+    still work but draw a :class:`DeprecationWarning` here, once, at the
+    public boundary (internal layers pass refs and stay silent).
     """
     if isinstance(request, ImputeRequest):
-        if model_id is not None and model_id != request.model_id:
+        if model_id is not None and \
+                ModelRef.parse(model_id) != request.model_ref:
             raise ValidationError(
                 f"conflicting model ids: the ImputeRequest names "
                 f"{request.model_id!r} but model_id={model_id!r} was "
                 "also passed")
+        warn_bare_model_id(request.model_id,
+                           where="ImputeRequest.model_id")
         return request.validate()
     if model_id is None:
         raise ValidationError(
             "pass an ImputeRequest, or a tensor together with model_id=...")
+    warn_bare_model_id(model_id, where="model_id=")
     data = as_tensor(request) if request is not None else None
-    return ImputeRequest(model_id=model_id, data=data).validate()
+    return ImputeRequest(model_id=ModelRef.parse(model_id),
+                         data=data).validate()
 
 
 # ---------------------------------------------------------------------- #
@@ -527,6 +538,12 @@ class ImputationService:
         self.registry = registry or get_registry()
         self.store = store or ModelStore(store_dir,
                                          max_cached_models=max_cached_models)
+        #: model version lineages (refits, canary candidates, ``@latest``
+        #: pointers); journaled next to the artifacts when the store is
+        #: directory-backed so rollout history replays across restarts
+        journal = self.store.directory / "model_versions.jsonl" \
+            if self.store.directory is not None else None
+        self.versions = VersionRegistry(journal_path=journal)
         self.workers = workers
         self._pending: List[ImputeRequest] = []
         self._model_counter = itertools.count(1)
@@ -583,11 +600,65 @@ class ImputationService:
                                **kwargs_by_method.get(name.lower(), {}))
                 for name in methods}
 
+    # -- versioning ----------------------------------------------------- #
+    def resolve_ref(self, ref) -> str:
+        """Concrete store id for a :class:`ModelRef` (or legacy string).
+
+        ``@latest`` follows the lineage's serving pointer; models that were
+        never refitted resolve to their bare id, bit-identically to
+        pre-versioning behaviour.
+        """
+        return self.versions.resolve(ModelRef.parse(ref))
+
+    def _resolve_request(self, request: ImputeRequest) -> ImputeRequest:
+        """Pin a request to the concrete store id its ref resolves to."""
+        concrete = self.versions.resolve(request.model_ref)
+        if request.model_id != concrete:
+            request = dataclasses.replace(request, model_id=concrete)
+        return request
+
+    def refit(self, model, data: TensorLike, reason: str = "") -> ModelRef:
+        """Warm-start retrain a lineage on fresh data; returns the new ref.
+
+        Clones the currently *serving* imputer (same hyperparameters,
+        fitted state discarded), fits it on ``data``, and stores it as the
+        lineage's next version — the current version keeps serving
+        ``@latest`` untouched until a canary promotes the newcomer
+        (:mod:`repro.online`).  The new artifact is stamped with refit
+        provenance (base lineage, version, what it was cloned from).
+        """
+        ref = ModelRef.parse(model)
+        base = ref.model_id
+        current_id = self.versions.resolve(ModelRef.latest(base))
+        current = self.store.get(current_id)
+        fresh = current.clone()
+        start = time.perf_counter()
+        fresh.fit(as_tensor(data))
+        elapsed = time.perf_counter() - start
+        new_ref = self.versions.register(base)
+        concrete = self.versions.concrete_for(new_ref)
+        method = self.store.method_for(current_id)
+        self.store.put(concrete, fresh, method=method)
+        self.fit_seconds[concrete] = elapsed
+        self.fit_counts[concrete] = self.fit_counts.get(concrete, 0) + 1
+        path = self.store.path(concrete)
+        if path is not None:
+            from repro.engine.artifacts import annotate_artifact
+
+            annotate_artifact(path, {
+                "base_model": base,
+                "version": new_ref.version,
+                "refit_of": current_id,
+                "reason": reason,
+            })
+        return new_ref
+
     # -- synchronous serving -------------------------------------------- #
     def impute(self, request: Union[ImputeRequest, TensorLike] = None,
                model_id: Optional[str] = None) -> ImputeResult:
         """Serve one request immediately with an already-fitted model."""
-        request = self._coerce_request(request, model_id)
+        request = self._resolve_request(
+            self._coerce_request(request, model_id))
         imputer = self.store.get(request.model_id)
         # Auto-ids stay local: the caller's request object is never mutated.
         request_id = request.request_id
@@ -610,7 +681,8 @@ class ImputationService:
     def submit(self, request: Union[ImputeRequest, TensorLike] = None,
                model_id: Optional[str] = None) -> str:
         """Queue a request for the next :meth:`gather`; returns its id."""
-        request = self._coerce_request(request, model_id)
+        request = self._resolve_request(
+            self._coerce_request(request, model_id))
         if request.model_id not in self.store:
             raise ServiceError(
                 f"unknown model id {request.model_id!r}; fit() a model first")
@@ -689,7 +761,7 @@ class ImputationService:
         return ordered
 
     # -- fast-path lifecycle -------------------------------------------- #
-    def refresh_fast_path(self, model_id: str,
+    def refresh_fast_path(self, model_id,
                           background: bool = False) -> Dict[str, object]:
         """Rebuild a stored model's fast-path lookup tables.
 
@@ -697,9 +769,11 @@ class ImputationService:
         hitting fresh tables.  With ``background=True`` the build runs in
         the imputer's daemon thread and serving continues meanwhile; the
         synchronous form also re-persists the artifact so a cold-started
-        store serves fast immediately.  Returns the model's fast-path
-        telemetry snapshot.
+        store serves fast immediately.  Accepts a :class:`ModelRef` or a
+        concrete/legacy model id.  Returns the model's fast-path telemetry
+        snapshot.
         """
+        model_id = self.resolve_ref(model_id)
         imputer = self.store.get(model_id)
         refresh = getattr(imputer, "refresh_fast_path", None)
         if not callable(refresh):
@@ -731,6 +805,7 @@ class ImputationService:
             else None,
             "model_cache": self.store.cache_stats(),
             "fast_path": self.store.fast_path_stats(),
+            "versions": self.versions.describe(),
         }
 
     # -- internals ------------------------------------------------------ #

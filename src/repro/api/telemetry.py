@@ -1,0 +1,136 @@
+"""Unified serving telemetry: :class:`MetricsSnapshot`.
+
+Before this module, the gateway, the streaming service and the cluster
+router each returned their own ad-hoc dict from ``stats()`` /
+``analytics()``.  The canary controller needs one typed surface it can
+consume regardless of which tier produced the numbers, so all three now
+return a :class:`MetricsSnapshot`.
+
+Wire compatibility is non-negotiable: existing call sites index the
+gateway snapshot like a dict (``stats["qps"]``, ``"shards" not in
+stats``) and serialise it with ``json.dumps``.  ``MetricsSnapshot``
+therefore implements the full :class:`collections.abc.Mapping` protocol
+over exactly the key set :meth:`to_dict` produces — the same keys, in
+the same cases, as the legacy dicts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["MetricsSnapshot", "rate"]
+
+
+def rate(numerator: float, denominator: float) -> float:
+    """A ratio that is 0.0 (not an exception, not NaN) on a cold counter.
+
+    Every rate in a snapshot — fusion rate, fast-path hit rate, QPS-style
+    per-denominator numbers — funnels through this so a snapshot taken
+    before any traffic arrives is all zeros instead of a crash.
+    """
+    if not denominator:
+        return 0.0
+    return numerator / denominator
+
+
+@dataclass
+class MetricsSnapshot(Mapping):
+    """One typed telemetry snapshot shared by gateway, streaming, cluster.
+
+    Core fields mirror the historical ``Gateway.stats()`` dict keys;
+    tier-specific structures (``shards`` rollups, model-cache counters,
+    fast-path tables) are optional and appear in :meth:`to_dict` only when
+    set — preserving ``"shards" not in snapshot`` semantics for sources
+    that don't provide them.  Anything that doesn't generalise across
+    tiers (per-stream tables, drift counters, analytics trends) rides in
+    ``extras`` and is merged flat into the dict form, again matching the
+    legacy wire keys.
+    """
+
+    source: str = "gateway"
+    uptime_seconds: float = 0.0
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    expired: int = 0
+    in_flight: int = 0
+    qps: float = 0.0
+    latency_p50_seconds: float = 0.0
+    latency_p95_seconds: float = 0.0
+    latency_p99_seconds: float = 0.0
+    fusion_rate: float = 0.0
+    fast_path_hit_rate: float = 0.0
+    batches: int = 0
+    mean_batch_size: float = 0.0
+    queue_depth: int = 0
+    submitted_by_lane: Optional[Dict[str, int]] = None
+    queue_depth_by_lane: Optional[Dict[str, int]] = None
+    model_cache: Optional[Dict[str, Any]] = None
+    fast_path: Optional[Dict[str, Any]] = None
+    shards: Optional[Dict[str, Any]] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    #: keys always present in the dict form, in legacy emission order.
+    _CORE_KEYS = (
+        "uptime_seconds", "submitted", "submitted_by_lane", "completed",
+        "failed", "rejected", "expired", "in_flight", "qps",
+        "latency_p50_seconds", "latency_p95_seconds", "latency_p99_seconds",
+        "fusion_rate", "fast_path_hit_rate", "batches", "mean_batch_size",
+        "queue_depth",
+    )
+    #: keys present only when their field is not None.
+    _OPTIONAL_KEYS = ("queue_depth_by_lane", "model_cache", "fast_path",
+                      "shards")
+
+    # -- wire form ------------------------------------------------------- #
+    def to_dict(self) -> Dict[str, Any]:
+        """The legacy dict, key-for-key.
+
+        ``submitted_by_lane`` is a core gateway key (always emitted, as
+        ``{}`` when unset) while the other structured fields stay
+        optional — that is exactly the historical behaviour.
+        """
+        out: Dict[str, Any] = {}
+        for key in self._CORE_KEYS:
+            value = getattr(self, key)
+            if key == "submitted_by_lane" and value is None:
+                value = {}
+            out[key] = value
+        for key in self._OPTIONAL_KEYS:
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        out.update(self.extras)
+        return out
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    # -- Mapping protocol (legacy dict ergonomics) ----------------------- #
+    def __getitem__(self, key: str) -> Any:
+        return self.to_dict()[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.to_dict())
+
+    def __len__(self) -> int:
+        return len(self.to_dict())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.to_dict()
+
+    def keys(self):
+        return self.to_dict().keys()
+
+    def values(self):
+        return self.to_dict().values()
+
+    def items(self):
+        return self.to_dict().items()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.to_dict().get(key, default)

@@ -1,0 +1,264 @@
+"""Model version lineages: registry, journal, ``@latest`` resolution.
+
+A *lineage* is everything a base model id ever was: version 1 is the
+original fit (stored under the bare id, so legacy stores need no
+migration), each refit registers version ``n`` under the concrete store
+id ``"{base}.v{n}"``.  One version is *serving* (what ``@latest``
+resolves to); at most one other is the *candidate* being shadow-served
+by the canary controller.
+
+Every transition — ``register``, ``shadow``, ``promote``, ``rollback`` —
+is journaled exactly once, in memory and (when a journal path is given)
+as one JSON line appended to disk, so the whole rollout history replays
+on restart: a registry pointed at an existing journal reconstructs
+lineages, serving pointers and in-flight candidates from the log alone.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.api.refs import LATEST, ModelRef, check_model_id
+from repro.exceptions import ServiceError, ValidationError
+
+__all__ = ["VersionRegistry", "concrete_id_for"]
+
+
+def concrete_id_for(base_id: str, version: int) -> str:
+    """Store id for a lineage version: bare id for v1, ``base.vN`` after.
+
+    Version 1 keeps the bare id so lineages layer over existing stores
+    without rewriting artifacts; later versions stay inside the model-id
+    grammar (``@`` is ref syntax and illegal in store ids).
+    """
+    check_model_id(base_id, "base_id")
+    if version == 1:
+        return base_id
+    return f"{base_id}.v{version}"
+
+
+class VersionRegistry:
+    """Tracks model lineages and journals every rollout transition.
+
+    Thread-safe; the gateway worker pool, the streaming loop and the
+    canary controller all consult it concurrently.  Models never
+    registered here resolve as single-version lineages (``@latest`` and
+    ``@1`` → the bare id), so untracked legacy serving is bit-identical
+    to pre-versioning behaviour.
+    """
+
+    _EVENTS = ("register", "shadow", "promote", "rollback")
+
+    def __init__(self, journal_path: Optional[Union[str, Path]] = None):
+        self._lock = threading.RLock()
+        # base_id -> {"versions": {int: concrete_id},
+        #             "serving": int, "candidate": Optional[int]}
+        self._lineages: Dict[str, Dict[str, Any]] = {}
+        self._journal: List[Dict[str, Any]] = []
+        self._journal_path = Path(journal_path) if journal_path else None
+        if self._journal_path is not None and self._journal_path.exists():
+            self._replay(self._journal_path)
+
+    # -- journal --------------------------------------------------------- #
+    def _record(self, event: str, base_id: str, version: int,
+                **details: Any) -> None:
+        entry = {"event": event, "model_id": base_id, "version": version}
+        if details:
+            entry.update(details)
+        self._journal.append(entry)
+        if self._journal_path is not None:
+            self._journal_path.parent.mkdir(parents=True, exist_ok=True)
+            with self._journal_path.open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def _replay(self, path: Path) -> None:
+        """Rebuild lineage state from a journal written by a prior run."""
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    f"corrupt version journal {path} line {lineno}: "
+                    f"{exc}") from exc
+            event = entry.get("event")
+            if event not in self._EVENTS:
+                raise ServiceError(
+                    f"unknown event {event!r} in version journal {path} "
+                    f"line {lineno}")
+            self._apply(event, entry["model_id"], int(entry["version"]))
+            self._journal.append(entry)
+
+    def _apply(self, event: str, base_id: str, version: int) -> None:
+        """State transition shared by live calls and journal replay."""
+        lineage = self._lineages.setdefault(
+            base_id, {"versions": {}, "serving": 1, "candidate": None,
+                      "retired": set()})
+        retired = lineage.setdefault("retired", set())
+        if event == "register":
+            lineage["versions"][version] = concrete_id_for(base_id, version)
+        elif event == "shadow":
+            lineage["candidate"] = version
+        elif event == "promote":
+            lineage["serving"] = version
+            retired.discard(version)
+            if lineage["candidate"] == version:
+                lineage["candidate"] = None
+        elif event == "rollback":
+            # A rolled-back version is *retired*: its artifact may have been
+            # discarded, so serving must never fall back onto it later.
+            retired.add(version)
+            if lineage["candidate"] == version:
+                lineage["candidate"] = None
+            if lineage["serving"] == version:
+                # demote to the highest live registered version below this
+                # one (flap support: promote → regress → rollback).
+                fallback = [v for v in lineage["versions"]
+                            if v < version and v not in retired]
+                lineage["serving"] = max(fallback) if fallback else 1
+
+    # -- lineage lifecycle ----------------------------------------------- #
+    def track(self, base_id: str) -> None:
+        """Start a lineage at version 1 = the existing bare-id model."""
+        check_model_id(base_id, "base_id")
+        with self._lock:
+            if base_id not in self._lineages:
+                self._lineages[base_id] = {
+                    "versions": {1: base_id}, "serving": 1,
+                    "candidate": None, "retired": set()}
+                self._record("register", base_id, 1)
+
+    def register(self, base_id: str) -> ModelRef:
+        """Allocate the next version for ``base_id``; returns its pinned ref.
+
+        The caller stores the fitted model under
+        ``concrete_for(returned_ref)`` — registration only claims the
+        version number and journals it.
+        """
+        with self._lock:
+            self.track(base_id)
+            lineage = self._lineages[base_id]
+            version = max(lineage["versions"]) + 1
+            self._apply("register", base_id, version)
+            self._record("register", base_id, version)
+            return ModelRef(base_id, version)
+
+    def stage(self, ref: ModelRef) -> None:
+        """Mark ``ref`` as the shadow-serving candidate for its lineage."""
+        with self._lock:
+            lineage = self._require(ref)
+            if ref.version not in lineage["versions"]:
+                raise ServiceError(
+                    f"cannot shadow unregistered version {ref}")
+            self._apply("shadow", ref.model_id, int(ref.version))
+            self._record("shadow", ref.model_id, int(ref.version))
+
+    def promote(self, ref: ModelRef) -> None:
+        """Make ``ref`` what ``@latest`` resolves to."""
+        with self._lock:
+            lineage = self._require(ref)
+            if ref.version not in lineage["versions"]:
+                raise ServiceError(
+                    f"cannot promote unregistered version {ref}")
+            self._apply("promote", ref.model_id, int(ref.version))
+            self._record("promote", ref.model_id, int(ref.version))
+
+    def rollback(self, ref: ModelRef, reason: str = "") -> None:
+        """Retire ``ref``: drop it as candidate, or demote it if serving."""
+        with self._lock:
+            self._require(ref)
+            self._apply("rollback", ref.model_id, int(ref.version))
+            details = {"reason": reason} if reason else {}
+            self._record("rollback", ref.model_id, int(ref.version),
+                         **details)
+
+    # -- resolution ------------------------------------------------------ #
+    def resolve(self, ref: ModelRef) -> str:
+        """Concrete store id for ``ref``.
+
+        Untracked lineages resolve ``@latest``/``@1`` to the bare id —
+        identity for every pre-versioning model — and reject pinned
+        versions above 1.
+        """
+        with self._lock:
+            lineage = self._lineages.get(ref.model_id)
+            if lineage is None:
+                if ref.version in (LATEST, 1):
+                    return ref.model_id
+                raise ServiceError(
+                    f"unknown model version {ref}: lineage "
+                    f"{ref.model_id!r} is not versioned")
+            version = lineage["serving"] if ref.version == LATEST \
+                else ref.version
+            concrete = lineage["versions"].get(version)
+            if concrete is None:
+                raise ServiceError(
+                    f"unknown model version {ref.model_id}@{version} "
+                    f"(registered: {sorted(lineage['versions'])})")
+            return concrete
+
+    def concrete_for(self, ref: ModelRef) -> str:
+        """Store id a *pinned* ref maps to (no serving indirection)."""
+        if ref.version == LATEST:
+            raise ValidationError(
+                "concrete_for requires a pinned ref, got @latest")
+        return concrete_id_for(ref.model_id, int(ref.version))
+
+    # -- introspection --------------------------------------------------- #
+    def serving_version(self, base_id: str) -> int:
+        with self._lock:
+            lineage = self._lineages.get(base_id)
+            return 1 if lineage is None else lineage["serving"]
+
+    def candidate_version(self, base_id: str) -> Optional[int]:
+        with self._lock:
+            lineage = self._lineages.get(base_id)
+            return None if lineage is None else lineage["candidate"]
+
+    def versions(self, base_id: str) -> List[int]:
+        with self._lock:
+            lineage = self._lineages.get(base_id)
+            return [1] if lineage is None else sorted(lineage["versions"])
+
+    def is_tracked(self, base_id: str) -> bool:
+        with self._lock:
+            return base_id in self._lineages
+
+    def history(self, base_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Journal entries, oldest first (optionally one lineage's)."""
+        with self._lock:
+            if base_id is None:
+                return [dict(e) for e in self._journal]
+            return [dict(e) for e in self._journal
+                    if e["model_id"] == base_id]
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                base: {
+                    "versions": sorted(lineage["versions"]),
+                    "serving": lineage["serving"],
+                    "candidate": lineage["candidate"],
+                    "retired": sorted(lineage.get("retired", ())),
+                }
+                for base, lineage in sorted(self._lineages.items())
+            }
+
+    # -- helpers --------------------------------------------------------- #
+    def _require(self, ref: ModelRef) -> Dict[str, Any]:
+        if ref.version == LATEST:
+            raise ValidationError(
+                "lifecycle transitions require a pinned ref, got "
+                f"{ref}")
+        lineage = self._lineages.get(ref.model_id)
+        if lineage is None:
+            raise ServiceError(
+                f"unknown lineage {ref.model_id!r}; register a version "
+                "first")
+        return lineage

@@ -40,7 +40,12 @@ from repro.baselines.cdrec import CDRecImputer
 from repro.baselines.dynammo import DynaMMoImputer
 from repro.baselines.gpvae import GPVAEImputer
 from repro.baselines.mrnn import MRNNImputer
-from repro.baselines.simple import LinearInterpolationImputer, LOCFImputer, MeanImputer
+from repro.baselines.simple import (
+    FittedMeanImputer,
+    LinearInterpolationImputer,
+    LOCFImputer,
+    MeanImputer,
+)
 from repro.baselines.stmvl import STMVLImputer
 from repro.baselines.svd import SoftImputeImputer, SVDImputer, SVTImputer
 from repro.baselines.tkcm import TKCMImputer
@@ -219,6 +224,11 @@ def register_imputer(name: str, **capabilities) -> Callable:
 _CONVENTIONAL = [
     MethodInfo("mean", MeanImputer, tags=("streaming", "simple",),
                display_name="Mean", summary="per-series mean fill"),
+    MethodInfo("fitted-mean", FittedMeanImputer,
+               tags=("streaming", "simple", "online"),
+               display_name="FittedMean", variant_of="mean",
+               summary="per-series mean learned at fit time "
+                       "(drift-sensitive)"),
     MethodInfo("interpolation", LinearInterpolationImputer, tags=("streaming", "simple",),
                display_name="LinearInterp",
                summary="linear interpolation along time"),

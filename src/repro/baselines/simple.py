@@ -8,13 +8,18 @@ methods.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.baselines.base import (
+    BaseImputer,
     MatrixImputer,
     fill_with_interpolation,
     fill_with_row_means,
 )
+from repro.data.tensor import TimeSeriesTensor
+from repro.exceptions import NotFittedError, ShapeError
 
 
 class MeanImputer(MatrixImputer):
@@ -25,6 +30,49 @@ class MeanImputer(MatrixImputer):
 
     def _impute_matrix(self, matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
         return fill_with_row_means(matrix, mask)
+
+
+class FittedMeanImputer(BaseImputer):
+    """Per-series mean fill *learned at fit time* rather than per request.
+
+    :class:`MeanImputer` recomputes its means from every request tensor, so
+    two models fitted on different data give identical answers — useless for
+    exercising model versioning.  This variant snapshots the observed
+    per-series means during :meth:`fit` and serves those for every later
+    :meth:`impute`, which makes its quality genuinely degrade when the
+    stream drifts away from the training distribution and recover after a
+    warm-start refit.  The online control loop's tests and the drift
+    benchmark rely on exactly that sensitivity.
+    """
+
+    name = "FittedMean"
+    _fitted_attributes = ("_fitted_tensor", "_series_means")
+
+    def fit(self, tensor: TimeSeriesTensor) -> "FittedMeanImputer":
+        matrix, mask = tensor.to_matrix()
+        means = np.zeros(matrix.shape[0], dtype=float)
+        for row in range(matrix.shape[0]):
+            observed = mask[row] == 1
+            if observed.any():
+                means[row] = matrix[row, observed].mean()
+        self._series_means = np.nan_to_num(means, nan=0.0)
+        self._fitted_tensor = tensor
+        return self
+
+    def impute(self, tensor: Optional[TimeSeriesTensor] = None) -> TimeSeriesTensor:
+        means = getattr(self, "_series_means", None)
+        if means is None:
+            raise NotFittedError("call fit() before impute()")
+        if tensor is None:
+            tensor = self._fitted_tensor
+        matrix, mask = tensor.to_matrix()
+        if matrix.shape[0] != means.shape[0]:
+            raise ShapeError(
+                f"FittedMean was fitted on {means.shape[0]} series but the "
+                f"request has {matrix.shape[0]}")
+        completed = np.where(mask == 1, matrix, means[:, None])
+        completed = np.nan_to_num(completed, nan=0.0)
+        return tensor.fill(completed.reshape(tensor.values.shape))
 
 
 class LinearInterpolationImputer(MatrixImputer):

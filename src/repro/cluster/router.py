@@ -23,14 +23,18 @@ durable log rather than in-process counters.
 
 from __future__ import annotations
 
+import dataclasses
 import socket
 import time
 import uuid
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.api.refs import ModelRef
 from repro.api.requests import FitRequest, ImputeRequest, ImputeResult
 from repro.api.service import TensorLike, as_tensor, coerce_impute_request
+from repro.api.telemetry import MetricsSnapshot
+from repro.api.versioning import VersionRegistry
 from repro.cluster.ring import HashRing
 from repro.cluster.shard import (
     ShardHandle,
@@ -233,6 +237,11 @@ class ClusterRouter:
         self.last_deduped = 0
         #: [{shard, seconds}] for every auto/explicit restart
         self.recoveries: List[Dict[str, object]] = []
+        #: version lineages for models served through this router; the
+        #: journal lives at the cluster root so a restarted router
+        #: replays serving pointers and in-flight candidates
+        self.versions = VersionRegistry(
+            journal_path=self.directory / "model_versions.jsonl")
         self._store = ClusterModelStore(self)
         if start:
             for name in self.shard_names:
@@ -386,10 +395,27 @@ class ClusterRouter:
     def store(self) -> ClusterModelStore:
         return self._store
 
-    def submit(self, request=None, model_id: Optional[str] = None,
+    def resolve_ref(self, ref) -> str:
+        """Concrete model id a :class:`ModelRef` (or string) serves as."""
+        return self.versions.resolve(ModelRef.parse(ref))
+
+    def _resolve_request(self, request: ImputeRequest) -> ImputeRequest:
+        """Pin a request to its concrete model id before it hits the wire.
+
+        Refs are router-side state: shards only ever see concrete,
+        pattern-legal model ids (``@`` never crosses the socket), and the
+        ring placement keys on the resolved id.
+        """
+        concrete = self.versions.resolve(request.model_ref)
+        if request.model_id != concrete:
+            request = dataclasses.replace(request, model_id=concrete)
+        return request
+
+    def submit(self, request=None, model_id=None,
                deadline_ms: Optional[float] = None) -> str:
         """Queue one request for the next :meth:`gather`; returns its id."""
-        request = coerce_impute_request(request, model_id)
+        request = self._resolve_request(
+            coerce_impute_request(request, model_id))
         if request.model_id not in self._store:
             raise ServiceError(
                 f"unknown model id {request.model_id!r}; fit() a model "
@@ -461,10 +487,11 @@ class ClusterRouter:
             raise error
         return ordered
 
-    def impute(self, request=None, model_id: Optional[str] = None,
+    def impute(self, request=None, model_id=None,
                deadline_ms: Optional[float] = None) -> ImputeResult:
         """Serve one request immediately (no queueing)."""
-        request = coerce_impute_request(request, model_id)
+        request = self._resolve_request(
+            coerce_impute_request(request, model_id))
         results = self._serve_remote(
             request.model_id,
             [request.data],
@@ -557,15 +584,40 @@ class ClusterRouter:
             "auto_restart": self.auto_restart,
         }
 
-    def analytics(self, bucket_seconds: float = 1.0) -> Dict[str, object]:
+    def analytics(self, bucket_seconds: float = 1.0) -> MetricsSnapshot:
         """SQL window-function analytics over every shard's journal.
 
         Reads the shards' SQLite files directly (they may be mid-restart
         or even dead — the durable log still answers), unioning the
         journals with ``ATTACH`` so one query set covers the cluster:
         p99-over-time, per-model QPS, fusion-rate trend.
+
+        Returns the shared :class:`~repro.api.telemetry.MetricsSnapshot`
+        surface: the journal-wide rollup (completions, QPS over the
+        journal's wall-clock span, p50/p95/p99, fusion and fast-path
+        rates) fills the typed fields, while the historical analytics
+        keys (``p99_over_time``, ``per_model_qps``, ``fusion_trend``,
+        ``bucket_seconds``, ``shards``, ``overall``) remain addressable
+        through the snapshot's Mapping interface.
         """
         paths = [(name, str(self._shard_dir(name) / DB_FILENAME))
                  for name in self.shard_names
                  if (self._shard_dir(name) / DB_FILENAME).exists()]
-        return cluster_analytics(paths, bucket_seconds=bucket_seconds)
+        report = cluster_analytics(paths, bucket_seconds=bucket_seconds)
+        overall = report["overall"]
+        return MetricsSnapshot(
+            source="cluster",
+            uptime_seconds=overall["duration_seconds"],
+            submitted=overall["completions"],
+            completed=overall["completions"],
+            qps=overall["qps"],
+            latency_p50_seconds=overall["latency_p50_seconds"],
+            latency_p95_seconds=overall["latency_p95_seconds"],
+            latency_p99_seconds=overall["latency_p99_seconds"],
+            fusion_rate=overall["fusion_rate"],
+            fast_path_hit_rate=overall["fast_path_hit_rate"],
+            extras={key: report[key]
+                    for key in ("bucket_seconds", "overall", "p99_over_time",
+                                "per_model_qps", "fusion_trend", "shards")
+                    if key in report},
+        )

@@ -497,6 +497,36 @@ def run_analytics(con: sqlite3.Connection, table: str,
                COUNT(*) OVER (PARTITION BY model_id, bucket) AS completions
         FROM completions ORDER BY model_id, bucket
         """, (bucket_seconds,)).fetchall()
+    # Whole-journal rollup: the cluster-level MetricsSnapshot is built
+    # from this row.  Aggregates over zero result rows come back NULL,
+    # so every field is guarded — a freshly created cluster reports
+    # zeros, not NaNs (the same cold-snapshot contract as the gateway).
+    count, wall_min, wall_max, fused_avg, fast_avg = con.execute(
+        f"SELECT COUNT(*), MIN(wall), MAX(wall), AVG(fused), "
+        f"AVG(fast_path) FROM ({base})").fetchone()
+    p50_all, p95_all, p99_all = con.execute(
+        f"""
+        WITH ranked AS (
+            SELECT latency_seconds,
+                   CUME_DIST() OVER (ORDER BY latency_seconds) AS cd
+            FROM ({base})
+        )
+        SELECT MIN(CASE WHEN cd >= 0.50 THEN latency_seconds END),
+               MIN(CASE WHEN cd >= 0.95 THEN latency_seconds END),
+               MIN(CASE WHEN cd >= 0.99 THEN latency_seconds END)
+        FROM ranked
+        """).fetchone()
+    span = (wall_max - wall_min) if count and wall_max is not None else 0.0
+    overall = {
+        "completions": int(count or 0),
+        "duration_seconds": float(span),
+        "qps": (count / span) if span > 0 else 0.0,
+        "latency_p50_seconds": float(p50_all or 0.0),
+        "latency_p95_seconds": float(p95_all or 0.0),
+        "latency_p99_seconds": float(p99_all or 0.0),
+        "fusion_rate": float(fused_avg or 0.0),
+        "fast_path_hit_rate": float(fast_avg or 0.0),
+    }
     fusion_rows = con.execute(
         f"""
         WITH flags AS (
@@ -515,6 +545,7 @@ def run_analytics(con: sqlite3.Connection, table: str,
         """).fetchall()
     return {
         "bucket_seconds": float(bucket_seconds),
+        "overall": overall,
         "p99_over_time": [
             {"bucket": int(bucket), "p99_seconds": p99,
              "completions": int(count)}

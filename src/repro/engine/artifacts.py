@@ -180,6 +180,34 @@ def load_imputer(path: Union[str, os.PathLike]) -> BaseImputer:
 
 
 # ---------------------------------------------------------------------- #
+# artifact metadata (refit provenance, annotations)
+# ---------------------------------------------------------------------- #
+def annotate_artifact(path: Union[str, os.PathLike],
+                      metadata: Dict[str, object]) -> None:
+    """Merge ``metadata`` into an artifact's manifest.
+
+    Stored under the manifest's ``"metadata"`` key and ignored by
+    :func:`load_imputer` (the imputer state is untouched), so annotations
+    are free-form provenance: the online-learning refit loop stamps
+    ``{"base_model", "version", "refit_of", "reason"}`` on every new model
+    version.  Values must be JSON-serialisable.
+    """
+    manifest_path = Path(path) / MANIFEST_FILENAME
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    merged = dict(manifest.get("metadata") or {})
+    merged.update(metadata)
+    manifest["metadata"] = merged
+    manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+
+
+def artifact_metadata(path: Union[str, os.PathLike]) -> Dict[str, object]:
+    """Annotations previously attached with :func:`annotate_artifact`."""
+    manifest_path = Path(path) / MANIFEST_FILENAME
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    return dict(manifest.get("metadata") or {})
+
+
+# ---------------------------------------------------------------------- #
 # byte-blob round trip (for stores and sockets)
 # ---------------------------------------------------------------------- #
 def dump_imputer_bytes(imputer: BaseImputer) -> bytes:

@@ -225,6 +225,35 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="shard state directory (default: a temp dir "
                               "removed on exit)")
 
+    online = subparsers.add_parser(
+        "online-bench", help="drift a stream mid-replay and compare a "
+                             "static model against the closed online "
+                             "loop (drift-triggered refits + canary)")
+    online.add_argument("--dataset", required=True, choices=list_datasets())
+    online.add_argument("--scenario", default="mcar",
+                        choices=list_scenarios())
+    online.add_argument("--method", default="fitted-mean",
+                        help="imputation method; must learn from its fit "
+                             "data for refits to matter (default: "
+                             "fitted-mean)")
+    online.add_argument("--size", default="tiny",
+                        choices=["tiny", "small", "default"])
+    online.add_argument("--window", type=int, default=16,
+                        help="stream window length in time steps")
+    online.add_argument("--shift", type=float, default=6.0,
+                        help="mid-stream level shift, in multiples of the "
+                             "observed std (the injected drift)")
+    online.add_argument("--budget", type=float, default=2.0,
+                        help="rolling-NRMSE drift budget of the watcher")
+    online.add_argument("--block-size", type=int, default=10)
+    online.add_argument("--incomplete-fraction", type=float, default=1.0)
+    online.add_argument("--seed", type=int, default=0)
+    online.add_argument("--store-dir", default=None,
+                        help="model-store directory (default: a temp dir "
+                             "removed on exit)")
+    online.add_argument("--quiet", action="store_true",
+                        help="print only the summary, not per-window rows")
+
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's experiments")
     experiment.add_argument("experiment_id", choices=list_experiments())
@@ -515,6 +544,134 @@ def _command_cluster_bench(args: argparse.Namespace) -> int:
             return 0 if ok else 1
 
 
+def _command_online_bench(args: argparse.Namespace) -> int:
+    """Static model vs the closed online loop on a mid-stream level shift.
+
+    Both arms replay the *same* drifting stream from the same fitted
+    model and are scored on the same deterministic probe cells; the
+    online arm additionally runs :class:`repro.online.OnlineLoop`
+    (drift detection → warm-start refit → canary promote/rollback).
+    The journal is checked for exactly-once transition recording.
+    """
+    import tempfile
+    import warnings
+
+    import numpy as np
+
+    from repro.api.refs import ModelRef
+    from repro.data.tensor import TimeSeriesTensor
+    from repro.evaluation.metrics import nrmse
+    from repro.online import CanaryConfig, DriftConfig, DriftDetector, \
+        OnlineLoop
+    from repro.streaming import StreamingService, WindowedStream
+
+    truth = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    scenario = _scenario_from_args(args)
+    incomplete, _ = apply_scenario(truth, scenario, seed=args.seed)
+    window = max(4, min(args.window, incomplete.n_time // 4))
+
+    # Inject the drift: a level shift on the second half of the timeline.
+    _, observed_std = incomplete.observed_mean_std()
+    half = incomplete.n_time // 2
+    values = incomplete.values.copy()
+    values[..., half:] += args.shift * (observed_std or 1.0)
+    drifting = TimeSeriesTensor(values=values,
+                                dimensions=list(incomplete.dimensions),
+                                mask=incomplete.mask.copy(),
+                                name=f"{incomplete.name}-drifting")
+    head = drifting.slice_time(0, half)
+    windows = list(WindowedStream.from_tensor(drifting, window_size=window,
+                                              stride=window))
+    post_shift = [w.index for w in windows if w.start >= half]
+
+    drift_config = DriftConfig(nrmse_budget=args.budget, rolling_windows=2,
+                               baseline_windows=2, cooldown_windows=2,
+                               seed=args.seed)
+    canary_config = CanaryConfig(min_shadow_samples=2, max_shadow_windows=8)
+
+    def run_arm(online: bool, store_dir: str):
+        svc = StreamingService(store_dir=store_dir)
+        model = svc.service.fit(head, method=args.method,
+                                model_id="online-bench")
+        svc.open_stream("online-bench", warm_start=ModelRef.latest(model),
+                        refit_every=0)
+        loop = OnlineLoop(svc, drift=drift_config, canary=canary_config)
+        if online:
+            loop.watch("online-bench")
+        # Both arms are scored on identical probe cells (same stream id,
+        # seed and window indices → same hidden mask), against whatever
+        # model @latest resolves to after each step.
+        scorer = DriftDetector("online-bench", drift_config)
+        scores = {}
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for w in windows:
+                loop.push("online-bench", w)
+                loop.step()
+                probe = scorer.make_probe(w)
+                if probe is None:
+                    continue
+                probe_tensor, hidden = probe
+                result = svc.service.impute(
+                    ImputeRequest(model_id=ModelRef.latest("online-bench"),
+                                  data=probe_tensor))
+                scores[w.index] = nrmse(result.completed, w.tensor,
+                                        mask=hidden)
+        return svc, loop, scores
+
+    with tempfile.TemporaryDirectory() as scratch:
+        base = args.store_dir or scratch
+        _, _, static_scores = run_arm(False, f"{base}/static")
+        svc, loop, online_scores = run_arm(True, f"{base}/online")
+
+        def post_mean(scores):
+            vals = [scores[i] for i in post_shift
+                    if i in scores and np.isfinite(scores[i])]
+            return float(np.mean(vals)) if vals else float("nan")
+
+        static_nrmse = post_mean(static_scores)
+        online_nrmse = post_mean(online_scores)
+        gain = static_nrmse / online_nrmse if online_nrmse > 0 else \
+            float("nan")
+
+        if not args.quiet:
+            print(f"\n{'window':>6} {'static':>8} {'online':>8}")
+            for w in windows:
+                s = static_scores.get(w.index)
+                o = online_scores.get(w.index)
+                mark = " <- drift" if w.index == post_shift[0] else ""
+                print(f"{w.index:>6} "
+                      f"{s if s is not None else float('nan'):>8.3f} "
+                      f"{o if o is not None else float('nan'):>8.3f}{mark}")
+
+        journal = svc.service.versions.history("online-bench")
+        unique = {(e["event"], e["version"]) for e in journal}
+        exactly_once = len(unique) == len(journal)
+        snap = loop.snapshot()
+        print(f"\n[online] {args.dataset!r} + {args.shift:g} sigma shift at "
+              f"t={half} ({len(windows)} windows of {window}, "
+              f"method={args.method!r})")
+        print(f"\n{'metric':<28} value")
+        print("-" * 42)
+        for label, value in [
+                ("post-drift NRMSE (static)", f"{static_nrmse:.4f}"),
+                ("post-drift NRMSE (online)", f"{online_nrmse:.4f}"),
+                ("drift gain (static/online)", f"{gain:.2f}x"),
+                ("drift events", str(snap.extras["drift_events"])),
+                ("refits", str(snap.extras["loop_refits"])),
+                ("promotions", str(snap.extras["promotions"])),
+                ("rollbacks", str(snap.extras["rollbacks"])),
+                ("journal transitions", str(len(journal))),
+                ("journalled exactly once",
+                 "yes" if exactly_once else "NO")]:
+            print(f"{label:<28} {value}")
+        if not exactly_once:
+            print("[online] ERROR: duplicate journal transitions",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+
 def _command_stream(args: argparse.Namespace) -> int:
     """Replay a dataset as a stream; per-window MAE + overall windows/sec."""
     from repro.streaming import replay
@@ -618,6 +775,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_gateway_bench(args)
     if args.command == "cluster-bench":
         return _command_cluster_bench(args)
+    if args.command == "online-bench":
+        return _command_online_bench(args)
     if args.command == "run":
         return _command_run(args)
     if args.command in ("experiment", "resume"):

@@ -54,6 +54,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.api.requests import ImputeRequest, ImputeResult
+from repro.api.telemetry import MetricsSnapshot
 from repro.api.service import (
     ImputationService,
     ServingBatch,
@@ -257,7 +258,7 @@ class Gateway:
         self.close()
 
     # -- producers ------------------------------------------------------- #
-    def submit(self, request=None, model_id: Optional[str] = None,
+    def submit(self, request=None, model_id=None,
                priority: str = "interactive",
                deadline_ms: Optional[float] = None,
                timeout: Optional[float] = None) -> GatewayFuture:
@@ -265,7 +266,8 @@ class Gateway:
 
         Accepts the same shapes as :meth:`ImputationService.impute`: an
         :class:`~repro.api.requests.ImputeRequest`, or a tensor/array plus
-        ``model_id=...``.  ``priority`` picks the lane (``"interactive"``
+        ``model_id=...`` (a :class:`~repro.api.refs.ModelRef` or a legacy
+        string).  ``priority`` picks the lane (``"interactive"``
         or ``"batch"``); ``deadline_ms`` bounds how long the request may
         wait in the queue (falling back to the config default); under the
         ``"block"`` admission policy ``timeout`` bounds how long this call
@@ -279,6 +281,15 @@ class Gateway:
             raise ValidationError(
                 f"unknown priority {priority!r}; lanes: " + ", ".join(LANES))
         request = coerce_impute_request(request, model_id)
+        # Resolve a ModelRef (or "m@2" string) to its concrete store id at
+        # the front door: batching groups, model locks and the fast lane
+        # all key on concrete ids, and ``@latest`` must pin to whatever
+        # the lineage serves *now*, not at some later dispatch time.
+        resolver = getattr(self.service, "resolve_ref", None)
+        if callable(resolver):
+            concrete = resolver(request.model_ref)
+            if request.model_id != concrete:
+                request = dataclasses.replace(request, model_id=concrete)
         if request.model_id not in self.service.store:
             raise ServiceError(
                 f"unknown model id {request.model_id!r}; fit() it on the "
@@ -335,10 +346,13 @@ class Gateway:
         """Whether the worker pool is serving (futures can resolve)."""
         return self._started
 
-    def stats(self) -> Dict[str, object]:
+    def stats(self) -> MetricsSnapshot:
         """Serving telemetry snapshot (see :mod:`repro.gateway.metrics`).
 
-        Includes ``fast_path_hit_rate`` (fraction of completions served
+        Returns a typed :class:`~repro.api.telemetry.MetricsSnapshot` that
+        still behaves exactly like the historical dict (same keys, full
+        Mapping protocol).  Includes ``fast_path_hit_rate`` (fraction of
+        completions served
         entirely from lookup tables) and per-model ``fast_path`` table
         provenance: build seconds, size, staleness age.  When the wrapped
         service is a cluster router (anything exposing ``shard_stats()``),

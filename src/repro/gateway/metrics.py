@@ -30,6 +30,8 @@ import time
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
+from repro.api.telemetry import MetricsSnapshot, rate
+
 __all__ = ["GatewayMetrics", "percentile"]
 
 
@@ -119,8 +121,13 @@ class GatewayMetrics:
                  model_cache: Optional[Dict[str, object]] = None,
                  fast_path: Optional[Dict[str, object]] = None,
                  shards: Optional[Dict[str, Dict[str, object]]] = None,
-                 ) -> Dict[str, object]:
-        """Render the current serving picture as plain JSON-able values.
+                 ) -> MetricsSnapshot:
+        """Render the current serving picture as a :class:`MetricsSnapshot`.
+
+        The snapshot object behaves like the historical dict (full Mapping
+        protocol, identical keys) while exposing typed fields to consumers
+        such as the canary controller.  Rates are zero — never NaN, never a
+        ZeroDivisionError — on a cold gateway (:func:`repro.api.telemetry.rate`).
 
         The snapshot is **consistent**: every counter and reservoir is
         copied inside one short critical section, so a concurrent soak
@@ -147,43 +154,38 @@ class GatewayMetrics:
         uptime = max(now - self._started_at, 1e-9)
         window = min(self.qps_window_seconds, uptime)
         submitted_total = sum(submitted_by_lane.values())
-        snapshot: Dict[str, object] = {
-            "uptime_seconds": uptime,
-            "submitted": submitted_total,
-            "submitted_by_lane": submitted_by_lane,
-            "completed": completed,
-            "failed": failed,
-            "rejected": rejected,
-            "expired": expired,
-            "in_flight": max(
+        return MetricsSnapshot(
+            source="gateway",
+            uptime_seconds=uptime,
+            submitted=submitted_total,
+            submitted_by_lane=submitted_by_lane,
+            completed=completed,
+            failed=failed,
+            rejected=rejected,
+            expired=expired,
+            in_flight=max(
                 submitted_total - completed - failed - expired, 0),
-            "qps": window_completions / window,
-            "latency_p50_seconds": percentile(latencies, 50.0),
-            "latency_p95_seconds": percentile(latencies, 95.0),
-            "latency_p99_seconds": percentile(latencies, 99.0),
-            "fusion_rate": (fused_completed / completed
-                            if completed else 0.0),
-            "fast_path_hit_rate": (fast_path_completed / completed
-                                   if completed else 0.0),
-            "batches": batches,
-            "mean_batch_size": (batch_size_sum / batches
-                                if batches else 0.0),
-            "queue_depth": queue_depth,
-        }
-        if lane_depths is not None:
-            snapshot["queue_depth_by_lane"] = dict(lane_depths)
-        if model_cache is not None:
-            snapshot["model_cache"] = dict(model_cache)
-        if fast_path is not None:
+            qps=rate(window_completions, window),
+            latency_p50_seconds=percentile(latencies, 50.0),
+            latency_p95_seconds=percentile(latencies, 95.0),
+            latency_p99_seconds=percentile(latencies, 99.0),
+            fusion_rate=rate(fused_completed, completed),
+            fast_path_hit_rate=rate(fast_path_completed, completed),
+            batches=batches,
+            mean_batch_size=rate(batch_size_sum, batches),
+            queue_depth=queue_depth,
+            queue_depth_by_lane=dict(lane_depths)
+            if lane_depths is not None else None,
             # Per-model table provenance (build seconds, staleness age),
             # merged in by the gateway from the model store.
-            snapshot["fast_path"] = dict(fast_path)
-        if shards is not None:
+            model_cache=dict(model_cache)
+            if model_cache is not None else None,
+            fast_path=dict(fast_path) if fast_path is not None else None,
             # Per-shard rollups (journal counts, replay summaries, cache
             # counters), merged in when the gateway fronts a cluster
             # router instead of a single in-process service.
-            snapshot["shards"] = dict(shards)
-        return snapshot
+            shards=dict(shards) if shards is not None else None,
+        )
 
     # -- internals ------------------------------------------------------- #
     def _prune_locked(self, now: float) -> None:

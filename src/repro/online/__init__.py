@@ -1,0 +1,29 @@
+"""Closed-loop online learning over the serving tier.
+
+This package closes the quality loop the serving stack was missing:
+models were fitted once and served forever, silently rotting as streams
+drifted.  Now every watched stream self-scores its serving model on
+probe cells (:mod:`~repro.online.drift`), a broken NRMSE budget triggers
+a warm-start refit into the lineage's next *version*
+(:class:`~repro.api.VersionRegistry`), and the newcomer must earn
+``@latest`` through a shadow-scored canary rollout
+(:mod:`~repro.online.canary`) — promoted when it meets the SLO, rolled
+back when it regresses, every transition journalled for replay.
+
+Entry point: :class:`OnlineLoop` (:mod:`repro.online.loop`).
+"""
+
+from repro.online.canary import CanaryConfig, CanaryController, CanaryDecision
+from repro.online.drift import DriftConfig, DriftDetector, DriftEvent
+from repro.online.loop import OnlineLoop, OnlineReport
+
+__all__ = [
+    "CanaryConfig",
+    "CanaryController",
+    "CanaryDecision",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftEvent",
+    "OnlineLoop",
+    "OnlineReport",
+]

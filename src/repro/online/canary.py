@@ -1,0 +1,319 @@
+"""Canary rollout: shadow-score a candidate version, promote or roll back.
+
+A drift-triggered refit produces a *candidate* version that must not
+serve live traffic until it has proven itself.  :class:`CanaryController`
+owns that protocol over a :class:`~repro.api.versioning.VersionRegistry`:
+
+* :meth:`begin` stages the candidate (journalled as a ``shadow`` event);
+* the control loop shadow-serves a configurable slice of the stream's
+  probe traffic with the pinned candidate ref — recorded via
+  :meth:`record`, never returned to callers;
+* :meth:`evaluate` promotes once the candidate meets the quality SLO
+  (``@latest`` flips atomically in the registry), or rolls it back when
+  it is clearly worse / its shadow window is exhausted;
+* a fresh promotion stays on *probation* for a few windows —
+  :meth:`handle_drift` converts a drift event during probation into a
+  rollback of the promotion instead of yet another refit, which is what
+  makes a version flap (promote → regress → rollback) converge.
+
+Every transition is journalled exactly once by the registry, so the
+whole rollout history replays on restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.api.refs import ModelRef
+from repro.api.versioning import VersionRegistry
+from repro.exceptions import ServiceError, ValidationError
+
+__all__ = ["CanaryConfig", "CanaryController", "CanaryDecision"]
+
+
+@dataclass(frozen=True)
+class CanaryConfig:
+    """Quality SLO and traffic-slice knobs of the canary protocol.
+
+    Parameters
+    ----------
+    shadow_fraction:
+        Fraction of the watched stream's probe windows that are also
+        shadow-served by the candidate (1.0 = every probe window).
+    min_shadow_samples:
+        Paired candidate/primary scores required before a verdict.
+    slo_nrmse:
+        Absolute quality bar: the candidate's mean shadow NRMSE must not
+        exceed this to be promoted.  ``None`` disables the absolute bar
+        (the relative one still applies).
+    max_regression:
+        Relative bar: the candidate's mean must be at most
+        ``max_regression`` times the primary's mean over the same probes.
+    max_shadow_windows:
+        Hard cap on the shadow phase; a candidate that has not been
+        promoted by then is rolled back.
+    probation_windows:
+        After a promotion, a drift event within this many windows is
+        checked against the promoted candidate's shadow score; a genuine
+        regression rolls the promotion back instead of triggering
+        another refit.
+    probation_regression:
+        A drift event during probation counts as a regression of the
+        promotion when its rolling NRMSE exceeds ``probation_regression``
+        times the candidate's shadow NRMSE at promotion time.  Drift that
+        merely shows the promotion *helped but not enough* (the stream is
+        still moving) falls through to a fresh refit instead.
+    discard_rolled_back:
+        Drop a rolled-back candidate's artifact from the model store
+        (when the controller was given one), keeping stores bounded.
+    """
+
+    shadow_fraction: float = 1.0
+    min_shadow_samples: int = 4
+    slo_nrmse: Optional[float] = None
+    max_regression: float = 1.05
+    max_shadow_windows: int = 16
+    probation_windows: int = 8
+    probation_regression: float = 1.5
+    discard_rolled_back: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.shadow_fraction <= 1.0:
+            raise ValidationError(
+                f"shadow_fraction must be in (0, 1], got "
+                f"{self.shadow_fraction}")
+        if self.min_shadow_samples < 1:
+            raise ValidationError(
+                f"min_shadow_samples must be >= 1, got "
+                f"{self.min_shadow_samples}")
+        if self.max_shadow_windows < self.min_shadow_samples:
+            raise ValidationError(
+                f"max_shadow_windows ({self.max_shadow_windows}) must be >= "
+                f"min_shadow_samples ({self.min_shadow_samples})")
+        if self.max_regression <= 0:
+            raise ValidationError(
+                f"max_regression must be > 0, got {self.max_regression}")
+        if self.slo_nrmse is not None and self.slo_nrmse <= 0:
+            raise ValidationError(
+                f"slo_nrmse must be > 0 or None, got {self.slo_nrmse}")
+        if self.probation_windows < 0:
+            raise ValidationError(
+                f"probation_windows must be >= 0, got "
+                f"{self.probation_windows}")
+        if self.probation_regression < 1.0:
+            raise ValidationError(
+                f"probation_regression must be >= 1, got "
+                f"{self.probation_regression}")
+
+
+@dataclass(frozen=True)
+class CanaryDecision:
+    """Outcome of one canary evaluation."""
+
+    #: ``"promote"`` or ``"rollback"``
+    action: str
+    ref: ModelRef
+    reason: str
+    candidate_nrmse: Optional[float] = None
+    primary_nrmse: Optional[float] = None
+
+
+@dataclass
+class _CanaryState:
+    """In-flight shadow phase of one lineage's candidate."""
+
+    ref: ModelRef
+    candidate_scores: List[float] = field(default_factory=list)
+    primary_scores: List[float] = field(default_factory=list)
+    windows_seen: int = 0
+    shadow_count: int = 0
+
+
+class CanaryController:
+    """Shadow/promote/rollback state machine over a version registry."""
+
+    def __init__(self, registry: VersionRegistry,
+                 config: Optional[CanaryConfig] = None,
+                 store=None) -> None:
+        self.registry = registry
+        self.config = config or CanaryConfig()
+        #: model store rolled-back candidates are discarded from (optional)
+        self.store = store
+        self._active: Dict[str, _CanaryState] = {}
+        # base -> [ref, windows_left, shadow_nrmse_at_promotion]
+        self._probation: Dict[str, List] = {}
+        self.decisions: List[CanaryDecision] = []
+
+    # -- lifecycle -------------------------------------------------------- #
+    def begin(self, ref: ModelRef) -> None:
+        """Stage ``ref`` as its lineage's shadow-serving candidate."""
+        if not ref.pinned:
+            raise ValidationError(
+                f"a canary candidate must be a pinned ref, got {ref}")
+        if ref.model_id in self._active:
+            raise ServiceError(
+                f"lineage {ref.model_id!r} already has candidate "
+                f"{self._active[ref.model_id].ref} in shadow")
+        self.registry.stage(ref)
+        self._active[ref.model_id] = _CanaryState(ref=ref)
+
+    def active(self, base_id: str) -> Optional[ModelRef]:
+        """The candidate currently shadow-serving for ``base_id``, if any."""
+        state = self._active.get(base_id)
+        return None if state is None else state.ref
+
+    def should_shadow(self, base_id: str) -> bool:
+        """Whether the next probe window is part of the shadow slice.
+
+        Deterministic thinning: with ``shadow_fraction = f`` every
+        ``round(1/f)``-ish window shadows, with no RNG so replays take
+        identical decisions.
+        """
+        state = self._active.get(base_id)
+        if state is None:
+            return False
+        state.shadow_count += 1
+        f = self.config.shadow_fraction
+        return int(state.shadow_count * f) > int((state.shadow_count - 1) * f)
+
+    def record(self, base_id: str, candidate_score: float,
+               primary_score: float) -> None:
+        """Log one paired shadow observation for the lineage's candidate."""
+        state = self._state(base_id)
+        if candidate_score is not None and np.isfinite(candidate_score):
+            state.candidate_scores.append(float(candidate_score))
+            if primary_score is not None and np.isfinite(primary_score):
+                state.primary_scores.append(float(primary_score))
+
+    def note_window(self, base_id: str) -> None:
+        """Advance per-window clocks (shadow cap, probation countdown)."""
+        state = self._active.get(base_id)
+        if state is not None:
+            state.windows_seen += 1
+        probation = self._probation.get(base_id)
+        if probation is not None:
+            probation[1] -= 1
+            if probation[1] <= 0:
+                del self._probation[base_id]
+
+    # -- verdicts --------------------------------------------------------- #
+    def evaluate(self, base_id: str) -> Optional[CanaryDecision]:
+        """Promote/rollback verdict for the lineage's candidate, if due."""
+        state = self._active.get(base_id)
+        if state is None:
+            return None
+        n = len(state.candidate_scores)
+        if n >= self.config.min_shadow_samples:
+            cand = float(np.mean(state.candidate_scores))
+            prim = float(np.mean(state.primary_scores)) \
+                if state.primary_scores else None
+            meets_slo = self.config.slo_nrmse is None or \
+                cand <= self.config.slo_nrmse
+            no_regression = prim is None or \
+                cand <= prim * self.config.max_regression
+            if meets_slo and no_regression:
+                return self._promote(state, cand, prim)
+            if prim is not None and \
+                    cand > prim * max(2.0, 2.0 * self.config.max_regression):
+                # Clearly worse than what already serves: no point burning
+                # the rest of the shadow window.
+                return self._rollback(
+                    state, cand, prim,
+                    reason=f"candidate NRMSE {cand:.4f} is more than twice "
+                           f"the primary's {prim:.4f}")
+        if state.windows_seen >= self.config.max_shadow_windows:
+            cand = float(np.mean(state.candidate_scores)) if n else None
+            prim = float(np.mean(state.primary_scores)) \
+                if state.primary_scores else None
+            return self._rollback(
+                state, cand, prim,
+                reason=f"shadow window exhausted after "
+                       f"{state.windows_seen} windows without meeting the "
+                       "SLO")
+        return None
+
+    def handle_drift(self, base_id: str,
+                     rolling_nrmse: Optional[float] = None,
+                     ) -> Optional[CanaryDecision]:
+        """Drift during probation ⇒ roll a *regressed* promotion back.
+
+        Returns ``None`` when the lineage is not on probation, or when the
+        drifted score is still in line with what the candidate shadowed at
+        (the promotion helped, the stream just kept moving) — in both
+        cases the caller should treat the drift normally and refit a new
+        candidate.
+        """
+        probation = self._probation.get(base_id)
+        if probation is None:
+            return None
+        ref, _, shadow_nrmse = probation
+        del self._probation[base_id]
+        if rolling_nrmse is not None and shadow_nrmse is not None and \
+                rolling_nrmse <= shadow_nrmse * self.config.probation_regression:
+            return None
+        reason = ("post-promotion regression: rolling NRMSE "
+                  f"{rolling_nrmse if rolling_nrmse is not None else float('nan'):.4f} "
+                  f"vs {shadow_nrmse if shadow_nrmse is not None else float('nan'):.4f} "
+                  "shadowed at promotion")
+        self.registry.rollback(ref, reason=reason)
+        decision = CanaryDecision(action="rollback", ref=ref, reason=reason)
+        self.decisions.append(decision)
+        self._discard(ref)
+        return decision
+
+    # -- internals -------------------------------------------------------- #
+    def _promote(self, state: _CanaryState, cand: float,
+                 prim: Optional[float]) -> CanaryDecision:
+        self.registry.promote(state.ref)
+        del self._active[state.ref.model_id]
+        if self.config.probation_windows > 0:
+            self._probation[state.ref.model_id] = [
+                state.ref, self.config.probation_windows, cand]
+        decision = CanaryDecision(
+            action="promote", ref=state.ref,
+            reason=f"candidate NRMSE {cand:.4f} meets the SLO",
+            candidate_nrmse=cand, primary_nrmse=prim)
+        self.decisions.append(decision)
+        return decision
+
+    def _rollback(self, state: _CanaryState, cand: Optional[float],
+                  prim: Optional[float], reason: str) -> CanaryDecision:
+        self.registry.rollback(state.ref, reason=reason)
+        del self._active[state.ref.model_id]
+        decision = CanaryDecision(
+            action="rollback", ref=state.ref, reason=reason,
+            candidate_nrmse=cand, primary_nrmse=prim)
+        self.decisions.append(decision)
+        self._discard(state.ref)
+        return decision
+
+    def _discard(self, ref: ModelRef) -> None:
+        if self.store is None or not self.config.discard_rolled_back:
+            return
+        # Never drop an id the lineage still resolves to (the rollback may
+        # have demoted to it, or the registry may still serve it).
+        concrete = self.registry.concrete_for(ref)
+        serving = self.registry.resolve(ModelRef.latest(ref.model_id))
+        if concrete != serving:
+            self.store.discard(concrete)
+
+    def _state(self, base_id: str) -> _CanaryState:
+        state = self._active.get(base_id)
+        if state is None:
+            raise ServiceError(
+                f"lineage {base_id!r} has no candidate in shadow")
+        return state
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "active": {base: str(state.ref)
+                       for base, state in sorted(self._active.items())},
+            "probation": {base: {"ref": str(p[0]), "windows_left": p[1]}
+                          for base, p in sorted(self._probation.items())},
+            "decisions": [
+                {"action": d.action, "ref": str(d.ref), "reason": d.reason}
+                for d in self.decisions],
+        }

@@ -1,0 +1,230 @@
+"""Per-stream drift detection by self-masked probe scoring.
+
+The serving layer has no ground truth for live traffic, so drift is
+measured the same way the paper evaluates imputation quality offline:
+hide a few cells we *do* observe, let the serving model fill them back
+in, and score the reconstruction with NRMSE.  :class:`DriftDetector`
+builds one such *probe* per window (deterministically — the hidden cells
+are a pure function of stream id, window index and seed, so replays
+score identically), keeps a rolling window of probe scores, and emits a
+:class:`DriftEvent` when the rolling mean breaks the configured NRMSE
+budget or degrades by a factor over the stream's own early baseline.
+
+Probes are side traffic: the stream's real windows are served untouched,
+so an undrifted stream's results stay bit-identical whether or not it is
+being watched.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.data.tensor import TimeSeriesTensor
+from repro.exceptions import ValidationError
+from repro.streaming.windows import StreamWindow
+
+__all__ = ["DriftConfig", "DriftDetector", "DriftEvent"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Knobs of one stream's drift detector.
+
+    Parameters
+    ----------
+    probe_fraction:
+        Fraction of each window's *observed* cells (per series) that the
+        probe hides for self-scoring.  Every series always keeps at least
+        one observed cell, so probes never create an all-missing series.
+    min_probe_cells:
+        Windows whose probe would hide fewer cells than this are skipped
+        (too sparse to score meaningfully — e.g. mostly-missing windows).
+    rolling_windows:
+        Probe scores are averaged over this many recent windows before
+        being compared against the budget; a single noisy window cannot
+        trigger a refit.
+    nrmse_budget:
+        Absolute quality SLO: a rolling mean above this emits a
+        :class:`DriftEvent` with ``reason="budget"``.
+    degradation_factor:
+        Relative trigger: once a baseline exists, a rolling mean above
+        ``degradation_factor * baseline`` emits an event with
+        ``reason="degradation"`` even while still inside the absolute
+        budget.
+    baseline_windows:
+        How many initial probe scores form the stream's healthy baseline.
+    cooldown_windows:
+        After an event (or a detector reset on promotion) this many
+        further scores are observed without triggering, giving the refit
+        and canary time to act instead of re-firing every window.
+    seed:
+        Probe-mask RNG seed (combined with the stream id and window
+        index, so distinct streams and windows hide different cells).
+    """
+
+    probe_fraction: float = 0.2
+    min_probe_cells: int = 4
+    rolling_windows: int = 4
+    nrmse_budget: float = 0.5
+    degradation_factor: float = 3.0
+    baseline_windows: int = 4
+    cooldown_windows: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probe_fraction <= 1.0:
+            raise ValidationError(
+                f"probe_fraction must be in (0, 1], got {self.probe_fraction}")
+        for name in ("min_probe_cells", "rolling_windows", "baseline_windows"):
+            if getattr(self, name) < 1:
+                raise ValidationError(
+                    f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.cooldown_windows < 0:
+            raise ValidationError(
+                f"cooldown_windows must be >= 0, got {self.cooldown_windows}")
+        if self.nrmse_budget <= 0:
+            raise ValidationError(
+                f"nrmse_budget must be > 0, got {self.nrmse_budget}")
+        if self.degradation_factor <= 1.0:
+            raise ValidationError(
+                "degradation_factor must be > 1 (a factor of 1 would "
+                f"re-trigger on noise), got {self.degradation_factor}")
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One budget violation: the control loop's refit trigger."""
+
+    stream_id: str
+    window_index: int
+    score: float
+    rolling_mean: float
+    budget: float
+    baseline: Optional[float]
+    #: ``"budget"`` (absolute SLO broken) or ``"degradation"``
+    #: (relative-to-baseline collapse)
+    reason: str
+
+    def describe(self) -> str:
+        return (f"drift on {self.stream_id!r} at window {self.window_index}: "
+                f"rolling NRMSE {self.rolling_mean:.4f} ({self.reason}, "
+                f"budget {self.budget:.4f})")
+
+
+class DriftDetector:
+    """Rolling probe-score monitor for one stream.
+
+    The loop drives it in two phases per window: :meth:`make_probe`
+    produces the self-masked tensor to serve, :meth:`observe` folds the
+    resulting NRMSE into the rolling state and returns a
+    :class:`DriftEvent` when a trigger fires.
+    """
+
+    def __init__(self, stream_id: str,
+                 config: Optional[DriftConfig] = None) -> None:
+        self.stream_id = stream_id
+        self.config = config or DriftConfig()
+        self._scores: Deque[float] = deque(
+            maxlen=self.config.rolling_windows)
+        self._baseline_scores: List[float] = []
+        self._cooldown = 0
+        self.windows_observed = 0
+        self.probes_made = 0
+        self.events: List[DriftEvent] = []
+
+    # -- probe construction --------------------------------------------- #
+    def make_probe(self, window: Union[StreamWindow, TimeSeriesTensor],
+                   index: Optional[int] = None,
+                   ) -> Optional[Tuple[TimeSeriesTensor, np.ndarray]]:
+        """Self-masked copy of ``window`` plus the mask of hidden cells.
+
+        Hides ``probe_fraction`` of each series' observed cells (always
+        leaving at least one observed per series, so no imputer is handed
+        an all-missing series it never saw at fit time).  Returns ``None``
+        when the window is too sparse to probe — an all-missing window,
+        or one whose hideable cells fall below ``min_probe_cells``.
+        """
+        if isinstance(window, StreamWindow):
+            tensor = window.tensor
+            index = window.index if index is None else index
+        else:
+            tensor = window
+            index = 0 if index is None else index
+        rng = np.random.default_rng(
+            (self.config.seed, zlib.crc32(self.stream_id.encode("utf-8")),
+             int(index)))
+        _, mask = tensor.to_matrix()
+        hidden = np.zeros_like(mask)
+        for row in range(mask.shape[0]):
+            observed = np.flatnonzero(mask[row] == 1)
+            if observed.size < 2:
+                continue  # keep the lone observation (or skip empty rows)
+            n_hide = int(round(self.config.probe_fraction * observed.size))
+            n_hide = min(max(n_hide, 1), observed.size - 1)
+            hidden[row, rng.choice(observed, size=n_hide, replace=False)] = 1.0
+        if hidden.sum() < self.config.min_probe_cells:
+            return None
+        hidden = hidden.reshape(tensor.values.shape)
+        self.probes_made += 1
+        return tensor.with_missing(hidden), hidden
+
+    # -- scoring --------------------------------------------------------- #
+    @property
+    def baseline(self) -> Optional[float]:
+        """Mean of the stream's first healthy probe scores, once known."""
+        if len(self._baseline_scores) < self.config.baseline_windows:
+            return None
+        return float(np.mean(self._baseline_scores))
+
+    def observe(self, window_index: int,
+                score: float) -> Optional[DriftEvent]:
+        """Fold one probe score in; returns the event if a trigger fires.
+
+        NaN scores (degenerate probes) are ignored.  During cooldown the
+        score still updates the rolling state but cannot trigger.
+        """
+        if score is None or not np.isfinite(score):
+            return None
+        self.windows_observed += 1
+        if len(self._baseline_scores) < self.config.baseline_windows:
+            self._baseline_scores.append(float(score))
+        self._scores.append(float(score))
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+        if len(self._scores) < self.config.rolling_windows:
+            return None
+        rolling = float(np.mean(self._scores))
+        baseline = self.baseline
+        reason = None
+        if rolling > self.config.nrmse_budget:
+            reason = "budget"
+        elif baseline is not None and baseline > 0 and \
+                rolling > self.config.degradation_factor * baseline:
+            reason = "degradation"
+        if reason is None:
+            return None
+        event = DriftEvent(
+            stream_id=self.stream_id, window_index=window_index,
+            score=float(score), rolling_mean=rolling,
+            budget=self.config.nrmse_budget, baseline=baseline,
+            reason=reason)
+        self.events.append(event)
+        self._cooldown = self.config.cooldown_windows
+        self._scores.clear()
+        return event
+
+    def reset(self) -> None:
+        """Re-arm after a model change (promotion or rollback).
+
+        Clears the rolling scores — they measured the previous model —
+        and starts a cooldown so the new model gets a grace period; the
+        healthy baseline is kept, it describes the stream, not the model.
+        """
+        self._scores.clear()
+        self._cooldown = self.config.cooldown_windows

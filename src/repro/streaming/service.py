@@ -37,12 +37,17 @@ or, for finite replays, simply ``svc.run({"plant-a": stream_a, ...})``.
 
 from __future__ import annotations
 
+import time
 import warnings
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Union
+from typing import Deque, Dict, Iterable, Iterator, List, Mapping, Optional, \
+    Union
 
+from repro.api.refs import ModelRef, warn_bare_model_id
 from repro.api.requests import ImputeRequest, check_model_id
 from repro.api.service import ImputationService
+from repro.api.telemetry import MetricsSnapshot, rate
 from repro.baselines.registry import ImputerRegistry, get_registry
 from repro.data.tensor import TimeSeriesTensor
 from repro.exceptions import ServiceError, ValidationError
@@ -143,18 +148,29 @@ class StreamingService:
         self.default_refit_every = default_refit_every
         self.default_max_history = default_max_history
         self._streams: Dict[str, StreamState] = {}
+        # telemetry behind stats(): window outcomes across every stream
+        self._started_at = time.perf_counter()
+        self._completed = 0
+        self._failed = 0
+        self._fused_completed = 0
+        self._fast_path_completed = 0
+        self._latencies: Deque[float] = deque(maxlen=4096)
 
     # -- stream lifecycle ----------------------------------------------- #
     def open_stream(self, stream_id: str, method: Optional[str] = None,
                     refit_every: Optional[int] = None,
                     max_history: Union[int, None, object] = _UNSET,
-                    warm_start: Optional[str] = None,
+                    warm_start=None,
                     **method_kwargs) -> StreamState:
         """Register a stream; returns its (mutable) state record.
 
-        ``warm_start`` names a model id already in the wrapped service's
-        store: the stream serves from it immediately instead of fitting on
-        its first window (combine with ``refit_every=0`` to never refit).
+        ``warm_start`` names a model already in the wrapped service's
+        store — a :class:`~repro.api.refs.ModelRef` or a (deprecated)
+        legacy id string: the stream serves from it immediately instead of
+        fitting on its first window (combine with ``refit_every=0`` to
+        never refit).  A floating ref (``ModelRef.latest``/bare id) keeps
+        following the lineage's serving pointer, so a canary promotion
+        reroutes the stream's traffic to the new version.
         ``method`` defaults to the warm-start model's recorded method (so
         incremental refits keep training the same model family), or to
         ``"interpolation"`` for cold streams.  ``max_history=None`` keeps
@@ -172,13 +188,26 @@ class StreamingService:
                 raise ValidationError(
                     f"stream {stream_id!r} is already open")
             self._evict_owned_model(existing)
-        if warm_start is not None and warm_start not in self.service.store:
-            raise ServiceError(
-                f"warm-start model {warm_start!r} is not in the service "
-                "store; fit() it first or pass a store_dir that has it")
+        warm_concrete = None
+        if warm_start is not None:
+            warn_bare_model_id(warm_start,
+                               where="open_stream(warm_start=...)",
+                               stacklevel=3)
+            warm_ref = ModelRef.parse(warm_start)
+            warm_concrete = self.service.resolve_ref(warm_ref)
+            if warm_concrete not in self.service.store:
+                raise ServiceError(
+                    f"warm-start model {warm_start!r} is not in the service "
+                    "store; fit() it first or pass a store_dir that has it")
+            # Floating refs keep the stream on the lineage's *base* id so
+            # every step re-resolves ``@latest`` (a canary promotion
+            # reroutes traffic); pinned refs freeze the concrete version.
+            if not warm_ref.pinned:
+                warm_concrete = warm_ref.model_id
         if method is None:
-            method = (self.service.store.method_for(warm_start)
-                      if warm_start is not None else None) or "interpolation"
+            method = (self.service.store.method_for(
+                self.service.resolve_ref(warm_concrete))
+                if warm_concrete is not None else None) or "interpolation"
         info = self.registry.info(method)
         if "streaming" not in info.tags:
             warnings.warn(
@@ -197,7 +226,7 @@ class StreamingService:
             stream_id=stream_id, method=info.name,
             method_kwargs=dict(method_kwargs), refit_every=refit_every,
             history=HistoryBuffer(max_history=max_history),
-            model_id=warm_start,
+            model_id=warm_concrete,
         )
         self._streams[stream_id] = state
         return state
@@ -219,6 +248,47 @@ class StreamingService:
                         for sid, state in sorted(self._streams.items())},
             "service": self.service.describe(),
         }
+
+    def stats(self) -> MetricsSnapshot:
+        """Window-serving telemetry in the shared snapshot shape.
+
+        The same typed :class:`~repro.api.telemetry.MetricsSnapshot` the
+        gateway and the cluster router return, so the canary controller
+        (and dashboards) read one surface regardless of tier.  Counters
+        cover every stream: QPS is completed windows per second of uptime,
+        ``queue_depth`` is windows pushed but not yet stepped, percentiles
+        come from the per-window end-to-end latencies.  A cold service
+        snapshots as all zeros.
+        """
+        from repro.gateway.metrics import percentile
+
+        uptime = max(time.perf_counter() - self._started_at, 1e-9)
+        completed = self._completed
+        failed = self._failed
+        latencies = list(self._latencies)
+        pending = sum(len(state.pending) for state in self._streams.values()
+                      if not state.closed)
+        refits = sum(state.refits for state in self._streams.values())
+        return MetricsSnapshot(
+            source="streaming",
+            uptime_seconds=uptime,
+            submitted=completed + failed + pending,
+            completed=completed,
+            failed=failed,
+            in_flight=pending,
+            qps=rate(completed, uptime),
+            latency_p50_seconds=percentile(latencies, 50.0),
+            latency_p95_seconds=percentile(latencies, 95.0),
+            latency_p99_seconds=percentile(latencies, 99.0),
+            fusion_rate=rate(self._fused_completed, completed),
+            fast_path_hit_rate=rate(self._fast_path_completed, completed),
+            queue_depth=pending,
+            extras={
+                "streams": len([s for s in self._streams.values()
+                                if not s.closed]),
+                "refits": refits,
+            },
+        )
 
     # -- serving -------------------------------------------------------- #
     def push(self, stream_id: str, window: StreamWindow) -> None:
@@ -312,8 +382,15 @@ class StreamingService:
                         result.refit = True
                         result.refit_seconds = self._refit(state, retired)
                     request_id = f"{state.stream_id}.w{window.index:06d}"
+                    # A floating ref, not the bare string: versioned
+                    # lineages re-resolve ``@latest`` per step (canary
+                    # promotions reroute the stream), unversioned models
+                    # resolve to themselves bit-identically — and internal
+                    # traffic never draws the bare-string deprecation
+                    # warning.
                     request = ImputeRequest(
-                        model_id=state.model_id, data=window.tensor,
+                        model_id=ModelRef.latest(state.model_id),
+                        data=window.tensor,
                         request_id=request_id)
                     if gateway is None:
                         self.service.submit(request)
@@ -325,6 +402,7 @@ class StreamingService:
 
                     result.error = traceback.format_exc()
                     state.errors[window.index] = result.error
+                    self._failed += 1
                     continue
                 requests[request_id] = result
 
@@ -348,12 +426,19 @@ class StreamingService:
             result.latency_seconds = impute_result.latency_seconds
             state = self._streams[result.stream_id]
             state.windows_served += 1
+            self._completed += 1
+            self._latencies.append(float(impute_result.latency_seconds))
+            if impute_result.fused:
+                self._fused_completed += 1
+            if impute_result.fast_path:
+                self._fast_path_completed += 1
         for request_id, error in errors.items():
             result = requests.get(request_id)
             if result is None:
                 continue
             result.error = error
             self._streams[result.stream_id].errors[result.window_index] = error
+            self._failed += 1
         # A refit mid-step supersedes the stream's previous model; it is
         # dropped only now, after the sweep, because windows accepted before
         # the refit were still queued against it.

@@ -1,0 +1,58 @@
+"""Shared fixtures for the online-learning control-loop tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dimensions import Dimension
+from repro.data.tensor import TimeSeriesTensor
+from repro.online import CanaryConfig, DriftConfig
+from repro.streaming import WindowedStream
+
+
+def make_level_tensor(rng, n_series=6, n_time=128, level=0.0, missing=0.15,
+                      scale=1.0, name="online"):
+    """Noisy panel around ``level`` with MCAR missing cells.
+
+    The first time step of every series is forced observed so no imputer
+    ever sees an all-missing series.
+    """
+    values = level + rng.normal(0.0, scale, size=(n_series, n_time))
+    mask = (rng.random((n_series, n_time)) > missing).astype(float)
+    mask[:, 0] = 1.0
+    return TimeSeriesTensor(
+        values=values,
+        dimensions=[Dimension.categorical("series", n_series)],
+        mask=mask,
+        name=name)
+
+
+def windows_for(tensor, window_size=16, index_offset=0, time_offset=0):
+    """Non-overlapping stream windows of ``tensor``, optionally re-based.
+
+    ``index_offset``/``time_offset`` splice a second tensor onto an
+    already-replayed stream (drift injection): indices and spans continue
+    where the previous segment stopped.
+    """
+    windows = list(WindowedStream.from_tensor(tensor, window_size=window_size,
+                                              stride=window_size))
+    for window in windows:
+        window.index += index_offset
+        window.start += time_offset
+        window.stop += time_offset
+    return windows
+
+
+@pytest.fixture
+def fast_drift_config():
+    """A detector that reacts within a few windows (test-scale cadence)."""
+    return DriftConfig(nrmse_budget=2.5, rolling_windows=2,
+                       baseline_windows=2, cooldown_windows=2)
+
+
+@pytest.fixture
+def fast_canary_config():
+    """A canary that reaches verdicts within a few shadow windows."""
+    return CanaryConfig(min_shadow_samples=2, max_shadow_windows=6,
+                        max_regression=1.0, probation_windows=4)

@@ -1,0 +1,270 @@
+"""End-to-end control loop: drift → refit → shadow → promote / rollback."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import ModelRef
+from repro.exceptions import ServiceError, ValidationError
+from repro.online import (
+    CanaryConfig,
+    CanaryController,
+    DriftConfig,
+    OnlineLoop,
+)
+from repro.api.versioning import VersionRegistry
+from repro.streaming import StreamingService
+
+from tests.online.conftest import make_level_tensor, windows_for
+
+
+def open_watched_loop(store_dir, history, drift_config, canary_config,
+                      stream_id="plant", max_history=512):
+    svc = StreamingService(store_dir=str(store_dir),
+                           default_max_history=max_history)
+    model = svc.service.fit(history, method="fitted-mean",
+                            model_id=stream_id)
+    svc.open_stream(stream_id, warm_start=ModelRef.latest(model),
+                    refit_every=0)
+    loop = OnlineLoop(svc, drift=drift_config, canary=canary_config)
+    loop.watch(stream_id)
+    return svc, loop
+
+
+def drive(loop, stream_id, windows):
+    reports = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        for window in windows:
+            loop.push(stream_id, window)
+            reports.extend(loop.step())
+    return reports
+
+
+class TestEndToEndPromotion:
+    def test_drift_refit_shadow_promote(self, tmp_path, rng,
+                                        fast_drift_config,
+                                        fast_canary_config):
+        history = make_level_tensor(rng, level=0.0)
+        svc, loop = open_watched_loop(tmp_path, history, fast_drift_config,
+                                      fast_canary_config)
+        calm = windows_for(make_level_tensor(rng, level=0.0, n_time=64))
+        shifted = windows_for(make_level_tensor(rng, level=8.0, n_time=128),
+                              index_offset=len(calm), time_offset=64)
+        reports = drive(loop, "plant", calm + shifted)
+
+        drifted = [r for r in reports if r.drift is not None]
+        assert drifted, "the level shift must trip the drift detector"
+        assert drifted[0].drift.reason == "budget"
+        assert drifted[0].window_index >= len(calm)
+
+        refits = [r.refit for r in reports if r.refit is not None]
+        assert refits and refits[0] == ModelRef("plant", 2)
+        promoted = [r for r in reports if r.promoted]
+        assert promoted, "the refit candidate must be promoted"
+
+        # @latest now serves a refitted version, stored under a concrete id.
+        serving = svc.service.resolve_ref(ModelRef.latest("plant"))
+        assert serving != "plant"
+        assert serving in svc.service.store
+
+        # Quality actually recovered: post-promotion probe scores beat the
+        # stale model's drifted scores.
+        promote_at = promoted[0].window_index
+        before = [r.primary_score for r in reports
+                  if r.drift is not None]
+        after = [r.primary_score for r in reports
+                 if r.window_index > promote_at
+                 and r.primary_score is not None]
+        assert after and np.mean(after) < np.mean(before)
+
+    def test_journal_records_each_transition_exactly_once(
+            self, tmp_path, rng, fast_drift_config, fast_canary_config):
+        history = make_level_tensor(rng, level=0.0)
+        svc, loop = open_watched_loop(tmp_path, history, fast_drift_config,
+                                      fast_canary_config)
+        calm = windows_for(make_level_tensor(rng, level=0.0, n_time=64))
+        shifted = windows_for(make_level_tensor(rng, level=8.0, n_time=128),
+                              index_offset=len(calm), time_offset=64)
+        drive(loop, "plant", calm + shifted)
+
+        journal = svc.service.versions.history("plant")
+        transitions = [(e["event"], e["version"]) for e in journal]
+        assert len(set(transitions)) == len(transitions)
+        assert ("shadow", 2) in transitions
+        assert ("promote", 2) in transitions
+        # ... and the journal survives a restart bit-for-bit.
+        replayed = VersionRegistry(
+            journal_path=svc.service.store.directory / "model_versions.jsonl")
+        assert replayed.history("plant") == journal
+
+    def test_shadow_scores_are_recorded_not_returned(
+            self, tmp_path, rng, fast_drift_config, fast_canary_config):
+        history = make_level_tensor(rng, level=0.0)
+        svc, loop = open_watched_loop(tmp_path, history, fast_drift_config,
+                                      fast_canary_config)
+        calm = windows_for(make_level_tensor(rng, level=0.0, n_time=64))
+        shifted = windows_for(make_level_tensor(rng, level=8.0, n_time=128),
+                              index_offset=len(calm), time_offset=64)
+        reports = drive(loop, "plant", calm + shifted)
+        shadowed = [r for r in reports if r.candidate_score is not None]
+        assert shadowed
+        # The stream itself only ever served @latest: no window result was
+        # produced by the candidate while it was shadowing.
+        state = svc._streams["plant"]
+        assert state.windows_served == len(calm) + len(shifted)
+        assert not state.errors
+
+
+class TestBitIdentity:
+    def test_undrifted_watched_stream_is_bit_identical(
+            self, tmp_path, rng, fast_drift_config, fast_canary_config):
+        # The loop only *adds* probe traffic; the primary serving path for
+        # a healthy stream must produce byte-for-byte the same imputations
+        # whether or not a watcher is attached.
+        history = make_level_tensor(rng, level=0.0)
+        calm = make_level_tensor(rng, level=0.0, n_time=96)
+
+        def completed_values(store_dir, watched):
+            svc = StreamingService(store_dir=str(store_dir))
+            model = svc.service.fit(history, method="fitted-mean",
+                                    model_id="plant")
+            svc.open_stream("plant", warm_start=ModelRef.latest(model),
+                            refit_every=0)
+            loop = OnlineLoop(svc, drift=fast_drift_config,
+                              canary=fast_canary_config)
+            if watched:
+                loop.watch("plant")
+            # loop.step() returns control reports, not window payloads;
+            # capture those at the streaming layer it delegates to.
+            inner_step, captured = svc.step, []
+
+            def recording_step(*args, **kwargs):
+                results = inner_step(*args, **kwargs)
+                captured.extend(results)
+                return results
+
+            svc.step = recording_step
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                for window in windows_for(calm):
+                    loop.push("plant", window)
+                    loop.step()
+            assert not svc._streams["plant"].errors
+            assert all(result.ok for result in captured)
+            return loop, [result.completed.values for result in captured]
+
+        plain_loop, plain = completed_values(tmp_path / "plain",
+                                             watched=False)
+        watched_loop, watched = completed_values(tmp_path / "watched",
+                                                 watched=True)
+        assert len(plain) == len(watched) > 0
+        for a, b in zip(plain, watched):
+            np.testing.assert_array_equal(a, b)
+        # ... and the calm traffic triggered no online machinery at all.
+        snap = watched_loop.snapshot()
+        assert snap["loop_refits"] == 0
+        assert snap["drift_events"] == 0
+        assert snap["probes"] == len(watched)
+        assert watched_loop.service.versions.serving_version("plant") == 1
+        assert plain_loop.snapshot()["probes"] == 0
+
+
+class TestVersionFlap:
+    def test_promote_regress_rollback(self, tmp_path, rng):
+        # The flap: drift promotes v2, the stream shifts straight back, v2
+        # regresses during probation and is rolled back — serving returns
+        # to v1 and the journal holds each transition exactly once.
+        #
+        # The budget of 8 lets the refit fire only once two *pure* shifted
+        # windows fill the rolling mean, and max_history=32 (two windows)
+        # means v2 is then fit on shifted data alone — so it genuinely
+        # collapses when the level reverts.
+        drift_config = DriftConfig(nrmse_budget=8.0, rolling_windows=2,
+                                   baseline_windows=2, cooldown_windows=1,
+                                   degradation_factor=50.0)
+        canary_config = CanaryConfig(min_shadow_samples=2,
+                                     max_shadow_windows=6,
+                                     max_regression=1.0,
+                                     probation_windows=12,
+                                     probation_regression=1.5)
+        history = make_level_tensor(rng, level=0.0)
+        svc, loop = open_watched_loop(tmp_path, history, drift_config,
+                                      canary_config, max_history=32)
+        calm = windows_for(make_level_tensor(rng, level=0.0, n_time=32))
+        shifted = windows_for(make_level_tensor(rng, level=10.0, n_time=96),
+                              index_offset=len(calm), time_offset=32)
+        back = windows_for(make_level_tensor(rng, level=0.0, n_time=96),
+                           index_offset=len(calm) + len(shifted),
+                           time_offset=128)
+        reports = drive(loop, "plant", calm + shifted + back)
+
+        promoted = [r for r in reports if r.promoted]
+        rolled_back = [r for r in reports if r.rolled_back]
+        assert promoted, "v2 must first be promoted on the shifted regime"
+        assert rolled_back, "shifting back must roll the promotion back"
+        assert rolled_back[0].window_index > promoted[0].window_index
+        assert svc.service.versions.serving_version("plant") == 1
+        assert svc.service.resolve_ref(ModelRef.latest("plant")) == "plant"
+
+        journal = svc.service.versions.history("plant")
+        transitions = [(e["event"], e["version"]) for e in journal]
+        assert len(set(transitions)) == len(transitions)
+        assert ("promote", 2) in transitions
+        assert ("rollback", 2) in transitions
+
+        # The stream kept serving through the whole flap.
+        state = svc._streams["plant"]
+        assert not state.errors
+
+
+class TestCanaryController:
+    def test_candidate_must_be_pinned(self):
+        controller = CanaryController(VersionRegistry())
+        with pytest.raises(ValidationError):
+            controller.begin(ModelRef.latest("m"))
+
+    def test_one_candidate_per_lineage(self):
+        registry = VersionRegistry()
+        controller = CanaryController(registry)
+        controller.begin(registry.register("m"))
+        with pytest.raises(ServiceError):
+            controller.begin(registry.register("m"))
+
+    def test_rollback_on_exhausted_shadow_window(self):
+        registry = VersionRegistry()
+        controller = CanaryController(
+            registry, CanaryConfig(min_shadow_samples=2,
+                                   max_shadow_windows=3,
+                                   slo_nrmse=0.5))
+        ref = registry.register("m")
+        controller.begin(ref)
+        for _ in range(3):
+            controller.note_window("m")
+            controller.record("m", candidate_score=2.0, primary_score=1.0)
+        decision = controller.evaluate("m")
+        assert decision is not None and decision.action == "rollback"
+        assert registry.serving_version("m") == 1
+        assert controller.active("m") is None
+
+    def test_promotion_on_meeting_slo(self):
+        registry = VersionRegistry()
+        controller = CanaryController(
+            registry, CanaryConfig(min_shadow_samples=2, slo_nrmse=1.0))
+        ref = registry.register("m")
+        controller.begin(ref)
+        controller.record("m", candidate_score=0.4, primary_score=0.5)
+        controller.record("m", candidate_score=0.5, primary_score=0.5)
+        decision = controller.evaluate("m")
+        assert decision is not None and decision.action == "promote"
+        assert registry.resolve(ModelRef.latest("m")) == "m.v2"
+
+    def test_shadow_fraction_thins_deterministically(self):
+        registry = VersionRegistry()
+        controller = CanaryController(
+            registry, CanaryConfig(shadow_fraction=0.5))
+        controller.begin(registry.register("m"))
+        decisions = [controller.should_shadow("m") for _ in range(8)]
+        assert sum(decisions) == 4
+        assert decisions == [False, True] * 4

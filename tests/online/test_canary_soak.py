@@ -1,0 +1,133 @@
+"""Canary soak: repeated drift cycles must never wedge the serving tier.
+
+This is the CI soak gate — a watched stream is driven through several
+regime changes back to back and the loop's hard invariants are checked
+after every single window:
+
+* no window ever fails to serve;
+* ``@latest`` always resolves to an artifact that exists in the store;
+* the version journal records each transition exactly once;
+* at most one candidate is ever in flight per lineage.
+
+Kept deliberately small (a few hundred windows) so it stays in tier-1
+time budgets while still crossing multiple promote/rollback boundaries.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import ModelRef
+from repro.online import CanaryConfig, DriftConfig, OnlineLoop
+from repro.streaming import StreamingService
+
+from tests.online.conftest import make_level_tensor, windows_for
+
+
+REGIME_LEVELS = [0.0, 6.0, 0.0, -5.0, 9.0, 0.0]
+WINDOWS_PER_REGIME = 5
+
+
+@pytest.fixture()
+def soak_loop(tmp_path, rng):
+    svc = StreamingService(store_dir=str(tmp_path),
+                           default_max_history=64)
+    history = make_level_tensor(rng, level=REGIME_LEVELS[0])
+    model = svc.service.fit(history, method="fitted-mean",
+                            model_id="plant")
+    svc.open_stream("plant", warm_start=ModelRef.latest(model),
+                    refit_every=0)
+    loop = OnlineLoop(
+        svc,
+        drift=DriftConfig(nrmse_budget=2.5, rolling_windows=2,
+                          baseline_windows=2, cooldown_windows=1),
+        canary=CanaryConfig(min_shadow_samples=2, max_shadow_windows=4,
+                            probation_windows=3))
+    loop.watch("plant")
+    return svc, loop
+
+
+def soak_windows(rng):
+    windows = []
+    for regime, level in enumerate(REGIME_LEVELS):
+        tensor = make_level_tensor(
+            rng, level=level, n_time=16 * WINDOWS_PER_REGIME)
+        windows.extend(windows_for(
+            tensor, index_offset=regime * WINDOWS_PER_REGIME,
+            time_offset=regime * 16 * WINDOWS_PER_REGIME))
+    return windows
+
+
+def assert_invariants(svc):
+    state = svc._streams["plant"]
+    assert not state.errors
+    serving = svc.service.resolve_ref(ModelRef.latest("plant"))
+    assert serving in svc.service.store
+    journal = svc.service.versions.history("plant")
+    transitions = [(e["event"], e["version"]) for e in journal]
+    assert len(set(transitions)) == len(transitions)
+    lineage = svc.service.versions.describe().get("plant", {})
+    assert lineage.get("candidate") is None or \
+        isinstance(lineage["candidate"], int)
+
+
+class TestCanarySoak:
+    def test_soak_across_regime_changes(self, soak_loop, rng):
+        svc, loop = soak_loop
+        windows = soak_windows(rng)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for window in windows:
+                loop.push("plant", window)
+                loop.step()
+                assert_invariants(svc)
+
+        # The soak must have exercised the whole lifecycle, not idled.
+        snap = loop.snapshot()
+        assert snap["completed"] == len(windows)
+        assert snap["failed"] == 0
+        assert snap["drift_events"] >= 2
+        assert snap["loop_refits"] >= 2
+        assert snap["promotions"] >= 1
+        assert snap["probes"] == len(windows)
+        versions = svc.service.versions.versions("plant")
+        assert len(versions) >= 3
+
+    def test_soak_recovers_quality_after_each_regime(self, soak_loop, rng):
+        svc, loop = soak_loop
+        windows = soak_windows(rng)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for window in windows:
+                loop.push("plant", window)
+                loop.step()
+        # Adaptation beats the frozen model: the loop's mean probe score
+        # in each regime's tail must undercut the score at its entry.
+        scores = {r.window_index: r.primary_score
+                  for r in loop.reports if r.primary_score is not None}
+        recovered = 0
+        for regime in range(1, len(REGIME_LEVELS)):
+            first = regime * WINDOWS_PER_REGIME
+            entry = scores.get(first) or scores.get(first + 1)
+            tail = [scores[i]
+                    for i in range(first + 2, first + WINDOWS_PER_REGIME)
+                    if i in scores]
+            if entry is not None and tail and np.mean(tail) < entry:
+                recovered += 1
+        assert recovered >= len(REGIME_LEVELS) // 2
+
+    def test_soak_journal_replays_cleanly(self, soak_loop, rng, tmp_path):
+        svc, loop = soak_loop
+        windows = soak_windows(rng)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for window in windows:
+                loop.push("plant", window)
+                loop.step()
+        from repro.api import VersionRegistry
+        journal_path = svc.service.store.directory / "model_versions.jsonl"
+        replayed = VersionRegistry(journal_path=journal_path)
+        assert replayed.describe() == svc.service.versions.describe()
+        assert replayed.history("plant") == \
+            svc.service.versions.history("plant")

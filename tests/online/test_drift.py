@@ -1,0 +1,157 @@
+"""Drift detector: probes, triggers, and the degenerate-window edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.data.dimensions import Dimension
+from repro.data.tensor import TimeSeriesTensor
+from repro.evaluation.metrics import nrmse
+from repro.exceptions import ValidationError
+from repro.online import DriftConfig, DriftDetector
+from repro.streaming.windows import StreamWindow
+
+from tests.online.conftest import make_level_tensor
+
+
+def window_of(tensor, index=0):
+    return StreamWindow(index=index, start=0, stop=tensor.n_time,
+                        tensor=tensor)
+
+
+class TestProbeConstruction:
+    def test_probe_hides_observed_cells_deterministically(self, rng):
+        tensor = make_level_tensor(rng, n_series=4, n_time=32)
+        detector = DriftDetector("s", DriftConfig(seed=3))
+        probe_a = detector.make_probe(window_of(tensor, index=5))
+        probe_b = DriftDetector("s", DriftConfig(seed=3)).make_probe(
+            window_of(tensor, index=5))
+        assert probe_a is not None
+        np.testing.assert_array_equal(probe_a[1], probe_b[1])
+        # Hidden cells were observed in the original and are missing now.
+        hidden = probe_a[1]
+        assert hidden.sum() >= 4
+        assert float((tensor.mask * hidden).sum()) == hidden.sum()
+        assert float((probe_a[0].mask * hidden).sum()) == 0.0
+
+    def test_distinct_windows_hide_distinct_cells(self, rng):
+        tensor = make_level_tensor(rng, n_series=4, n_time=64)
+        detector = DriftDetector("s", DriftConfig())
+        _, hidden_a = detector.make_probe(window_of(tensor, index=0))
+        _, hidden_b = detector.make_probe(window_of(tensor, index=1))
+        assert not np.array_equal(hidden_a, hidden_b)
+
+    def test_every_series_keeps_an_observed_cell(self, rng):
+        tensor = make_level_tensor(rng, n_series=5, n_time=16, missing=0.5)
+        detector = DriftDetector("s", DriftConfig(probe_fraction=1.0,
+                                                  min_probe_cells=1))
+        probe, _ = detector.make_probe(window_of(tensor))
+        _, probe_mask = probe.to_matrix()
+        _, original_mask = tensor.to_matrix()
+        for row in range(probe_mask.shape[0]):
+            if original_mask[row].sum() >= 2:
+                assert probe_mask[row].sum() >= 1
+
+    def test_all_missing_window_yields_no_probe(self):
+        # A total outage window: nothing observed, nothing to score.
+        values = np.full((3, 12), np.nan)
+        mask = np.zeros_like(values)
+        tensor = TimeSeriesTensor(values=values,
+                                  dimensions=[Dimension.categorical("s", 3)],
+                                  mask=mask)
+        detector = DriftDetector("s", DriftConfig())
+        assert detector.make_probe(window_of(tensor)) is None
+
+    def test_too_sparse_window_yields_no_probe(self, rng):
+        # One observed cell per series: hiding any would blank the series.
+        values = rng.normal(size=(3, 12))
+        mask = np.zeros_like(values)
+        mask[:, 0] = 1.0
+        tensor = TimeSeriesTensor(values=values,
+                                  dimensions=[Dimension.categorical("s", 3)],
+                                  mask=mask)
+        detector = DriftDetector("s", DriftConfig())
+        assert detector.make_probe(window_of(tensor)) is None
+
+    def test_constant_series_probe_scores_with_warning(self, rng):
+        # Near-constant truth makes the NRMSE normalisation degenerate;
+        # the metric must warn and fall back to plain RMSE rather than
+        # explode or report a spuriously huge score.
+        values = np.ones((3, 24))
+        tensor = TimeSeriesTensor(values=values,
+                                  dimensions=[Dimension.categorical("s", 3)])
+        detector = DriftDetector("s", DriftConfig())
+        probe, hidden = detector.make_probe(window_of(tensor))
+        completed = probe.fill(np.ones_like(values))
+        with pytest.warns(RuntimeWarning, match="near-.?constant"):
+            score = nrmse(completed, tensor, mask=hidden)
+        assert score == 0.0
+
+
+class TestTriggers:
+    def test_budget_trigger_needs_a_full_rolling_window(self):
+        detector = DriftDetector("s", DriftConfig(
+            nrmse_budget=1.0, rolling_windows=3, baseline_windows=2,
+            cooldown_windows=0))
+        assert detector.observe(0, 5.0) is None
+        assert detector.observe(1, 5.0) is None
+        event = detector.observe(2, 5.0)
+        assert event is not None
+        assert event.reason == "budget"
+        assert event.rolling_mean == pytest.approx(5.0)
+
+    def test_degradation_trigger_fires_inside_the_budget(self):
+        detector = DriftDetector("s", DriftConfig(
+            nrmse_budget=100.0, rolling_windows=2, baseline_windows=2,
+            degradation_factor=2.0, cooldown_windows=0))
+        detector.observe(0, 1.0)
+        detector.observe(1, 1.0)      # baseline = 1.0
+        detector.observe(2, 3.0)
+        event = detector.observe(3, 3.0)
+        assert event is not None and event.reason == "degradation"
+        assert event.baseline == pytest.approx(1.0)
+
+    def test_healthy_scores_never_trigger(self):
+        detector = DriftDetector("s", DriftConfig(
+            nrmse_budget=2.0, rolling_windows=2, baseline_windows=2,
+            cooldown_windows=0))
+        assert all(detector.observe(i, 1.0) is None for i in range(20))
+
+    def test_cooldown_suppresses_refires(self):
+        detector = DriftDetector("s", DriftConfig(
+            nrmse_budget=1.0, rolling_windows=1, baseline_windows=1,
+            cooldown_windows=3))
+        assert detector.observe(0, 5.0) is not None
+        # Still far over budget, but the cooldown holds the trigger down.
+        assert detector.observe(1, 5.0) is None
+        assert detector.observe(2, 5.0) is None
+        assert detector.observe(3, 5.0) is None
+        assert detector.observe(4, 5.0) is not None
+
+    def test_nan_scores_are_ignored(self):
+        detector = DriftDetector("s", DriftConfig(
+            nrmse_budget=1.0, rolling_windows=1, baseline_windows=1,
+            cooldown_windows=0))
+        assert detector.observe(0, float("nan")) is None
+        assert detector.windows_observed == 0
+
+    def test_reset_rearms_with_grace(self):
+        detector = DriftDetector("s", DriftConfig(
+            nrmse_budget=1.0, rolling_windows=1, baseline_windows=1,
+            cooldown_windows=2))
+        assert detector.observe(0, 5.0) is not None
+        detector.reset()
+        assert detector.observe(1, 5.0) is None   # grace window 1
+        assert detector.observe(2, 5.0) is None   # grace window 2
+        assert detector.observe(3, 5.0) is not None
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"probe_fraction": 0.0}, {"probe_fraction": 1.5},
+        {"rolling_windows": 0}, {"nrmse_budget": 0.0},
+        {"degradation_factor": 1.0}, {"cooldown_windows": -1},
+        {"min_probe_cells": 0}, {"baseline_windows": 0},
+    ])
+    def test_bad_configs_are_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            DriftConfig(**kwargs)

@@ -1,0 +1,133 @@
+"""ModelRef parsing/rendering and the bare-string deprecation shims."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import ImputationService, ImputeRequest, ModelRef
+from repro.api.refs import LATEST, warn_bare_model_id
+from repro.data.dimensions import Dimension
+from repro.data.tensor import TimeSeriesTensor
+from repro.exceptions import ValidationError
+
+
+def small_tensor(seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=(3, 32))
+    mask = np.ones_like(values)
+    mask[0, 4:8] = 0
+    return TimeSeriesTensor(values=values,
+                            dimensions=[Dimension.categorical("s", 3)],
+                            mask=mask)
+
+
+class TestModelRefParsing:
+    def test_bare_string_means_latest(self):
+        ref = ModelRef.parse("climate")
+        assert ref == ModelRef("climate", LATEST)
+        assert not ref.pinned
+
+    def test_pinned_version(self):
+        ref = ModelRef.parse("climate@3")
+        assert ref == ModelRef("climate", 3)
+        assert ref.pinned
+
+    def test_explicit_latest(self):
+        assert ModelRef.parse("climate@latest") == ModelRef.latest("climate")
+
+    def test_parse_is_idempotent_on_refs(self):
+        ref = ModelRef("m", 2)
+        assert ModelRef.parse(ref) is ref
+
+    @pytest.mark.parametrize("bad", ["", "m@0", "m@-1", "m@v2", "m@1.5",
+                                     "@2", "a/b@1", None, 7])
+    def test_malformed_refs_are_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            ModelRef.parse(bad)
+
+    @pytest.mark.parametrize("bad_version", [0, -3, True, 1.5, "2"])
+    def test_constructor_rejects_bad_versions(self, bad_version):
+        with pytest.raises(ValidationError):
+            ModelRef("m", bad_version)
+
+    def test_model_id_grammar_still_enforced(self):
+        # '@' is ref syntax, never part of the id itself.
+        with pytest.raises(ValidationError):
+            ModelRef("has@sign", 1)
+
+    def test_str_and_wire_id(self):
+        assert str(ModelRef("m", 2)) == "m@2"
+        assert str(ModelRef.latest("m")) == "m@latest"
+        assert ModelRef("m", 2).wire_id() == "m@2"
+        # @latest renders bare: wire-byte-identical to the legacy string.
+        assert ModelRef.latest("m").wire_id() == "m"
+
+    def test_refs_are_hashable_and_frozen(self):
+        assert len({ModelRef("m", 1), ModelRef("m", 1), ModelRef("m", 2)}) == 2
+        with pytest.raises(AttributeError):
+            ModelRef("m", 1).version = 2
+
+
+class TestDeprecationShims:
+    def test_warn_bare_model_id_only_fires_on_strings(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            warn_bare_model_id("m", where="test", stacklevel=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            warn_bare_model_id(ModelRef.latest("m"), where="test",
+                               stacklevel=1)
+
+    def test_service_string_model_id_warns_but_works(self):
+        service = ImputationService()
+        tensor = small_tensor()
+        model_id = service.fit(tensor, method="mean", model_id="legacy")
+        with pytest.warns(DeprecationWarning):
+            result = service.impute(tensor, model_id=model_id)
+        assert result.completed.missing_fraction == 0.0
+
+    def test_string_request_model_id_warns_but_works(self):
+        service = ImputationService()
+        tensor = small_tensor()
+        service.fit(tensor, method="mean", model_id="legacy")
+        with pytest.warns(DeprecationWarning):
+            result = service.impute(ImputeRequest(model_id="legacy",
+                                                  data=tensor))
+        assert result.completed.missing_fraction == 0.0
+
+    def test_model_ref_requests_are_warning_free(self):
+        service = ImputationService()
+        tensor = small_tensor()
+        service.fit(tensor, method="mean", model_id="typed")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = service.impute(
+                ImputeRequest(model_id=ModelRef.latest("typed"), data=tensor))
+        assert result.completed.missing_fraction == 0.0
+
+    def test_submit_gather_accepts_both_spellings(self):
+        service = ImputationService()
+        tensor = small_tensor()
+        service.fit(tensor, method="mean", model_id="m")
+        with pytest.warns(DeprecationWarning):
+            service.submit(tensor, model_id="m")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            service.submit(ImputeRequest(model_id=ModelRef.latest("m"),
+                                         data=tensor))
+        results = service.gather()
+        assert len(results) == 2
+        # The wire form of an @latest ref is the bare legacy string.
+        assert all(r.model_id == "m" for r in results)
+
+    def test_request_to_dict_round_trips_refs(self):
+        tensor = small_tensor()
+        latest = ImputeRequest(model_id=ModelRef.latest("m"), data=tensor)
+        assert latest.to_dict()["model_id"] == "m"
+        pinned = ImputeRequest(model_id=ModelRef("m", 2), data=tensor)
+        assert pinned.to_dict()["model_id"] == "m@2"
+
+    def test_model_ref_property_parses_strings(self):
+        tensor = small_tensor()
+        request = ImputeRequest(model_id="m@2", data=tensor)
+        assert request.model_ref == ModelRef("m", 2)

@@ -1,0 +1,132 @@
+"""Version lineages: registry lifecycle, journal replay, exactly-once."""
+
+import json
+
+import pytest
+
+from repro.api import ModelRef, VersionRegistry
+from repro.api.versioning import concrete_id_for
+from repro.exceptions import ServiceError, ValidationError
+
+
+class TestConcreteIds:
+    def test_v1_keeps_the_bare_id(self):
+        assert concrete_id_for("m", 1) == "m"
+
+    def test_later_versions_stay_inside_the_id_grammar(self):
+        assert concrete_id_for("m", 2) == "m.v2"
+        assert "@" not in concrete_id_for("m", 17)
+
+
+class TestLineageLifecycle:
+    def test_untracked_lineage_resolves_identically(self):
+        registry = VersionRegistry()
+        assert registry.resolve(ModelRef.latest("legacy")) == "legacy"
+        assert registry.resolve(ModelRef("legacy", 1)) == "legacy"
+        with pytest.raises(ServiceError):
+            registry.resolve(ModelRef("legacy", 2))
+
+    def test_register_allocates_sequential_versions(self):
+        registry = VersionRegistry()
+        assert registry.register("m") == ModelRef("m", 2)
+        assert registry.register("m") == ModelRef("m", 3)
+        assert registry.versions("m") == [1, 2, 3]
+
+    def test_latest_follows_promotion(self):
+        registry = VersionRegistry()
+        ref = registry.register("m")
+        assert registry.resolve(ModelRef.latest("m")) == "m"
+        registry.stage(ref)
+        assert registry.candidate_version("m") == 2
+        # Staging alone must not move serving traffic.
+        assert registry.resolve(ModelRef.latest("m")) == "m"
+        registry.promote(ref)
+        assert registry.resolve(ModelRef.latest("m")) == "m.v2"
+        assert registry.candidate_version("m") is None
+
+    def test_rollback_of_candidate_keeps_serving(self):
+        registry = VersionRegistry()
+        ref = registry.register("m")
+        registry.stage(ref)
+        registry.rollback(ref, reason="failed SLO")
+        assert registry.resolve(ModelRef.latest("m")) == "m"
+        assert registry.candidate_version("m") is None
+
+    def test_rollback_of_serving_demotes_past_retired_versions(self):
+        # The flap: v2 promoted then rolled back, v3 promoted then rolled
+        # back.  Serving must fall back to v1 — never to the retired v2,
+        # whose artifact may already be gone.
+        registry = VersionRegistry()
+        v2 = registry.register("m")
+        registry.stage(v2)
+        registry.promote(v2)
+        registry.rollback(v2, reason="regressed")
+        assert registry.serving_version("m") == 1
+        v3 = registry.register("m")
+        registry.stage(v3)
+        registry.promote(v3)
+        registry.rollback(v3, reason="regressed")
+        assert registry.serving_version("m") == 1
+        assert registry.describe()["m"]["retired"] == [2, 3]
+
+    def test_lifecycle_requires_pinned_registered_refs(self):
+        registry = VersionRegistry()
+        with pytest.raises(ValidationError):
+            registry.stage(ModelRef.latest("m"))
+        with pytest.raises(ServiceError):
+            registry.promote(ModelRef("never-registered", 2))
+        ref = registry.register("m")
+        with pytest.raises(ServiceError):
+            registry.stage(ModelRef("m", 9))
+        registry.stage(ref)  # the real one still works
+
+
+class TestJournal:
+    def test_every_transition_is_journalled_exactly_once(self, tmp_path):
+        journal = tmp_path / "versions.jsonl"
+        registry = VersionRegistry(journal_path=journal)
+        ref = registry.register("m")
+        registry.stage(ref)
+        registry.promote(ref)
+        registry.rollback(ref, reason="probation")
+        entries = [json.loads(line) for line in
+                   journal.read_text().splitlines()]
+        transitions = [(e["event"], e["version"]) for e in entries]
+        assert transitions == [
+            ("register", 1),  # implicit track of the bare-id v1
+            ("register", 2), ("shadow", 2), ("promote", 2), ("rollback", 2)]
+        assert len(set(transitions)) == len(transitions)
+        assert entries[-1]["reason"] == "probation"
+
+    def test_replay_reconstructs_lineages(self, tmp_path):
+        journal = tmp_path / "versions.jsonl"
+        first = VersionRegistry(journal_path=journal)
+        v2 = first.register("m")
+        first.stage(v2)
+        first.promote(v2)
+        v3 = first.register("m")
+        first.stage(v3)
+
+        replayed = VersionRegistry(journal_path=journal)
+        assert replayed.resolve(ModelRef.latest("m")) == "m.v2"
+        assert replayed.candidate_version("m") == 3
+        assert replayed.versions("m") == [1, 2, 3]
+        assert replayed.history("m") == first.history("m")
+
+    def test_replay_rejects_corrupt_journals(self, tmp_path):
+        journal = tmp_path / "versions.jsonl"
+        journal.write_text("not json\n")
+        with pytest.raises(ServiceError, match="corrupt"):
+            VersionRegistry(journal_path=journal)
+        journal.write_text(
+            json.dumps({"event": "explode", "model_id": "m", "version": 1})
+            + "\n")
+        with pytest.raises(ServiceError, match="unknown event"):
+            VersionRegistry(journal_path=journal)
+
+    def test_history_filters_by_lineage(self):
+        registry = VersionRegistry()
+        registry.register("a")
+        registry.register("b")
+        assert {e["model_id"] for e in registry.history()} == {"a", "b"}
+        assert all(e["model_id"] == "a" for e in registry.history("a"))
