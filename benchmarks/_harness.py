@@ -13,7 +13,6 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.baselines.registry import get_registry
 from repro.core.config import DeepMVIConfig

@@ -10,7 +10,6 @@ sub-linear growth because training sees a bounded number of sampled
 contexts.
 """
 
-import pytest
 
 from repro.data.datasets import load_dataset
 from repro.data.missing import MissingScenario

@@ -6,7 +6,6 @@ series incomplete, and on Climate/Electricity/Meteo under both MCAR and a
 size-100 Blackout (scaled down here with the series length).
 """
 
-import pytest
 
 from repro.data.missing import MissingScenario
 

@@ -50,7 +50,7 @@ def main() -> None:
 
     comparison = downstream_comparison(data, incomplete, methods, axis=0)
     dropcell = comparison.pop("dropcell_mae")
-    print(f"\nAggregate = average over stores (per product, per week)")
+    print("\nAggregate = average over stores (per product, per week)")
     print(f"DropCell aggregate MAE: {dropcell:.4f}\n")
     print(f"{'method':<10} {'MAE(DropCell) - MAE(method)':>30}")
     for name, gain in comparison.items():

@@ -49,6 +49,13 @@ organised as:
     :class:`~repro.api.ModelRef`), and a canary controller that
     shadow-scores each new version before promoting it to ``@latest``
     (or rolling it back), journalling every transition.
+``repro.analysis``
+    The repo's own analysis tooling: the repro-lint AST checker
+    (``python -m repro.analysis``) enforcing the project invariants,
+    the ``REPRO_LOCKCHECK=1`` dynamic lock-order and guarded-attribute
+    detector, and the mypy type-coverage ratchet.  Deliberately not
+    imported here: it is a dev/CI tool, not part of the serving
+    surface.
 """
 
 from repro.core.config import DeepMVIConfig
@@ -85,7 +92,7 @@ from repro.cluster import ClusterRouter
 from repro import online
 from repro.online import OnlineLoop
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "api",

@@ -1,0 +1,42 @@
+"""Static and dynamic correctness tooling for the repro codebase.
+
+Three instruments, one goal — the serving stack's invariants enforced by
+tools instead of convention:
+
+* :mod:`repro.analysis.linter` — **repro-lint**, an AST checker with
+  eight project-invariant rules (RL001-RL008: seeded randomness,
+  monotonic clocks, lock discipline, O_APPEND journals, guarded pickle,
+  no swallowed exceptions, ModelRef-first api surfaces, no mutable
+  defaults).  Run it with ``python -m repro.analysis src benchmarks``.
+* :mod:`repro.analysis.lockcheck` — a **dynamic lock-order and
+  guarded-attribute detector**: instrumented locks record per-thread
+  acquisition graphs and fail tests on lock-order inversion cycles;
+  ``@guarded_by`` classes flag shared-attribute access outside their
+  lock.  Activated by ``REPRO_LOCKCHECK=1`` (the CI soak steps set it).
+* :mod:`repro.analysis.ratchet` — a **mypy type-coverage ratchet**: CI
+  fails when any module's error count grows past the committed baseline
+  (``tools/mypy_baseline.json``) and the baseline auto-shrinks as counts
+  drop.
+"""
+
+from repro.analysis.linter import (
+    Finding,
+    LintReport,
+    RULE_ALIASES,
+    RULES,
+    lint_file,
+    lint_paths,
+    lint_source,
+    load_baseline,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "RULES",
+    "RULE_ALIASES",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+]

@@ -1,0 +1,114 @@
+"""Command line for repro-lint: ``python -m repro.analysis <paths>``.
+
+Exit codes: 0 = clean (grandfathered findings allowed), 1 = live
+findings, 2 = usage error.  ``--update-baseline`` rewrites the baseline
+to the current findings so intentionally-grandfathered debt can be
+re-snapshotted after a cleanup pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.linter import (
+    RULE_ALIASES,
+    baseline_counts,
+    lint_paths,
+    load_baseline,
+)
+
+DEFAULT_BASELINE = "tools/repro_lint_baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: project-invariant checks (RL001-RL008)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human", help="output format")
+    parser.add_argument("--baseline", default=None,
+                        help="grandfathered-findings JSON (default: "
+                             f"{DEFAULT_BASELINE} when it exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline: every finding is live")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline file with the current "
+                             "finding counts and exit 0")
+    parser.add_argument("--show-grandfathered", action="store_true",
+                        help="also print baseline-suppressed findings")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated subset of rule ids to run")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, alias in sorted(RULE_ALIASES.items()):
+            print(f"{rule_id}  allow[{alias}]")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [rule.strip().upper() for rule in args.rules.split(",")
+                 if rule.strip()]
+        unknown = [rule for rule in rules if rule not in RULE_ALIASES]
+        if unknown:
+            print(f"unknown rules: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    baseline_path = Path(args.baseline) if args.baseline \
+        else Path(DEFAULT_BASELINE)
+    baseline = {} if (args.no_baseline or args.update_baseline) \
+        else load_baseline(baseline_path)
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    report = lint_paths(args.paths, baseline=baseline, rules=rules)
+
+    if args.update_baseline:
+        counts = baseline_counts(report.findings)
+        payload = {
+            "_comment": "Grandfathered repro-lint findings: "
+                        "'path::rule' -> allowed count.  New findings "
+                        "past an allowance fail the build; shrink this "
+                        "file as debt is paid down "
+                        "(python -m repro.analysis --update-baseline).",
+            "findings": counts,
+        }
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(payload, indent=2) + "\n",
+                                 encoding="utf-8")
+        print(f"baseline updated: {baseline_path} "
+              f"({sum(counts.values())} grandfathered findings)")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        shown = list(report.findings)
+        if args.show_grandfathered:
+            shown += report.grandfathered
+        for finding in sorted(shown,
+                              key=lambda f: (f.path, f.line, f.col)):
+            marker = " [grandfathered]" if finding.grandfathered else ""
+            print(finding.render() + marker)
+        print(f"repro-lint: {report.files_checked} files, "
+              f"{len(report.findings)} findings, "
+              f"{len(report.grandfathered)} grandfathered")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

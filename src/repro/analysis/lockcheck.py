@@ -1,0 +1,379 @@
+"""Dynamic lock-order and guarded-attribute checking.
+
+Static rules can prove a lock is *taken* (RL003); they cannot prove locks
+are taken in a consistent **order**, or that shared attributes are only
+touched while their lock is held.  This module checks both at runtime,
+with zero overhead when disabled:
+
+* :func:`checked_lock` / :func:`checked_rlock` / :func:`checked_condition`
+  are drop-in factories the concurrency-critical classes use instead of
+  ``threading.Lock()``.  Disabled (the default) they return the plain
+  primitive.  Enabled, they return instrumented wrappers that record a
+  global *acquired-while-holding* graph: an edge ``A -> B`` means some
+  thread acquired ``B`` while holding ``A``.  A cycle in that graph is a
+  **lock-order inversion** — two threads interleaving those paths can
+  deadlock — and is recorded as a :class:`LockOrderViolation` the moment
+  the closing edge appears, without needing the unlucky schedule.
+* :func:`guarded_by` registers a class's shared attributes against the
+  lock that must protect them.  Enabled, each registered attribute is
+  replaced with a checking descriptor: access from a second thread
+  without the lock held records an :class:`UnguardedAccessViolation`.
+  Accesses while the instance is still single-threaded (construction,
+  test setup) are exempt, so ``__init__`` needs no lock.
+
+Activation: set ``REPRO_LOCKCHECK=1`` before the process starts (the CI
+soak steps do), or call :func:`enable` early.  ``tests/conftest.py``
+asserts :func:`assert_clean` after every test when active, so a soak test
+that *passes* functionally still fails on an inversion it exposed.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "LockOrderViolation",
+    "UnguardedAccessViolation",
+    "checked_lock",
+    "checked_rlock",
+    "checked_condition",
+    "guarded_by",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "violations",
+    "assert_clean",
+]
+
+_ENV_FLAG = "REPRO_LOCKCHECK"
+
+_state_lock = threading.Lock()
+_enabled = os.environ.get(_ENV_FLAG, "") not in ("", "0")
+#: edge (holder_name, acquired_name) -> first stack that created it
+_edges: Dict[Tuple[str, str], str] = {}
+_violations: List["Violation"] = []
+#: classes registered by @guarded_by, installed lazily on enable()
+_guarded_classes: List[type] = []
+_held = threading.local()
+
+
+class Violation:
+    """Base record for one detected concurrency-discipline breach."""
+
+    def __init__(self, description: str) -> None:
+        self.description = description
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.description!r})"
+
+
+class LockOrderViolation(Violation):
+    """A cycle in the acquired-while-holding graph (deadlock potential)."""
+
+    def __init__(self, cycle: List[str]) -> None:
+        self.cycle = list(cycle)
+        super().__init__(
+            "lock-order inversion: " + " -> ".join(self.cycle)
+            + " (two threads interleaving these paths can deadlock)")
+
+
+class UnguardedAccessViolation(Violation):
+    """A @guarded_by attribute touched off-lock from a second thread."""
+
+    def __init__(self, cls_name: str, attr: str, lock_attr: str,
+                 thread_name: str) -> None:
+        self.cls_name = cls_name
+        self.attr = attr
+        super().__init__(
+            f"{cls_name}.{attr} accessed by thread {thread_name!r} "
+            f"without holding {cls_name}.{lock_attr}")
+
+
+# ---------------------------------------------------------------------- #
+# enable / disable / inspection
+# ---------------------------------------------------------------------- #
+def enabled() -> bool:
+    return _enabled
+
+
+def enable() -> None:
+    """Turn checking on and install guarded-attribute descriptors."""
+    global _enabled
+    _enabled = True
+    for cls in list(_guarded_classes):
+        _install_descriptors(cls)
+
+
+def disable() -> None:
+    """Stop recording (already-installed descriptors become pass-through)."""
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Clear the acquisition graph and all recorded violations."""
+    with _state_lock:
+        _edges.clear()
+        _violations.clear()
+
+
+def violations() -> List[Violation]:
+    with _state_lock:
+        return list(_violations)
+
+
+def assert_clean(reset_after: bool = True) -> None:
+    """Raise :class:`AssertionError` when any violation was recorded."""
+    found = violations()
+    if reset_after:
+        reset()
+    if found:
+        lines = "\n".join(f"  - {violation.description}"
+                          for violation in found)
+        raise AssertionError(
+            f"lockcheck recorded {len(found)} violation(s):\n{lines}")
+
+
+def _record_violation(violation: Violation) -> None:
+    with _state_lock:
+        _violations.append(violation)
+
+
+# ---------------------------------------------------------------------- #
+# instrumented locks
+# ---------------------------------------------------------------------- #
+def _held_stack() -> List["CheckedLock"]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = _held.stack = []
+    return stack
+
+
+def _caller_site(depth: int = 2) -> str:
+    frame = sys._getframe(depth)
+    return f"{os.path.basename(frame.f_code.co_filename)}:{frame.f_lineno}"
+
+
+class CheckedLock:
+    """Instrumented wrapper over ``threading.Lock``/``RLock``.
+
+    Delegates ``acquire``/``release`` to the real primitive and maintains
+    (a) the global acquired-while-holding graph and (b) per-lock ownership
+    so :func:`guarded_by` descriptors can ask :meth:`held_by_current`.
+    Compatible with ``threading.Condition(lock=...)`` — it exposes
+    ``_is_owned`` and the context-manager protocol.
+    """
+
+    def __init__(self, reentrant: bool = False,
+                 name: Optional[str] = None) -> None:
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+        self.reentrant = reentrant
+        self.name = name or f"lock@{_caller_site(2)}"
+        #: thread ident -> reentrant hold depth
+        self._owners: Dict[int, int] = {}
+
+    # -- ownership ------------------------------------------------------- #
+    def held_by_current(self) -> bool:
+        return self._owners.get(threading.get_ident(), 0) > 0
+
+    def _is_owned(self) -> bool:          # threading.Condition protocol
+        return self.held_by_current()
+
+    # -- acquire/release ------------------------------------------------- #
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ident = threading.get_ident()
+        stack = _held_stack()
+        if _enabled and not (self.reentrant and self.held_by_current()):
+            for holder in stack:
+                if holder is not self:
+                    _note_edge(holder, self)
+        # The wrapper IS the with-statement target; this delegation is the
+        # one place a bare acquire is the point.
+        acquired = self._inner.acquire(blocking, timeout)  # repro-lint: allow[lock-discipline]
+        if acquired:
+            self._owners[ident] = self._owners.get(ident, 0) + 1
+            stack.append(self)
+        return acquired
+
+    def release(self) -> None:
+        ident = threading.get_ident()
+        depth = self._owners.get(ident, 0)
+        if depth <= 1:
+            self._owners.pop(ident, None)
+        else:
+            self._owners[ident] = depth - 1
+        stack = _held_stack()
+        # remove the most recent occurrence (reentrant locks stack)
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is self:
+                del stack[index]
+                break
+        self._inner.release()
+
+    def locked(self) -> bool:
+        probe = getattr(self._inner, "locked", None)
+        if callable(probe):
+            return probe()
+        return bool(self._owners)
+
+    def __enter__(self) -> bool:
+        # Context-manager protocol: the caller's ``with`` owns the release.
+        return self.acquire()  # repro-lint: allow[lock-discipline]
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        kind = "RLock" if self.reentrant else "Lock"
+        return f"CheckedLock({kind}, {self.name!r})"
+
+
+def _note_edge(holder: CheckedLock, acquired: CheckedLock) -> None:
+    """Add ``holder -> acquired`` to the graph; record any closing cycle."""
+    edge = (holder.name, acquired.name)
+    with _state_lock:
+        if edge in _edges:
+            return
+        # does `holder` appear downstream of `acquired` already?  Then the
+        # new edge closes a cycle: acquired -> ... -> holder -> acquired.
+        path = _find_path(acquired.name, holder.name)
+        site = _caller_site(3)
+        _edges[edge] = site
+        if path is not None:
+            _violations.append(LockOrderViolation(path + [acquired.name]))
+
+
+def _find_path(start: str, goal: str) -> Optional[List[str]]:
+    """DFS over the edge set; returns a node path start..goal or None."""
+    stack: List[Tuple[str, List[str]]] = [(start, [start])]
+    seen: Set[str] = set()
+    while stack:
+        node, path = stack.pop()
+        if node == goal:
+            return path
+        if node in seen:
+            continue
+        seen.add(node)
+        for (source, target) in _edges:
+            if source == node and target not in seen:
+                stack.append((target, path + [target]))
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# factories used by production code
+# ---------------------------------------------------------------------- #
+def checked_lock(name: Optional[str] = None):
+    """A ``threading.Lock`` — instrumented when lockcheck is enabled."""
+    if not _enabled:
+        return threading.Lock()
+    return CheckedLock(reentrant=False,
+                       name=name or f"lock@{_caller_site(2)}")
+
+
+def checked_rlock(name: Optional[str] = None):
+    """A ``threading.RLock`` — instrumented when lockcheck is enabled."""
+    if not _enabled:
+        return threading.RLock()
+    return CheckedLock(reentrant=True,
+                       name=name or f"rlock@{_caller_site(2)}")
+
+
+def checked_condition(name: Optional[str] = None):
+    """A ``threading.Condition`` over a (possibly instrumented) lock."""
+    if not _enabled:
+        return threading.Condition()
+    return threading.Condition(
+        lock=CheckedLock(reentrant=False,
+                         name=name or f"cond@{_caller_site(2)}"))
+
+
+# ---------------------------------------------------------------------- #
+# @guarded_by
+# ---------------------------------------------------------------------- #
+def guarded_by(lock_attr: str, *attrs: str):
+    """Class decorator: ``attrs`` must only be touched under ``lock_attr``.
+
+    ``lock_attr`` names an instance attribute holding a lock from the
+    factories above (or a ``threading.Condition`` built over one).  The
+    registration is free when lockcheck is disabled; enabled, each named
+    attribute becomes a checking descriptor (see module docstring for the
+    single-threaded exemption).
+    """
+
+    def decorate(cls: type) -> type:
+        merged = dict(getattr(cls, "__guarded_attrs__", {}))
+        merged.update({attr: lock_attr for attr in attrs})
+        cls.__guarded_attrs__ = merged
+        _guarded_classes.append(cls)
+        if _enabled:
+            _install_descriptors(cls)
+        return cls
+
+    return decorate
+
+
+def _install_descriptors(cls: type) -> None:
+    for attr, lock_attr in getattr(cls, "__guarded_attrs__", {}).items():
+        current = cls.__dict__.get(attr)
+        if isinstance(current, GuardedAttribute):
+            continue
+        setattr(cls, attr, GuardedAttribute(cls.__name__, attr, lock_attr))
+
+
+def _guard_lock_of(instance: Any, lock_attr: str) -> Optional[CheckedLock]:
+    guard = instance.__dict__.get(lock_attr)
+    if guard is None:
+        guard = getattr(instance, lock_attr, None)
+    if isinstance(guard, threading.Condition):
+        guard = guard._lock
+    return guard if isinstance(guard, CheckedLock) else None
+
+
+class GuardedAttribute:
+    """Data descriptor enforcing lock-held access for one attribute."""
+
+    def __init__(self, cls_name: str, attr: str, lock_attr: str) -> None:
+        self.cls_name = cls_name
+        self.attr = attr
+        self.lock_attr = lock_attr
+        self.slot = f"_guarded__{attr}"
+        self.tid_slot = f"_guarded_tids__{attr}"
+
+    def _check(self, instance: Any) -> None:
+        if not _enabled:
+            return
+        lock = _guard_lock_of(instance, self.lock_attr)
+        if lock is None:
+            return
+        tids = instance.__dict__.setdefault(self.tid_slot, set())
+        tids.add(threading.get_ident())
+        if len(tids) > 1 and not lock.held_by_current():
+            _record_violation(UnguardedAccessViolation(
+                self.cls_name, self.attr, self.lock_attr,
+                threading.current_thread().name))
+
+    def __get__(self, instance: Any, owner: Optional[type] = None) -> Any:
+        if instance is None:
+            return self
+        self._check(instance)
+        data = instance.__dict__
+        if self.slot in data:
+            return data[self.slot]
+        if self.attr in data:    # instance predates descriptor install
+            return data[self.attr]
+        raise AttributeError(
+            f"{self.cls_name!r} object has no attribute {self.attr!r}")
+
+    def __set__(self, instance: Any, value: Any) -> None:
+        self._check(instance)
+        instance.__dict__.pop(self.attr, None)
+        instance.__dict__[self.slot] = value
+
+    def __delete__(self, instance: Any) -> None:
+        instance.__dict__.pop(self.attr, None)
+        instance.__dict__.pop(self.slot, None)

@@ -1,0 +1,192 @@
+"""Type-coverage ratchet over mypy: counts may shrink, never grow.
+
+The repo is typed gradually: some modules are clean, some carry historic
+errors.  A plain ``mypy src/repro`` gate would force fixing everything at
+once; no gate at all lets coverage rot.  The ratchet holds the line
+instead:
+
+* ``tools/mypy_baseline.json`` records, per module (file), the number of
+  mypy errors it is *allowed* to have;
+* a module reporting **more** errors than its allowance fails CI, with
+  the offending lines printed;
+* a module reporting **fewer** errors auto-shrinks the baseline in place
+  — the improvement is captured and defended, commit the tightened file;
+* a baseline marked ``"bootstrapped": false`` (or a missing file) is
+  (re)generated from the current mypy run and exits 0 — this is how the
+  baseline is first created in an environment that has mypy (CI does;
+  fully-offline dev boxes may not).
+
+Parsing is intentionally tolerant: any line shaped like
+``path:line: error: message`` counts, everything else (notes, summary
+lines) is ignored.  ``--mypy-output FILE`` feeds a pre-recorded report,
+which keeps the ratchet itself testable without mypy installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "parse_mypy_output",
+    "compare_to_baseline",
+    "load_baseline",
+    "write_baseline",
+    "main",
+]
+
+ERROR_LINE = re.compile(r"^(?P<path>[^:\n]+\.py):\d+(?::\d+)?: error:")
+
+#: the lenient flag set the repo types gradually under (mirrors ci.yml)
+MYPY_FLAGS = (
+    "--ignore-missing-imports",
+    "--implicit-optional",
+    "--no-strict-optional",
+    "--follow-imports=silent",
+)
+
+
+def parse_mypy_output(text: str) -> Dict[str, int]:
+    """Per-module error counts from raw mypy stdout."""
+    counts: Dict[str, int] = {}
+    for line in text.splitlines():
+        match = ERROR_LINE.match(line.strip())
+        if match:
+            module = Path(match.group("path")).as_posix()
+            counts[module] = counts.get(module, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def load_baseline(path) -> Tuple[Dict[str, int], bool]:
+    """Returns ``(module -> allowed count, bootstrapped)``."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return {}, False
+    payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    modules = {str(key): int(value)
+               for key, value in payload.get("modules", {}).items()}
+    return modules, bool(payload.get("bootstrapped", False))
+
+
+def write_baseline(path, counts: Dict[str, int]) -> None:
+    payload = {
+        "_comment": "mypy error-count ratchet: per-module allowed "
+                    "maximums.  CI fails when a module's count grows; "
+                    "shrinks are written back automatically — commit the "
+                    "tightened file.  'bootstrapped: false' regenerates "
+                    "from the next run (tools/mypy_ratchet.py).",
+        "bootstrapped": True,
+        "total": sum(counts.values()),
+        "modules": dict(sorted(counts.items())),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def compare_to_baseline(counts: Dict[str, int],
+                        baseline: Dict[str, int],
+                        ) -> Tuple[Dict[str, Tuple[int, int]],
+                                   Dict[str, Tuple[int, int]]]:
+    """Split modules into (grown, shrunk) vs their allowances.
+
+    Modules absent from the baseline have an implicit allowance of 0 (new
+    code must be clean); baseline modules now error-free count as shrunk.
+    """
+    grown: Dict[str, Tuple[int, int]] = {}
+    shrunk: Dict[str, Tuple[int, int]] = {}
+    for module, count in counts.items():
+        allowed = baseline.get(module, 0)
+        if count > allowed:
+            grown[module] = (count, allowed)
+        elif count < allowed:
+            shrunk[module] = (count, allowed)
+    for module, allowed in baseline.items():
+        if allowed > 0 and module not in counts:
+            shrunk[module] = (0, allowed)
+    return grown, shrunk
+
+
+def run_mypy(paths: List[str]) -> str:
+    """Run mypy out of process; returns its stdout (exit code ignored —
+    the ratchet, not mypy's own status, decides pass/fail)."""
+    command = [sys.executable, "-m", "mypy", *MYPY_FLAGS, *paths]
+    try:
+        proc = subprocess.run(command, capture_output=True, text=True,
+                              check=False)
+    except OSError as exc:
+        raise SystemExit(f"could not execute mypy: {exc}")
+    if proc.returncode not in (0, 1):
+        # 2 = mypy usage/crash: surface it instead of treating the empty
+        # report as "zero errors everywhere".
+        raise SystemExit(
+            f"mypy exited {proc.returncode}:\n{proc.stdout}{proc.stderr}")
+    return proc.stdout
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="mypy error-count ratchet (grow = fail, "
+                    "shrink = auto-tighten)")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="paths handed to mypy (default: src/repro)")
+    parser.add_argument("--baseline", default="tools/mypy_baseline.json")
+    parser.add_argument("--mypy-output", default=None,
+                        help="read a pre-recorded mypy report instead of "
+                             "running mypy (testing / offline)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run and exit 0")
+    args = parser.parse_args(argv)
+
+    if args.mypy_output:
+        output = Path(args.mypy_output).read_text(encoding="utf-8")
+    else:
+        output = run_mypy(list(args.paths))
+    counts = parse_mypy_output(output)
+    total = sum(counts.values())
+
+    baseline, bootstrapped = load_baseline(args.baseline)
+    if args.update or not bootstrapped:
+        write_baseline(args.baseline, counts)
+        reason = "--update" if args.update else "bootstrap"
+        print(f"mypy-ratchet: baseline written ({reason}): {total} errors "
+              f"across {len(counts)} modules -> {args.baseline}")
+        if not args.update:
+            print("mypy-ratchet: commit the generated baseline to turn "
+                  "the ratchet on")
+        return 0
+
+    grown, shrunk = compare_to_baseline(counts, baseline)
+    if grown:
+        print(f"mypy-ratchet: FAIL — {len(grown)} module(s) grew past "
+              "their allowance:")
+        for module, (count, allowed) in sorted(grown.items()):
+            print(f"  {module}: {count} errors (allowed {allowed})")
+            for line in output.splitlines():
+                if line.startswith(module + ":") and " error: " in line:
+                    print(f"    {line}")
+        return 1
+    if shrunk:
+        merged = dict(baseline)
+        for module, (count, _) in shrunk.items():
+            if count:
+                merged[module] = count
+            else:
+                merged.pop(module, None)
+        write_baseline(args.baseline, merged)
+        print(f"mypy-ratchet: {len(shrunk)} module(s) improved — baseline "
+              f"tightened in place ({args.baseline}); commit it")
+        for module, (count, allowed) in sorted(shrunk.items()):
+            print(f"  {module}: {allowed} -> {count}")
+        return 0
+    print(f"mypy-ratchet: OK — {total} errors, all within the baseline "
+          f"({len(counts)} modules with findings)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,9 +14,10 @@ owning service may all hit one instance concurrently.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, Optional
+
+from repro.analysis.lockcheck import checked_rlock, guarded_by
 
 __all__ = ["LRUModelCache"]
 
@@ -24,6 +25,7 @@ __all__ = ["LRUModelCache"]
 _MISSING: object = object()
 
 
+@guarded_by("_lock", "_entries", "_nbytes", "hits", "misses", "evictions")
 class LRUModelCache:
     """Least-recently-used mapping with hit/miss/eviction accounting.
 
@@ -53,7 +55,7 @@ class LRUModelCache:
         self.max_bytes = max_bytes
         self._entries: "OrderedDict[str, object]" = OrderedDict()
         self._nbytes: Dict[str, int] = {}
-        self._lock = threading.RLock()
+        self._lock = checked_rlock("LRUModelCache._lock")
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -146,5 +148,7 @@ class LRUModelCache:
             }
 
     def __repr__(self) -> str:
-        return (f"LRUModelCache(size={len(self)}, maxsize={self.maxsize}, "
-                f"hits={self.hits}, misses={self.misses})")
+        with self._lock:
+            return (f"LRUModelCache(size={len(self._entries)}, "
+                    f"maxsize={self.maxsize}, "
+                    f"hits={self.hits}, misses={self.misses})")

@@ -474,10 +474,11 @@ def execute_serving_batch(batch: ServingBatch,
                 for request, completed, fast in zip(
                     batch.requests, completed_many, fast_flags)
             ]
-        except Exception:
+        except Exception:  # repro-lint: allow[swallow]
             # One request poisoned the fused pass; re-serve one-at-a-time so
             # the healthy requests still complete and the failure is pinned
-            # to its request id.
+            # to its request id (the per-request loop below captures the
+            # real traceback).
             fused_results = None
     if fused_results is not None:
         return JobResult(key=key, result={"results": fused_results,
@@ -562,7 +563,8 @@ class ImputationService:
 
     # -- fitting -------------------------------------------------------- #
     def fit(self, data: Union[TensorLike, FitRequest],
-            method: Optional[str] = None, model_id: Optional[str] = None,
+            method: Optional[str] = None,
+            model_id: Optional[Union[str, ModelRef]] = None,
             **method_kwargs) -> str:
         """Train ``method`` (default ``"deepmvi"``) on ``data`` once.
 
@@ -577,6 +579,10 @@ class ImputationService:
                     "model_id=..., **kwargs), not both — the keyword "
                     "arguments would be silently ignored")
         else:
+            if isinstance(model_id, ModelRef):
+                # Fitting creates a lineage's base model; versions are
+                # allocated by refit(), so a ref here names the lineage.
+                model_id = model_id.model_id
             request = FitRequest(data=as_tensor(data),
                                  method=method or "deepmvi",
                                  method_kwargs=dict(method_kwargs),
@@ -655,7 +661,8 @@ class ImputationService:
 
     # -- synchronous serving -------------------------------------------- #
     def impute(self, request: Union[ImputeRequest, TensorLike] = None,
-               model_id: Optional[str] = None) -> ImputeResult:
+               model_id: Optional[Union[str, ModelRef]] = None
+               ) -> ImputeResult:
         """Serve one request immediately with an already-fitted model."""
         request = self._resolve_request(
             self._coerce_request(request, model_id))
@@ -679,7 +686,7 @@ class ImputationService:
 
     # -- batched serving ------------------------------------------------ #
     def submit(self, request: Union[ImputeRequest, TensorLike] = None,
-               model_id: Optional[str] = None) -> str:
+               model_id: Optional[Union[str, ModelRef]] = None) -> str:
         """Queue a request for the next :meth:`gather`; returns its id."""
         request = self._resolve_request(
             self._coerce_request(request, model_id))

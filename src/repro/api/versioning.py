@@ -17,11 +17,12 @@ lineages, serving pointers and in-flight candidates from the log alone.
 from __future__ import annotations
 
 import json
-import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.analysis.lockcheck import checked_rlock, guarded_by
 from repro.api.refs import LATEST, ModelRef, check_model_id
+from repro.engine.cache import append_record_line
 from repro.exceptions import ServiceError, ValidationError
 
 __all__ = ["VersionRegistry", "concrete_id_for"]
@@ -40,6 +41,7 @@ def concrete_id_for(base_id: str, version: int) -> str:
     return f"{base_id}.v{version}"
 
 
+@guarded_by("_lock", "_lineages", "_journal")
 class VersionRegistry:
     """Tracks model lineages and journals every rollout transition.
 
@@ -53,7 +55,7 @@ class VersionRegistry:
     _EVENTS = ("register", "shadow", "promote", "rollback")
 
     def __init__(self, journal_path: Optional[Union[str, Path]] = None):
-        self._lock = threading.RLock()
+        self._lock = checked_rlock("VersionRegistry._lock")
         # base_id -> {"versions": {int: concrete_id},
         #             "serving": int, "candidate": Optional[int]}
         self._lineages: Dict[str, Dict[str, Any]] = {}
@@ -71,8 +73,11 @@ class VersionRegistry:
         self._journal.append(entry)
         if self._journal_path is not None:
             self._journal_path.parent.mkdir(parents=True, exist_ok=True)
-            with self._journal_path.open("a", encoding="utf-8") as fh:
-                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            # One O_APPEND write per transition (RL004): concurrent
+            # registries sharing a journal interleave whole records, and
+            # a crash tears at most the final line (dropped on replay).
+            append_record_line(self._journal_path,
+                               json.dumps(entry, sort_keys=True))
 
     def _replay(self, path: Path) -> None:
         """Rebuild lineage state from a journal written by a prior run."""

@@ -20,7 +20,7 @@ method relies on.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 

@@ -118,7 +118,6 @@ class STMVLImputer(MatrixImputer):
     def _masked_correlation(matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
         """Pearson correlation between series using jointly observed cells."""
         data = np.where(mask == 1, matrix, np.nan)
-        n_series = matrix.shape[0]
         means = np.nanmean(data, axis=1, keepdims=True)
         centred = np.nan_to_num(data - means, nan=0.0)
         norms = np.sqrt((centred ** 2).sum(axis=1, keepdims=True))

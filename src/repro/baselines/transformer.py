@@ -16,7 +16,7 @@ observation that DeepMVI is several times faster.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

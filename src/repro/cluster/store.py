@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.base import BaseImputer
 from repro.engine.artifacts import dump_imputer_bytes, load_imputer_bytes
+from repro.engine.cache import append_record_line
 
 __all__ = ["DurableStore", "SQLiteBackend", "cluster_analytics"]
 
@@ -108,7 +109,6 @@ class DurableStore:
         self.recovered_records = 0
         self.ingest_journal()
         self._seq = self._restore_seq()
-        self._journal_file = open(self.journal_path, "a", encoding="utf-8")
 
     # ------------------------------------------------------------------ #
     # journal recovery
@@ -175,11 +175,13 @@ class DurableStore:
         return int(inserted)
 
     def _append_line(self, record: Dict) -> None:
-        self._journal_file.write(json.dumps(record) + "\n")
-        # Flush to the OS: survives a SIGKILL of this process (the crash
-        # mode the cluster bench injects).  Whole-host crashes would need
+        # One O_APPEND os.write per record (the ResultCache.put
+        # discipline, RL004): the line is in the OS before the SQLite
+        # transaction commits, survives a SIGKILL of this process (the
+        # crash mode the cluster bench injects), and can never interleave
+        # inside another writer's record.  Whole-host crashes would need
         # an fsync here; that trade is documented, not silently taken.
-        self._journal_file.flush()
+        append_record_line(self.journal_path, json.dumps(record))
 
     # ------------------------------------------------------------------ #
     # request journal + exactly-once results
@@ -197,7 +199,10 @@ class DurableStore:
             seq = self._seq
             record = {"seq": seq, "kind": "request",
                       "request_id": request_id, "model_id": model_id,
-                      "wall": time.time(), "payload": payload}
+                      # journal stamps are wall-clock on purpose: the SQL
+                      # analytics bucket over real time, across restarts
+                      "wall": time.time(),  # repro-lint: allow[wall-clock]
+                      "payload": payload}
             self._append_line(record)
             self._heal_record(record)
             self._con.commit()
@@ -217,7 +222,7 @@ class DurableStore:
         with self._lock:
             self._seq += 1
             seq = self._seq
-            wall = time.time()
+            wall = time.time()  # repro-lint: allow[wall-clock] (journal stamp)
             inserted = self._con.execute(
                 "INSERT OR IGNORE INTO results "
                 "(request_id, seq, model_id, payload, wall, "
@@ -253,7 +258,8 @@ class DurableStore:
             seq = self._seq
             record = {"seq": seq, "kind": "failed",
                       "request_id": request_id, "model_id": model_id,
-                      "wall": time.time(), "payload": {"error": error}}
+                      "wall": time.time(),  # repro-lint: allow[wall-clock]
+                      "payload": {"error": error}}
             self._append_line(record)
             self._heal_record(record)
             self._con.commit()
@@ -327,7 +333,8 @@ class DurableStore:
                 "INSERT OR REPLACE INTO models "
                 "(model_id, method, artifact, fast_path, nbytes, updated_at) "
                 "VALUES (?,?,?,?,?,?)",
-                (model_id, method, blob, fast_path, nbytes, time.time()))
+                (model_id, method, blob, fast_path, nbytes,
+                 time.time()))  # repro-lint: allow[wall-clock] (updated_at)
             self._con.commit()
 
     def load_model(self, model_id: str) -> Optional[BaseImputer]:
@@ -396,7 +403,6 @@ class DurableStore:
     # ------------------------------------------------------------------ #
     def close(self) -> None:
         with self._lock:
-            self._journal_file.close()
             self._con.close()
 
 

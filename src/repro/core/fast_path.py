@@ -147,6 +147,8 @@ class FastPathTables:
 
     def age_seconds(self, now: Optional[float] = None) -> float:
         """Wall-clock seconds since the tables were built."""
+        # Staleness must survive process restarts, so it is anchored to the
+        # wall clock, not the monotonic clock.  # repro-lint: allow[wall-clock]
         return max((time.time() if now is None else now) - self.built_at, 0.0)
 
     def stale(self, budget_seconds: Optional[float],
@@ -418,7 +420,7 @@ def build_fast_path_tables(model, context: DatasetContext,
         output_bias=model.output_layer.bias.data.copy(),
         cells=int(n_cells),
         build_seconds=0.0,
-        built_at=time.time(),
+        built_at=time.time(),  # repro-lint: allow[wall-clock]
     )
     tables.build_seconds = time.perf_counter() - start_clock
     return tables.attach(context)

@@ -25,7 +25,7 @@ inner products are negative.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

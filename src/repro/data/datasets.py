@@ -16,7 +16,7 @@ experiment grid runs on a laptop; the ``size`` argument of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.data.synthetic import SyntheticSeriesConfig, generate_panel

@@ -61,6 +61,25 @@ def _advisory_lock(lock_path: Path):
         os.close(fd)
 
 
+def append_record_line(path: Union[str, os.PathLike], line: str) -> None:
+    """Append one complete text line with a single ``O_APPEND`` write.
+
+    The journal-write discipline (repro-lint RL004) as a reusable helper:
+    the encoded line lands via ``os.write`` on an ``O_APPEND`` descriptor,
+    so concurrent writers interleave between records, never inside one,
+    and a SIGKILL can tear at most the final line.  ``line`` should not
+    contain a newline; one is appended.
+    """
+    encoded = (line + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        view = memoryview(encoded)
+        while view:
+            view = view[os.write(fd, view):]
+    finally:
+        os.close(fd)
+
+
 class ResultCache:
     """Persistent map ``job key -> JobResult`` stored as JSON lines."""
 
@@ -103,20 +122,12 @@ class ResultCache:
         """
         if not job_result.ok or job_result.key in self._records:
             return
-        line = (json.dumps(job_result.to_record()) + "\n").encode("utf-8")
+        # os.write may report a short write (signal interruption, giant
+        # records); append_record_line finishes the line — under the lock
+        # this is still torn-proof — so a half-record can never glue
+        # itself to the next writer's line.
         with _advisory_lock(self.lock_path):
-            fd = os.open(self.path,
-                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-            try:
-                # os.write may report a short write (signal interruption,
-                # giant records); finish the line — under the lock this is
-                # still torn-proof — so a half-record can never glue itself
-                # to the next writer's line.
-                view = memoryview(line)
-                while view:
-                    view = view[os.write(fd, view):]
-            finally:
-                os.close(fd)
+            append_record_line(self.path, json.dumps(job_result.to_record()))
         self._records[job_result.key] = JobResult(
             key=job_result.key, result=job_result.result, from_cache=True)
 

@@ -10,7 +10,7 @@ average (the ``DropCell`` strategy).  Figure 11 reports
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict
 
 import numpy as np
 

@@ -14,8 +14,8 @@ Two sizing knobs keep the grid laptop-friendly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.data.missing import MissingScenario
 

@@ -48,11 +48,13 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import logging
 import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.lockcheck import checked_lock
 from repro.api.requests import ImputeRequest, ImputeResult
 from repro.api.telemetry import MetricsSnapshot
 from repro.api.service import (
@@ -77,6 +79,8 @@ from repro.gateway.queue import (
 )
 
 __all__ = ["Gateway", "GatewayConfig"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -184,7 +188,7 @@ class Gateway:
         self._id_counter = itertools.count(1)
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
-        self._state_lock = threading.Lock()
+        self._state_lock = checked_lock("Gateway._state_lock")
         self._inflight = 0
         self._model_locks: Dict[str, threading.Lock] = {}
         self._started = False
@@ -393,10 +397,15 @@ class Gateway:
             return self._inflight
 
     def _model_lock(self, model_id: str) -> threading.Lock:
+        # All per-model locks share one lockcheck node ("Gateway._model_lock")
+        # on purpose: the ordering invariant is role-based — a worker may
+        # hold at most one model lock, acquired after releasing the state
+        # lock — and any two-model chain is an inversion worth failing on.
         with self._state_lock:
             lock = self._model_locks.get(model_id)
             if lock is None:
-                lock = self._model_locks[model_id] = threading.Lock()
+                lock = self._model_locks[model_id] = \
+                    checked_lock("Gateway._model_lock")
             return lock
 
     def _worker_loop(self) -> None:
@@ -512,7 +521,11 @@ class Gateway:
         except Exception:
             # The fast lane is opportunistic: any failure (a structurally
             # odd tensor, a mid-refresh model) falls back to the locked
-            # path, which owns real error reporting.
+            # path, which owns real error reporting — but a silently
+            # failing fast lane would look like a fusion-rate regression,
+            # so leave a debug trace behind.
+            logger.debug("fast lane miss for model %s; falling back to "
+                         "locked batch path", model_id, exc_info=True)
             return False
         if completed is None:
             return False

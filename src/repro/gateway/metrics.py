@@ -25,11 +25,11 @@ gateway merges them into :meth:`Gateway.stats` snapshots.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
+from repro.analysis.lockcheck import checked_lock, guarded_by
 from repro.api.telemetry import MetricsSnapshot, rate
 
 __all__ = ["GatewayMetrics", "percentile"]
@@ -53,6 +53,9 @@ def percentile(values: List[float], q: float) -> float:
     return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
 
 
+@guarded_by("_lock", "submitted", "completed", "failed", "rejected",
+            "expired", "fused_completed", "fast_path_completed", "batches",
+            "batch_size_sum", "_latencies", "_completion_times")
 class GatewayMetrics:
     """Thread-safe counters + reservoirs behind ``Gateway.stats()``."""
 
@@ -63,7 +66,7 @@ class GatewayMetrics:
         if qps_window_seconds <= 0:
             raise ValueError("qps_window_seconds must be > 0")
         self.qps_window_seconds = qps_window_seconds
-        self._lock = threading.Lock()
+        self._lock = checked_lock("GatewayMetrics._lock")
         self._started_at = time.perf_counter()
         self.submitted: Dict[str, int] = {}
         self.completed = 0

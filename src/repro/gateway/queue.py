@@ -28,13 +28,13 @@ queue never spins: workers sleep on the condition variable.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, List, Optional, Tuple
 
 from concurrent.futures import Future
 
+from repro.analysis.lockcheck import checked_condition, guarded_by
 from repro.api.requests import ImputeRequest
 from repro.exceptions import (
     DeadlineExceededError,
@@ -113,6 +113,8 @@ class QueuedRequest:
             self.future._future.set_exception(error)
 
 
+@guarded_by("_cond", "_lanes", "_closed", "_interactive_streak",
+            "_assembling")
 class RequestQueue:
     """Bounded, deadline-aware, two-lane queue (see module docstring).
 
@@ -149,7 +151,7 @@ class RequestQueue:
         self.interactive_burst = interactive_burst
         self.on_expired = on_expired
         self._lanes = {lane: [] for lane in LANES}  # type: dict
-        self._cond = threading.Condition()
+        self._cond = checked_condition("RequestQueue._cond")
         self._closed = False
         self._interactive_streak = 0
         #: entries popped by an in-progress next_batch but not yet returned
@@ -160,8 +162,12 @@ class RequestQueue:
     # -- producers ------------------------------------------------------- #
     def put(self, entry: QueuedRequest,
             timeout: Optional[float] = None) -> None:
-        """Admit ``entry``; admission control applies (see class docs)."""
-        if entry.lane not in self._lanes:
+        """Admit ``entry``; admission control applies (see class docs).
+
+        Lane validation checks the immutable ``LANES`` tuple, not
+        ``self._lanes`` — this runs before the lock is taken.
+        """
+        if entry.lane not in LANES:
             raise ValidationError(
                 f"unknown priority lane {entry.lane!r}; lanes: "
                 + ", ".join(LANES))
@@ -251,7 +257,8 @@ class RequestQueue:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._cond:
+            return self._closed
 
     def wake_all(self) -> None:
         """Wake every waiter (used by the gateway's shutdown)."""

@@ -6,7 +6,6 @@ from typing import Callable, Iterator, List, Sequence
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
 
 
 def seeded_rng(seed: int) -> np.random.Generator:

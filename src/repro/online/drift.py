@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import zlib
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple, Union
 
 import numpy as np

@@ -1,0 +1,107 @@
+# ruff: noqa
+"""repro-lint test fixture: compliant counterparts — zero findings.
+
+Exercises the negative side of every rule, including the pragma escape
+hatches, so the linter's false-positive surface is pinned by tests.
+"""
+
+import json
+import logging
+import os
+import threading
+import time
+import traceback
+
+import numpy as np
+
+logger = logging.getLogger(__name__)
+
+#: journal stamps intentionally use the wall clock (survive restarts)
+BUILT_AT = time.time()  # repro-lint: allow[wall-clock]
+
+# A whole-line pragma also covers the line directly below it.
+# repro-lint: allow[wall-clock]
+BOOTED_AT = time.time()
+
+LOCK = threading.Lock()
+
+
+def seeded_mask(n, seed):
+    return np.random.default_rng(seed).random(n) < 0.2
+
+
+def request_deadline(budget_seconds):
+    return time.monotonic() + budget_seconds
+
+
+def with_guard():
+    with LOCK:
+        return 1
+
+
+def timeout_acquire():
+    try:
+        if not LOCK.acquire(timeout=1.0):
+            raise TimeoutError("lock busy")
+        return 1
+    finally:
+        if LOCK.locked():
+            LOCK.release()
+
+
+def journal_append(path, line):
+    encoded = (line + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, encoded)
+    finally:
+        os.close(fd)
+
+
+def read_mode_open(path):
+    # "r" contains no "a"; and open("data", ...) on attribute receivers
+    # whose first argument is a *filename* must not be mistaken for a mode.
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def archive_member(archive):
+    return archive.open("data.txt")  # filename, not a mode string
+
+
+def wire_deserialise(blob):
+    return json.loads(blob)
+
+
+def narrow_handler(job):
+    try:
+        job()
+    except ValueError:  # narrow: RL006 only gates broad handlers
+        pass
+
+
+def logged_handler(job):
+    try:
+        job()
+    except Exception:
+        logger.exception("job failed")
+
+
+def captured_handler(job):
+    try:
+        job()
+    except Exception:
+        return {"ok": False, "traceback": traceback.format_exc()}
+
+
+def bound_handler(job):
+    try:
+        job()
+    except Exception as exc:
+        raise RuntimeError("job failed") from exc
+
+
+def accumulate(value, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(value)
+    return bucket

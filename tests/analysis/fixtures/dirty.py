@@ -1,0 +1,63 @@
+# ruff: noqa
+"""repro-lint test fixture: every applicable rule violated on purpose.
+
+Never imported by production code; tests/analysis/test_linter.py lints
+this file and asserts each rule fires.  RL007 lives in a separate
+fixture (fixtures/repro/api/surface.py) because it is path-scoped.
+"""
+
+import pickle  # RL005: import of a pickle-family module
+import threading
+import time
+
+import numpy as np
+
+
+def unseeded_mask(n):
+    return np.random.rand(n) < 0.2  # RL001: global numpy RNG
+
+
+def unseeded_seed():
+    np.random.seed(0)  # RL001: seeding the *global* RNG is still global
+
+
+def request_deadline(budget_seconds):
+    return time.time() + budget_seconds  # RL002: wall-clock deadline
+
+
+LOCK = threading.Lock()
+
+
+def bare_acquire():
+    LOCK.acquire()  # RL003: no with, no try/finally
+    value = 1
+    LOCK.release()
+    return value
+
+
+def buffered_journal_append(path, record):
+    with open(path, "a") as fh:  # RL004: buffered append can tear records
+        fh.write(record + "\n")
+
+
+def wire_deserialise(blob):
+    return pickle.loads(blob)  # RL005: pickle on a wire path
+
+
+def swallow_everything(job):
+    try:
+        job()
+    except Exception:  # RL006: error vanishes silently
+        pass
+
+
+def swallow_bare(job):
+    try:
+        job()
+    except:  # RL006: bare except
+        return None
+
+
+def accumulate(value, bucket=[]):  # RL008: mutable default
+    bucket.append(value)
+    return bucket

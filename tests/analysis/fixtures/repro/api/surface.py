@@ -1,0 +1,28 @@
+# ruff: noqa
+"""RL007 fixture: the path contains ``repro/api/``, arming the rule."""
+
+from typing import Optional, Union
+
+
+class ModelRef:  # stand-in so the annotations below parse standalone
+    pass
+
+
+def lookup(model_id: str):  # RL007: raw str on a public api surface
+    return model_id
+
+
+def resolve(model_id: Union[str, ModelRef]):  # ok: advertises ModelRef
+    return model_id
+
+
+def pinned(model_id: Optional["ModelRef"] = None):  # ok: ref-typed
+    return model_id
+
+
+def untyped(model_id):  # ok: unannotated parameters are not gated
+    return model_id
+
+
+def _internal(model_id: str):  # ok: private helpers are store-level
+    return model_id

@@ -1,0 +1,139 @@
+"""repro-lint: fixture files, pragmas, baseline, and the CLI contract."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import linter
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _rules_fired(path) -> dict:
+    counts: dict = {}
+    for finding in linter.lint_file(path):
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts
+
+
+class TestFixtures:
+    def test_dirty_fixture_trips_every_path_free_rule(self):
+        counts = _rules_fired(FIXTURES / "dirty.py")
+        assert counts["RL001"] == 2       # rand() and seed()
+        assert counts["RL002"] == 1
+        assert counts["RL003"] == 1
+        assert counts["RL004"] == 1
+        assert counts["RL005"] == 2       # import + loads()
+        assert counts["RL006"] == 2       # except Exception + bare except
+        assert counts["RL008"] == 1
+        assert "RL007" not in counts      # path-scoped, wrong path here
+
+    def test_clean_fixture_is_clean(self):
+        assert linter.lint_file(FIXTURES / "clean.py") == []
+
+    def test_rl007_fires_only_on_public_str_surfaces(self):
+        findings = linter.lint_file(FIXTURES / "repro" / "api" / "surface.py")
+        assert [f.rule for f in findings] == ["RL007"]
+        assert "lookup()" in findings[0].message
+
+    def test_findings_carry_location_and_hint(self):
+        findings = linter.lint_file(FIXTURES / "dirty.py")
+        rl003 = [f for f in findings if f.rule == "RL003"]
+        assert len(rl003) == 1
+        assert rl003[0].line > 0 and rl003[0].hint
+
+
+class TestPragmas:
+    def test_trailing_pragma_suppresses_by_alias_and_id(self):
+        for tag in ("wall-clock", "RL002"):
+            source = (f"import time\n"
+                      f"stamp = time.time()  # repro-lint: allow[{tag}]\n")
+            assert linter.lint_source(source, "x.py") == []
+
+    def test_whole_line_pragma_covers_next_line(self):
+        source = ("import time\n"
+                  "# repro-lint: allow[wall-clock]\n"
+                  "stamp = time.time()\n")
+        assert linter.lint_source(source, "x.py") == []
+
+    def test_pragma_does_not_leak_to_other_lines(self):
+        source = ("import time\n"
+                  "a = time.time()  # repro-lint: allow[wall-clock]\n"
+                  "b = time.time()\n")
+        findings = linter.lint_source(source, "x.py")
+        assert [f.line for f in findings] == [3]
+
+    def test_pragma_inside_string_literal_is_inert(self):
+        source = ("import time\n"
+                  "note = '# repro-lint: allow[wall-clock]'\n"
+                  "stamp = time.time()\n")
+        findings = linter.lint_source(source, "x.py")
+        assert [f.rule for f in findings] == ["RL002"]
+
+    def test_pragma_only_silences_named_rule(self):
+        source = ("import time\n"
+                  "stamp = time.time()  # repro-lint: allow[pickle]\n")
+        findings = linter.lint_source(source, "x.py")
+        assert [f.rule for f in findings] == ["RL002"]
+
+
+class TestBaseline:
+    def test_allowance_grandfathers_then_fails_past_it(self):
+        report = linter.lint_paths(
+            [FIXTURES / "dirty.py"],
+            baseline={"tests/analysis/fixtures/dirty.py::RL001": 1})
+        grandfathered = [f for f in report.grandfathered]
+        assert len(grandfathered) == 1 and grandfathered[0].rule == "RL001"
+        live_rl001 = [f for f in report.findings if f.rule == "RL001"]
+        assert len(live_rl001) == 1       # second finding exceeds allowance
+
+    def test_repo_baseline_covers_current_tree(self):
+        """The committed baseline must keep ``src benchmarks`` at exit 0."""
+        baseline = linter.load_baseline(
+            REPO_ROOT / "tools" / "repro_lint_baseline.json")
+        report = linter.lint_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "benchmarks"],
+            baseline=baseline)
+        assert report.ok, "\n".join(f.render() for f in report.findings)
+
+
+def _run_cli(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT)
+
+
+class TestCli:
+    def test_dirty_file_exits_one_with_json_findings(self):
+        proc = _run_cli(str(FIXTURES / "dirty.py"), "--no-baseline",
+                        "--format", "json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert not payload["ok"] and payload["findings"]
+
+    def test_clean_file_exits_zero(self):
+        proc = _run_cli(str(FIXTURES / "clean.py"), "--no-baseline")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_update_baseline_then_clean(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        first = _run_cli(str(FIXTURES / "dirty.py"),
+                         "--baseline", str(baseline), "--update-baseline")
+        assert first.returncode == 0 and baseline.exists()
+        second = _run_cli(str(FIXTURES / "dirty.py"),
+                          "--baseline", str(baseline))
+        assert second.returncode == 0, second.stdout + second.stderr
+
+    def test_rule_filter(self):
+        proc = _run_cli(str(FIXTURES / "dirty.py"), "--no-baseline",
+                        "--rules", "RL008", "--format", "json")
+        payload = json.loads(proc.stdout)
+        assert {f["rule"] for f in payload["findings"]} == {"RL008"}

@@ -1,0 +1,92 @@
+"""mypy error-count ratchet: grow fails, shrink tightens, bootstrap arms."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import ratchet
+
+SAMPLE = """\
+src/repro/api/service.py:10: error: Incompatible return value  [return-value]
+src/repro/api/service.py:20: error: Argument 1 has incompatible type  [arg-type]
+src/repro/gateway/queue.py:5: error: Need type annotation  [var-annotated]
+src/repro/gateway/queue.py:6: note: See documentation
+Found 3 errors in 2 files (checked 10 source files)
+"""
+
+
+def _baseline(tmp_path, modules, bootstrapped=True):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "bootstrapped": bootstrapped,
+        "total": sum(modules.values()),
+        "modules": modules,
+    }))
+    return path
+
+
+def _report(tmp_path, text=SAMPLE):
+    path = tmp_path / "mypy.txt"
+    path.write_text(text)
+    return path
+
+
+class TestParsing:
+    def test_counts_errors_ignores_notes_and_summary(self):
+        counts = ratchet.parse_mypy_output(SAMPLE)
+        assert counts == {"src/repro/api/service.py": 2,
+                          "src/repro/gateway/queue.py": 1}
+
+    def test_empty_output_is_zero_errors(self):
+        assert ratchet.parse_mypy_output("Success: no issues found") == {}
+
+
+class TestRatchet:
+    def test_growth_past_baseline_fails_ci(self, tmp_path, capsys):
+        baseline = _baseline(tmp_path, {"src/repro/api/service.py": 1,
+                                        "src/repro/gateway/queue.py": 1})
+        code = ratchet.main(["--baseline", str(baseline),
+                             "--mypy-output", str(_report(tmp_path))])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "src/repro/api/service.py" in out
+        # the offending mypy lines are echoed for the CI log
+        assert "Incompatible return value" in out
+
+    def test_new_module_has_implicit_zero_allowance(self, tmp_path):
+        baseline = _baseline(tmp_path, {"src/repro/api/service.py": 2})
+        code = ratchet.main(["--baseline", str(baseline),
+                             "--mypy-output", str(_report(tmp_path))])
+        assert code == 1              # queue.py is new -> allowed 0
+
+    def test_within_baseline_passes(self, tmp_path):
+        baseline = _baseline(tmp_path, {"src/repro/api/service.py": 2,
+                                        "src/repro/gateway/queue.py": 1})
+        code = ratchet.main(["--baseline", str(baseline),
+                             "--mypy-output", str(_report(tmp_path))])
+        assert code == 0
+
+    def test_shrink_auto_tightens_baseline(self, tmp_path):
+        baseline = _baseline(tmp_path, {"src/repro/api/service.py": 5,
+                                        "src/repro/gateway/queue.py": 1,
+                                        "src/repro/gone.py": 3})
+        code = ratchet.main(["--baseline", str(baseline),
+                             "--mypy-output", str(_report(tmp_path))])
+        assert code == 0
+        tightened = json.loads(baseline.read_text())["modules"]
+        assert tightened["src/repro/api/service.py"] == 2
+        assert "src/repro/gone.py" not in tightened
+
+    def test_unbootstrapped_baseline_regenerates_and_passes(self, tmp_path):
+        baseline = _baseline(tmp_path, {}, bootstrapped=False)
+        code = ratchet.main(["--baseline", str(baseline),
+                             "--mypy-output", str(_report(tmp_path))])
+        assert code == 0
+        payload = json.loads(baseline.read_text())
+        assert payload["bootstrapped"] is True and payload["total"] == 3
+
+    def test_missing_baseline_bootstraps(self, tmp_path):
+        baseline = tmp_path / "absent.json"
+        code = ratchet.main(["--baseline", str(baseline),
+                             "--mypy-output", str(_report(tmp_path))])
+        assert code == 0 and baseline.exists()

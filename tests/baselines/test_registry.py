@@ -2,14 +2,12 @@
 
 import pytest
 
-from repro.baselines.base import BaseImputer
 from repro.baselines.registry import (
     DEEPMVI_VARIANTS,
     ImputerRegistry,
     MethodInfo,
     create_imputer,
     get_registry,
-    list_method_infos,
     list_methods,
     method_info,
     register_imputer,

@@ -7,7 +7,6 @@ a restart under a stale ring (requests for a model this shard never had).
 
 import json
 
-import pytest
 
 from repro.api.requests import ImputeRequest
 from repro.api.service import ImputationService, ModelStore

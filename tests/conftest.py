@@ -5,9 +5,27 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis import lockcheck
 from repro.data.datasets import load_dataset
 from repro.data.dimensions import Dimension
 from repro.data.tensor import TimeSeriesTensor
+
+if lockcheck.enabled():
+    # REPRO_LOCKCHECK=1: every production lock created after this point is
+    # a CheckedLock, and @guarded_by attributes get their descriptors.
+    lockcheck.enable()
+
+    @pytest.fixture(autouse=True)
+    def _lockcheck_clean():
+        """Fail the surrounding test on any lock-order or guard violation.
+
+        Soak/concurrency tests run their normal assertions first; this
+        fixture then surfaces ordering inversions and unguarded shared
+        accesses the run provoked, pinned to the test that provoked them.
+        """
+        lockcheck.reset()
+        yield
+        lockcheck.assert_clean(reset_after=True)
 
 
 @pytest.fixture

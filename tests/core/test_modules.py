@@ -64,7 +64,7 @@ class TestTemporalTransformer:
         module = TemporalTransformer(window=5, n_filters=8, n_heads=2, rng=rng)
         values, avail, index, _, target_offset = _make_tt_inputs(rng, batch=1, context=6)
         target_window = np.array([0])
-        baseline = module(values, avail, index, target_window, target_offset).data
+        module(values, avail, index, target_window, target_offset)
 
         # Make window 4 partially missing and wildly different: since its key
         # is suppressed, the output must not change through the value path.

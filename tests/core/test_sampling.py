@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.context import DatasetContext
 from repro.core.sampling import (
-    BlockShape,
     MissingShapeSampler,
     TrainingSampler,
     _extent_through,

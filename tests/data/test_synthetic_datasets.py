@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.data.datasets import (
-    DatasetProfile,
     get_profile,
     list_datasets,
     load_dataset,

@@ -1,6 +1,5 @@
 """Executor tests: serial/parallel equivalence, caching, resume, errors."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.base import BaseImputer

@@ -7,8 +7,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.data.dimensions import Dimension
-from repro.data.tensor import TimeSeriesTensor
 from repro.evaluation.metrics import mae, masked_errors, nrmse, rmse
 from repro.exceptions import ShapeError
 

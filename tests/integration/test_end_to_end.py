@@ -6,7 +6,6 @@ import pytest
 
 from repro import DeepMVIConfig, DeepMVIImputer, load_dataset, mae
 from repro.baselines import CDRecImputer, MeanImputer, SVDImputer
-from repro.baselines.registry import get_registry
 from repro.data.missing import MissingScenario, apply_scenario
 from repro.evaluation.analytics import downstream_comparison
 from repro.evaluation.runner import ExperimentRunner

@@ -1,7 +1,6 @@
 """Tests of nn utility helpers."""
 
 import numpy as np
-import pytest
 
 from repro.nn.utils import (
     exponential_moving_average,

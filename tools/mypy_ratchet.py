@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Standalone entry point for the mypy type-coverage ratchet.
+
+Usage (from the repo root, as CI does)::
+
+    python tools/mypy_ratchet.py --baseline tools/mypy_baseline.json src/repro
+
+Grow = fail, shrink = baseline auto-tightens; see
+:mod:`repro.analysis.ratchet` for the semantics.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.ratchet import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
