@@ -49,6 +49,15 @@ organised as:
     :class:`~repro.api.ModelRef`), and a canary controller that
     shadow-scores each new version before promoting it to ``@latest``
     (or rolling it back), journalling every transition.
+``repro.obs``
+    End-to-end observability across the serving stack: head-sampled
+    request tracing (:class:`~repro.obs.TraceContext` propagated from
+    gateway admission through the cluster wire protocol into shard
+    processes, spans appended to per-process ``traces.jsonl``), stage
+    profiling hooks that collapse to no-ops when disabled, a metrics
+    registry with a Prometheus text-format HTTP exporter, and the
+    ``repro-obs`` CLI for span-tree reconstruction and per-stage
+    latency breakdowns.
 ``repro.analysis``
     The repo's own analysis tooling: the repro-lint AST checker
     (``python -m repro.analysis``) enforcing the project invariants,
@@ -91,8 +100,10 @@ from repro import cluster
 from repro.cluster import ClusterRouter
 from repro import online
 from repro.online import OnlineLoop
+from repro import obs
+from repro.obs import MetricsExporter, TraceContext
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "api",
@@ -100,6 +111,9 @@ __all__ = [
     "ClusterRouter",
     "online",
     "OnlineLoop",
+    "obs",
+    "MetricsExporter",
+    "TraceContext",
     "gateway",
     "Gateway",
     "GatewayConfig",

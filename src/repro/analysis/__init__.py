@@ -4,10 +4,11 @@ Three instruments, one goal — the serving stack's invariants enforced by
 tools instead of convention:
 
 * :mod:`repro.analysis.linter` — **repro-lint**, an AST checker with
-  eight project-invariant rules (RL001-RL008: seeded randomness,
+  nine project-invariant rules (RL001-RL009: seeded randomness,
   monotonic clocks, lock discipline, O_APPEND journals, guarded pickle,
   no swallowed exceptions, ModelRef-first api surfaces, no mutable
-  defaults).  Run it with ``python -m repro.analysis src benchmarks``.
+  defaults, no ``print()`` in library code).  Run it with
+  ``python -m repro.analysis src benchmarks``.
 * :mod:`repro.analysis.lockcheck` — a **dynamic lock-order and
   guarded-attribute detector**: instrumented locks record per-thread
   acquisition graphs and fail tests on lock-order inversion cycles;

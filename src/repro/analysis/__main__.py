@@ -27,7 +27,7 @@ DEFAULT_BASELINE = "tools/repro_lint_baseline.json"
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="repro-lint: project-invariant checks (RL001-RL008)")
+        description="repro-lint: project-invariant checks (RL001-RL009)")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--format", choices=("human", "json"),

@@ -28,6 +28,10 @@ RL007     model-ref           public ``repro.api`` surfaces take
                               :class:`~repro.api.refs.ModelRef`, not raw
                               ``model_id: str`` parameters
 RL008     mutable-default     no mutable default argument values
+RL009     no-print            no ``print()`` in ``repro`` library code
+                              (CLI entry points — ``cli.py`` /
+                              ``__main__.py`` — are exempt; use
+                              :mod:`logging` so servers stay quiet)
 ========  ==================  ==============================================
 
 Suppression is per line: a trailing (or immediately preceding whole-line)
@@ -77,7 +81,11 @@ RULE_ALIASES: Dict[str, str] = {
     "RL006": "swallow",
     "RL007": "model-ref",
     "RL008": "mutable-default",
+    "RL009": "no-print",
 }
+
+#: file names where ``print()`` IS the output channel (RL009 exempt)
+_PRINT_ALLOWED_NAMES = ("cli.py", "__main__.py")
 
 #: legacy ``np.random`` module-level functions that share global state or
 #: hide their seed; the generator API is exempt.
@@ -507,6 +515,27 @@ def _rule_rl008(tree: ast.AST, path: str) -> Iterable[Finding]:
                          "(or use dataclasses.field(default_factory=...))")
 
 
+def _rule_rl009(tree: ast.AST, path: str) -> Iterable[Finding]:
+    """RL009: no ``print()`` in library code (CLI modules exempt)."""
+    posix = Path(path).as_posix()
+    if "repro/" not in posix:
+        return
+    if Path(path).name in _PRINT_ALLOWED_NAMES:
+        return
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"):
+            yield Finding(
+                path, node.lineno, node.col_offset, "RL009",
+                "print() in library code writes to the server's stdout: "
+                "it interleaves with worker output, ignores log levels, "
+                "and cannot be silenced by embedders",
+                hint="use logging.getLogger(__name__) (debug/info); "
+                     "print() belongs only in cli.py / __main__.py entry "
+                     "points")
+
+
 #: rule id -> implementation; RL003 additionally receives the parent map
 RULES = {
     "RL001": _rule_rl001,
@@ -517,6 +546,7 @@ RULES = {
     "RL006": _rule_rl006,
     "RL007": _rule_rl007,
     "RL008": _rule_rl008,
+    "RL009": _rule_rl009,
 }
 
 

@@ -27,6 +27,7 @@ from repro.api.refs import (  # noqa: F401
 from repro.data.dimensions import Dimension
 from repro.data.tensor import TimeSeriesTensor
 from repro.exceptions import ValidationError
+from repro.obs.trace import TraceContext
 
 __all__ = ["FitRequest", "ImputeRequest", "ImputeResult", "check_model_id",
            "tensor_to_dict", "tensor_from_dict"]
@@ -235,12 +236,22 @@ class ImputeRequest:
         end-to-end ``latency_seconds`` (queue wait + compute) on the
         result.  Process-local timing state: it is deliberately **not**
         part of the wire encoding.
+    trace:
+        Optional :class:`repro.obs.TraceContext` stamped at submit when
+        tracing is armed (``REPRO_TRACE=1``) and the request was head
+        sampled.  ``None`` — the default, and the only value untraced
+        deployments ever see — costs nothing downstream.  Unlike
+        ``enqueued_at`` it *is* wire-encoded (as an optional ``"trace"``
+        key) so shard processes can parent their spans correctly; payloads
+        without a trace are byte-identical to the pre-tracing format, and
+        old peers ignore the key.
     """
 
     model_id: Union[str, ModelRef]
     data: Optional[TimeSeriesTensor] = None
     request_id: Optional[str] = None
     enqueued_at: Optional[float] = None
+    trace: Optional[TraceContext] = None
 
     @property
     def model_ref(self) -> ModelRef:
@@ -264,11 +275,14 @@ class ImputeRequest:
     def to_dict(self) -> Dict[str, object]:
         model_id = self.model_id.wire_id() \
             if isinstance(self.model_id, ModelRef) else self.model_id
-        return {
+        payload: Dict[str, object] = {
             "model_id": model_id,
             "data": tensor_to_dict(self.data) if self.data is not None else None,
             "request_id": self.request_id,
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace.to_wire()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "ImputeRequest":
@@ -277,6 +291,7 @@ class ImputeRequest:
             model_id=payload["model_id"],
             data=tensor_from_dict(data) if data is not None else None,
             request_id=payload.get("request_id"),
+            trace=TraceContext.from_wire(payload.get("trace")),
         )
 
 

@@ -50,6 +50,7 @@ from repro.engine.artifacts import MANIFEST_FILENAME, load_imputer, save_imputer
 from repro.engine.executor import ExecutionReport, make_executor
 from repro.engine.jobs import JobResult
 from repro.exceptions import ServiceError, ValidationError
+from repro.obs import trace as obs_trace
 
 __all__ = ["DirectoryBackend", "ImputationService", "LRUModelCache",
            "ModelStore", "as_tensor", "coerce_impute_request", "impute",
@@ -451,12 +452,25 @@ def execute_serving_batch(batch: ServingBatch,
     # healthy requests whenever one fails.
     overrides_impute_many = (type(imputer).impute_many
                              is not BaseImputer.impute_many)
+    # Tracing: the fused forward can only activate one context for the
+    # imputer-internal stage hooks, so the first traced request hosts them;
+    # every traced request still gets its own serve-stage span below.
+    traced = [request.trace for request in batch.requests
+              if request.trace is not None] if obs_trace.enabled() else []
+    # Remote proxies (the cluster's RemoteModel) expose ``serve_requests``,
+    # which ships the full requests — trace contexts included — across the
+    # RPC instead of stripping them down to bare tensors.
+    serve_requests = getattr(imputer, "serve_requests", None)
     if len(batch.requests) > 1 and overrides_impute_many:
         try:
-            start = time.perf_counter()
-            completed_many = imputer.impute_many(
-                [request.data for request in batch.requests])
-            end = time.perf_counter()
+            with obs_trace.activate(traced[0] if traced else None):
+                start = time.perf_counter()
+                if callable(serve_requests):
+                    completed_many = serve_requests(batch.requests)
+                else:
+                    completed_many = imputer.impute_many(
+                        [request.data for request in batch.requests])
+                end = time.perf_counter()
             share = (end - start) / len(batch.requests)
             fast_flags = _fast_path_flags(imputer, len(batch.requests))
             fused_results = [
@@ -474,6 +488,13 @@ def execute_serving_batch(batch: ServingBatch,
                 for request, completed, fast in zip(
                     batch.requests, completed_many, fast_flags)
             ]
+            obs_trace.write_records([
+                obs_trace.span_record(
+                    "serve.fused_forward", request.trace.child(), start, end,
+                    {"batch_size": len(batch.requests), "fast_path": fast,
+                     "model_id": batch.model_id})
+                for request, fast in zip(batch.requests, fast_flags)
+                if request.trace is not None])
         except Exception:  # repro-lint: allow[swallow]
             # One request poisoned the fused pass; re-serve one-at-a-time so
             # the healthy requests still complete and the failure is pinned
@@ -484,11 +505,21 @@ def execute_serving_batch(batch: ServingBatch,
         return JobResult(key=key, result={"results": fused_results,
                                           "failures": []})
 
+    serve_spans: List[dict] = []
     for request in batch.requests:
         try:
-            start = time.perf_counter()
-            completed = imputer.impute(request.data)
-            end = time.perf_counter()
+            with obs_trace.activate(request.trace):
+                start = time.perf_counter()
+                if callable(serve_requests):
+                    completed = serve_requests([request])[0]
+                else:
+                    completed = imputer.impute(request.data)
+                end = time.perf_counter()
+            fast = _fast_path_flags(imputer, 1)[0]
+            if request.trace is not None:
+                serve_spans.append(obs_trace.span_record(
+                    "serve.impute", request.trace.child(), start, end,
+                    {"fast_path": fast, "model_id": batch.model_id}))
             results.append(ImputeResult(
                 request_id=str(request.request_id),
                 model_id=batch.model_id,
@@ -497,11 +528,12 @@ def execute_serving_batch(batch: ServingBatch,
                 runtime_seconds=end - start,
                 latency_seconds=_latency(request, end, end - start),
                 from_batch=True,
-                fast_path=_fast_path_flags(imputer, 1)[0],
+                fast_path=fast,
             ))
         except Exception:
             failures.append({"request_id": str(request.request_id),
                              "error": traceback.format_exc()})
+    obs_trace.write_records(serve_spans)
     return JobResult(key=key,
                      result={"results": results, "failures": failures})
 
@@ -707,8 +739,16 @@ class ImputationService:
                 f"request id {request.request_id!r} is already queued")
         # Queue-admission stamp (on a copy — the caller's object is never
         # mutated): results report end-to-end latency from this moment.
-        request = dataclasses.replace(request,
-                                      enqueued_at=time.perf_counter())
+        admitted = time.perf_counter()
+        ctx = request.trace
+        if ctx is None and obs_trace.enabled():
+            ctx = obs_trace.start_trace()  # None when head-sampled out
+            if ctx is not None:
+                obs_trace.write_span("service.submit", ctx, admitted,
+                                     time.perf_counter(),
+                                     {"request_id": str(request.request_id)})
+        request = dataclasses.replace(request, enqueued_at=admitted,
+                                      trace=ctx)
         self._pending.append(request)
         self._pending_ids.add(str(request.request_id))
         return str(request.request_id)

@@ -15,6 +15,7 @@ Blackout scenario — is architectural and survives the simplification).
 
 from __future__ import annotations
 
+import logging
 from typing import Optional
 
 import numpy as np
@@ -28,6 +29,8 @@ from repro.nn.losses import mse_loss
 from repro.nn.optim import Adam
 from repro.nn.rnn import BidirectionalGRU
 from repro.nn.tensor import Tensor, no_grad
+
+logger = logging.getLogger(__name__)
 
 
 class _BRITSNetwork(Module):
@@ -101,7 +104,8 @@ class BRITSImputer(BaseImputer):
             optimizer.clip_grad_norm(5.0)
             optimizer.step()
             if self.verbose:
-                print(f"[brits] epoch {epoch} loss={loss.item():.4f}")
+                logger.info("[brits] epoch %d loss=%.4f",
+                            epoch, loss.item())
         return self
 
     # ------------------------------------------------------------------ #

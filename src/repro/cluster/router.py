@@ -44,6 +44,7 @@ from repro.cluster.shard import (
 )
 from repro.cluster.store import DB_FILENAME, cluster_analytics
 from repro.exceptions import ServiceError, ValidationError
+from repro.obs import trace as obs_trace
 
 __all__ = ["ClusterRouter", "RemoteModel", "ShardClient"]
 
@@ -105,6 +106,25 @@ class RemoteModel:
 
     def impute_many(self, tensors: Sequence) -> List:
         results = self._router._serve_remote(self.model_id, list(tensors))
+        self.last_impute_info = [
+            {"fast_path": result.fast_path, "fused": result.fused}
+            for result in results]
+        return [result.completed for result in results]
+
+    def serve_requests(self, requests: Sequence[ImputeRequest]) -> List:
+        """Serve full requests, carrying their trace contexts to the shard.
+
+        The trace-aware sibling of :meth:`impute_many`:
+        ``execute_serving_batch`` prefers it when present, so a traced
+        gateway batch keeps its contexts across the RPC boundary instead
+        of being stripped down to bare tensors.  The router still mints
+        its own request ids — gateway ids are per-gateway counters, not
+        the globally-unique keys the exactly-once ledger needs.
+        """
+        results = self._router._serve_remote(
+            self.model_id,
+            [request.data for request in requests],
+            traces=[request.trace for request in requests])
         self.last_impute_info = [
             {"fast_path": result.fast_path, "fused": result.fused}
             for result in results]
@@ -431,6 +451,17 @@ class ClusterRouter:
         now = time.perf_counter()
         deadline_ms = (self.default_deadline_ms
                        if deadline_ms is None else deadline_ms)
+        # Tracing front door for direct router use (the gateway path stamps
+        # upstream): mint a sampled root and ship a child on the wire so
+        # shard spans parent under it.
+        ctx = request.trace
+        if ctx is None and obs_trace.enabled():
+            ctx = obs_trace.start_trace()
+            if ctx is not None:
+                request = dataclasses.replace(request, trace=ctx)
+                obs_trace.write_span("cluster.submit", ctx, now,
+                                     time.perf_counter(),
+                                     {"request_id": request_id})
         wire = request.to_dict()
         wire["request_id"] = request_id
         self._pending.append({
@@ -462,6 +493,7 @@ class ClusterRouter:
         self.last_errors = {}
         self.last_deduped = 0
         for owner, entries in by_owner.items():
+            call_start = time.perf_counter()
             try:
                 reply = self._call(owner, {"op": "serve",
                                            "entries": entries})
@@ -470,6 +502,16 @@ class ClusterRouter:
                     self.last_errors[entry["request"]["request_id"]] = \
                         str(error)
                 continue
+            if obs_trace.enabled():
+                call_end = time.perf_counter()
+                for entry in entries:
+                    ctx = obs_trace.TraceContext.from_wire(
+                        entry["request"].get("trace"))
+                    if ctx is not None:
+                        obs_trace.write_span(
+                            "cluster.rpc", ctx.child(), call_start,
+                            call_end, {"shard": owner,
+                                       "batch_size": len(entries)})
             self.last_deduped += int(reply.get("deduped", 0))
             for request_id, wire in reply["results"].items():
                 results[request_id] = ImputeResult.from_dict(wire)
@@ -503,22 +545,40 @@ class ClusterRouter:
     def _serve_remote(self, model_id: str, tensors: List,
                       request_ids: Optional[List[str]] = None,
                       deadline_ms: Optional[float] = None,
+                      traces: Optional[List] = None,
                       ) -> List[ImputeResult]:
-        """Serve ``tensors`` against one model in a single shard RPC."""
+        """Serve ``tensors`` against one model in a single shard RPC.
+
+        ``traces`` (parallel to ``tensors``) carries the callers'
+        :class:`~repro.obs.TraceContext`\\ s across the hop: each traced
+        request gets an RPC child context written as its ``cluster.rpc``
+        span here and shipped in the wire payload so the shard's spans
+        parent under it.
+        """
         now = time.perf_counter()
         deadline_ms = (self.default_deadline_ms
                        if deadline_ms is None else deadline_ms)
         entries = []
+        rpc_ctxs = []
         for index, tensor in enumerate(tensors):
             if request_ids is not None:
                 request_id = request_ids[index]
             else:
                 self._request_counter += 1
                 request_id = f"req-{self._nonce}-{self._request_counter:06d}"
+            ctx = traces[index] if traces is not None else None
+            rpc_ctx = ctx.child() if ctx is not None \
+                and obs_trace.enabled() else None
+            encode_start = time.perf_counter()
             wire = ImputeRequest(
                 model_id=model_id,
                 data=as_tensor(tensor) if tensor is not None else None,
-                request_id=request_id).to_dict()
+                request_id=request_id,
+                trace=rpc_ctx).to_dict()
+            if rpc_ctx is not None:
+                obs_trace.write_span("wire.encode", rpc_ctx.child(),
+                                     encode_start, time.perf_counter())
+                rpc_ctxs.append(rpc_ctx)
             entries.append({
                 "request": wire,
                 "enqueued_at": now,
@@ -527,6 +587,13 @@ class ClusterRouter:
             })
         owner = self.ring.assign(model_id)
         reply = self._call(owner, {"op": "serve", "entries": entries})
+        call_end = time.perf_counter()
+        for rpc_ctx in rpc_ctxs:
+            # Spans from encode through reply: the shard-side spans (which
+            # the wire context parents) land inside this window.
+            obs_trace.write_span("cluster.rpc", rpc_ctx, now, call_end,
+                                 {"shard": owner,
+                                  "batch_size": len(entries)})
         self.last_deduped = int(reply.get("deduped", 0))
         if reply["failures"]:
             first = reply["failures"][0]

@@ -43,6 +43,7 @@ from repro.api.service import (
 )
 from repro.cluster.store import DurableStore, SQLiteBackend
 from repro.engine.artifacts import load_imputer_bytes
+from repro.obs import trace as obs_trace
 
 __all__ = ["ShardHandle", "ShardServer", "recv_message", "replay_pending",
            "send_message", "start_shard"]
@@ -270,7 +271,14 @@ class ShardServer:
                                  "error": "deadline expired before the "
                                           "shard admitted the request"})
                 continue
+            journal_start = time.perf_counter()
             self.store.journal_request(request_id, wire["model_id"], wire)
+            if obs_trace.enabled():
+                rpc_ctx = obs_trace.TraceContext.from_wire(wire.get("trace"))
+                if rpc_ctx is not None:
+                    obs_trace.write_span("shard.journal", rpc_ctx.child(),
+                                         journal_start, time.perf_counter(),
+                                         {"shard": self.name})
             live.append(entry)
 
         by_model: Dict[str, List[Dict]] = {}
@@ -288,20 +296,37 @@ class ShardServer:
                                      "error": message})
                 continue
             requests = []
+            # request_id -> the shard-serve span context minted for it;
+            # written after commit so the span covers serve + commit.
+            serve_ctxs: Dict[str, obs_trace.TraceContext] = {}
             for entry in entries:
+                decode_start = time.perf_counter()
                 request = ImputeRequest.from_dict(entry["request"])
+                decode_end = time.perf_counter()
                 if entry.get("enqueued_at") is not None:
                     # perf_counter is CLOCK_MONOTONIC system-wide, so the
                     # router's admission stamp is meaningful here and
                     # latency_seconds reports true queue wait + compute.
                     request = dataclasses.replace(
                         request, enqueued_at=float(entry["enqueued_at"]))
+                if obs_trace.enabled() and request.trace is not None:
+                    obs_trace.write_span("wire.decode",
+                                         request.trace.child(),
+                                         decode_start, decode_end,
+                                         {"shard": self.name})
+                    # Re-stamp with the shard-serve context so the serving
+                    # spans written inside execute_serving_batch parent
+                    # under ``shard.serve`` rather than the RPC span.
+                    serve_ctx = request.trace.child()
+                    request = dataclasses.replace(request, trace=serve_ctx)
+                    serve_ctxs[str(request.request_id)] = serve_ctx
                 requests.append(request)
             batch = ServingBatch(
                 model_id=model_id,
                 method=self.service.store.method_for(model_id),
                 requests=requests,
                 imputer=self.service.store.get(model_id))
+            serve_start = time.perf_counter()
             job = execute_serving_batch(batch)
             if not job.ok:
                 for entry in entries:
@@ -312,10 +337,23 @@ class ShardServer:
                 continue
             for result in job.result["results"]:
                 wire_result = result.to_dict()
+                commit_start = time.perf_counter()
                 inserted = self.store.commit_result(
                     result.request_id, model_id, wire_result,
                     latency_seconds=result.latency_seconds,
                     fused=result.fused, fast_path=result.fast_path)
+                serve_ctx = serve_ctxs.get(result.request_id)
+                if serve_ctx is not None:
+                    end = time.perf_counter()
+                    obs_trace.write_span("shard.commit", serve_ctx.child(),
+                                         commit_start, end,
+                                         {"shard": self.name})
+                    obs_trace.write_span(
+                        "shard.serve", serve_ctx, serve_start, end,
+                        {"shard": self.name, "model_id": model_id,
+                         "fast_path": result.fast_path,
+                         "fused": result.fused,
+                         "batch_size": len(requests)})
                 if not inserted:
                     deduped += 1
                     wire_result = self.store.get_result(result.request_id)
@@ -349,6 +387,11 @@ def run_shard(name: str, directory: str, port_conn,
               max_cached_models: Optional[int] = None) -> None:
     """Process entry point: build the server, report the port, serve."""
     try:
+        # Shard-local span file: each shard process appends to its own
+        # <directory>/traces.jsonl, and repro-obs re-joins the files by
+        # trace id.  (The enabled/sample state is inherited from the
+        # router's environment via fork/spawn.)
+        obs_trace.configure(trace_dir=directory)
         server = ShardServer(name, directory,
                              max_cached_models=max_cached_models)
     except Exception:

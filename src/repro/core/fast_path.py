@@ -58,6 +58,7 @@ import numpy as np
 
 from repro.core.context import DatasetContext
 from repro.core.fine_grained import fine_grained_signal
+from repro.obs.trace import stage
 
 __all__ = ["FastPathTables", "build_fast_path_tables", "verify_fast_path"]
 
@@ -222,45 +223,50 @@ class FastPathTables:
         predictions = np.zeros(cells.shape[0])
         if cells.shape[0] == 0:
             return np.zeros(0, dtype=bool), predictions
-        rows = cells[:, 0]
-        times = cells[:, 1]
-        windows = times // self.window
+        # The profiling hook attaches to the active trace span (a traced
+        # request activated by the serving tier); untraced calls get a
+        # shared no-op.
+        with stage("serve.table_lookup", cells=int(cells.shape[0])):
+            rows = cells[:, 0]
+            times = cells[:, 1]
+            windows = times // self.window
 
-        # A cell hits when (a) the target series' windows agree across the
-        # whole bounded attention context (what pooled_hidden reads), and
-        # (b) every series' window at the target time agrees (what the
-        # kernel regression's sibling gather reads).  Both checks run on
-        # the match matrix with one cumulative sum — no per-cell loops.
-        col_ok = match.all(axis=0)                              # (n_windows,)
-        bad = np.concatenate(
-            [np.zeros((self.n_series, 1), dtype=np.int64),
-             (~match).astype(np.int64).cumsum(axis=1)], axis=1)
-        start, span = context.context_span(times)
-        span_ok = (bad[rows, start + span] - bad[rows, start]) == 0
-        wslot = self.window_slot[rows, windows]
-        cslot = self.cell_slot[rows, times]
-        hits = span_ok & col_ok[windows] & (wslot >= 0) & (cslot >= 0)
-        if not hits.any():
+            # A cell hits when (a) the target series' windows agree across
+            # the whole bounded attention context (what pooled_hidden
+            # reads), and (b) every series' window at the target time
+            # agrees (what the kernel regression's sibling gather reads).
+            # Both checks run on the match matrix with one cumulative sum —
+            # no per-cell loops.
+            col_ok = match.all(axis=0)                          # (n_windows,)
+            bad = np.concatenate(
+                [np.zeros((self.n_series, 1), dtype=np.int64),
+                 (~match).astype(np.int64).cumsum(axis=1)], axis=1)
+            start, span = context.context_span(times)
+            span_ok = (bad[rows, start + span] - bad[rows, start]) == 0
+            wslot = self.window_slot[rows, windows]
+            cslot = self.cell_slot[rows, times]
+            hits = span_ok & col_ok[windows] & (wslot >= 0) & (cslot >= 0)
+            if not hits.any():
+                return hits, predictions
+
+            features = []
+            if self.hidden is not None:
+                offsets = times[hits] % self.window
+                hidden = self.hidden[wslot[hits]]               # (Bh, p)
+                # Eqn. 14 for the target offset only: the one small matmul.
+                raw = np.matmul(hidden[:, None, :],
+                                self.position_decoder[offsets])[:, 0, :]
+                raw = raw + self.position_bias[offsets]
+                features.append(raw * (raw > 0))                # exact relu
+            if self.fg is not None:
+                features.append(self.fg[wslot[hits]][:, None])
+            if self.kr is not None:
+                features.append(self.kr[cslot[hits]])
+            combined = features[0] if len(features) == 1 \
+                else np.concatenate(features, axis=-1)
+            predictions[hits] = \
+                (combined @ self.output_weight + self.output_bias)[:, 0]
             return hits, predictions
-
-        features = []
-        if self.hidden is not None:
-            offsets = times[hits] % self.window
-            hidden = self.hidden[wslot[hits]]                   # (Bh, p)
-            # Eqn. 14 for the target offset only: the one small matmul.
-            raw = np.matmul(hidden[:, None, :],
-                            self.position_decoder[offsets])[:, 0, :]
-            raw = raw + self.position_bias[offsets]
-            features.append(raw * (raw > 0))                    # exact relu
-        if self.fg is not None:
-            features.append(self.fg[wslot[hits]][:, None])
-        if self.kr is not None:
-            features.append(self.kr[cslot[hits]])
-        combined = features[0] if len(features) == 1 \
-            else np.concatenate(features, axis=-1)
-        predictions[hits] = \
-            (combined @ self.output_weight + self.output_bias)[:, 0]
-        return hits, predictions
 
     # ------------------------------------------------------------------ #
     # serialisation (rides inside DeepMVIImputer.get_state)

@@ -35,6 +35,7 @@ from repro.core.sampling import MissingShapeSampler
 from repro.core.training import DeepMVITrainer, TrainingHistory
 from repro.data.tensor import TimeSeriesTensor
 from repro.exceptions import NotFittedError
+from repro.obs.trace import stage
 
 
 class DeepMVIImputer(BaseImputer):
@@ -154,9 +155,11 @@ class DeepMVIImputer(BaseImputer):
                 # traffic pays only the per-request value plumbing, and
                 # same-shaped traffic normalises with the fitted statistics
                 # so unchanged windows stay fast-path-compatible.
-                context = self._build_context(
-                    tensor, structure_from=self._structure_template(tensor),
-                    normalisation=self._serving_normalisation(tensor))
+                with stage("serve.context_build"):
+                    context = self._build_context(
+                        tensor,
+                        structure_from=self._structure_template(tensor),
+                        normalisation=self._serving_normalisation(tensor))
                 self._remember_structure(tensor, context)
             missing_cells = np.argwhere(context.avail == 0)
             # Ignore cells that fall outside the original (unpadded) range.
@@ -234,7 +237,9 @@ class DeepMVIImputer(BaseImputer):
                     pieces.append(context.build_batch(
                         series_rows=cells[start:stop, 0],
                         target_times=cells[start:stop, 1]))
-                predictions = self.model.predict(concatenate_batches(pieces))
+                with stage("serve.forward", chunks=len(chunk)):
+                    predictions = self.model.predict(
+                        concatenate_batches(pieces))
                 offset = 0
                 for index, start, stop in chunk:
                     _, _, cells, matrix = plans[index]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import List
@@ -15,6 +16,8 @@ from repro.core.sampling import MissingShapeSampler, TrainingSampler
 from repro.nn.losses import mse_loss
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor, no_grad
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -100,8 +103,8 @@ class DeepMVITrainer:
             history.train_losses.append(train_loss)
             history.validation_losses.append(validation_loss)
             if config.verbose:
-                print(f"[deepmvi] epoch {epoch:3d} "
-                      f"train={train_loss:.4f} val={validation_loss:.4f}")
+                logger.info("[deepmvi] epoch %3d train=%.4f val=%.4f",
+                            epoch, train_loss, validation_loss)
 
             if validation_loss < history.best_validation_loss - 1e-6:
                 history.best_validation_loss = validation_loss

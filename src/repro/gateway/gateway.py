@@ -71,6 +71,7 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.gateway.metrics import GatewayMetrics
+from repro.obs import trace as obs_trace
 from repro.gateway.queue import (
     GatewayFuture,
     LANES,
@@ -128,6 +129,13 @@ class GatewayConfig:
     #: pure table reads need no per-model serialisation, so fast-lane
     #: batches overlap freely with a full forward holding the model lock
     use_fast_path: bool = True
+    #: head-sampling rate for request tracing (:mod:`repro.obs`): the
+    #: fraction of submitted requests that carry a
+    #: :class:`~repro.obs.TraceContext` when ``REPRO_TRACE=1``.  Sampling
+    #: is decided once at the front door and the verdict travels with the
+    #: request, so a trace is always complete or absent — never partial.
+    #: Irrelevant (zero-cost) while tracing is disabled.
+    trace_sample_rate: float = 1.0
 
     def validate(self) -> "GatewayConfig":
         if self.max_batch_size < 1:
@@ -144,6 +152,10 @@ class GatewayConfig:
             raise ValidationError(
                 f"default_deadline_ms must be > 0 or None, "
                 f"got {self.default_deadline_ms}")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValidationError(
+                f"trace_sample_rate must be in [0, 1], "
+                f"got {self.trace_sample_rate}")
         # max_queue_depth / admission / interactive_burst are validated by
         # RequestQueue, which owns those semantics.
         return self
@@ -302,8 +314,14 @@ class Gateway:
                      if request.request_id is not None else None)
         internal_id = f"g-{next(self._id_counter):08d}"
         now = time.perf_counter()
+        # Tracing front door: requests that already carry a context (an
+        # upstream tier stamped one) keep it; otherwise mint a sampled root.
+        # Disabled tracing costs exactly this one enabled() check.
+        ctx = request.trace
+        if ctx is None and obs_trace.enabled():
+            ctx = obs_trace.start_trace(self.config.trace_sample_rate)
         request = dataclasses.replace(request, request_id=internal_id,
-                                      enqueued_at=now)
+                                      enqueued_at=now, trace=ctx)
         deadline_ms = (self.config.default_deadline_ms
                        if deadline_ms is None else deadline_ms)
         if deadline_ms is not None and deadline_ms <= 0:
@@ -319,6 +337,15 @@ class Gateway:
             caller_id=caller_id,
             admitted_at=now,
         )
+        if ctx is not None:
+            # The trace root: everything downstream parents onto this span.
+            # Buffered on the entry (before put() hands it to a worker)
+            # and flushed with the batch's spans, so admission itself
+            # never blocks on span IO.
+            entry.root_span = obs_trace.span_record(
+                "gateway.submit", ctx, now, time.perf_counter(),
+                {"lane": priority, "request_id": caller_id or internal_id,
+                 "model_id": str(request.model_id)})
         try:
             self._queue.put(entry, timeout=timeout)
         except QueueFullError:
@@ -446,35 +473,65 @@ class Gateway:
                     f"request {entry.future.request_id!r} expired after "
                     f"{waited * 1e3:.1f} ms, before compute started"))
                 self.metrics.record_expired()
+                if entry.root_span is not None:
+                    # the trace still shows the request entered and died
+                    obs_trace.write_records([entry.root_span])
             else:
                 live.append(entry)
         if not live:
             return
         self.metrics.record_batch(len(live))
         model_id = live[0].request.model_id
+        # Tracing: close each traced request's queue-wait span and re-stamp
+        # it with a per-batch child context, so the serving spans written
+        # downstream (fast lane, fused forward, shard RPC) parent onto the
+        # batch rather than onto the root.
+        dispatched = time.perf_counter()
+        traced: List[QueuedRequest] = []
+        batch_spans: List[dict] = []
+        if obs_trace.enabled():
+            for entry in live:
+                ctx = entry.request.trace
+                if ctx is None:
+                    continue
+                if entry.root_span is not None:
+                    batch_spans.append(entry.root_span)
+                    entry.root_span = None
+                batch_spans.append(obs_trace.span_record(
+                    "gateway.queue", ctx.child(), entry.admitted_at,
+                    dispatched, {"lane": entry.lane}))
+                entry.request = dataclasses.replace(entry.request,
+                                                    trace=ctx.child())
+                traced.append(entry)
         # No-lock fast lane: when every request in the batch is fully
         # answerable from the model's precomputed lookup tables, serve it
         # with pure reads — no model lock, no forward pass.  All-or-
         # nothing per batch; any miss falls through to the locked path.
         if self.config.use_fast_path and self._try_fast_lane(model_id, live):
+            self._close_batch_spans(traced, batch_spans, dispatched,
+                                    len(live), fast_lane=True)
             return
         # One batch per model at a time: the fitted imputers (live network
         # objects) are not guaranteed re-entrant, and on one interpreter
         # the throughput lever is fusion, not intra-model thread overlap.
         # Distinct models still serve concurrently across workers.
-        with self._model_lock(model_id):
-            try:
-                imputer = self.service.store.get(model_id)
-            except Exception as error:
-                self._fail_all(live, ServiceError(
-                    f"model {model_id!r} could not be obtained: {error}"))
-                return
-            serving = ServingBatch(
-                model_id=model_id,
-                method=self.service.store.method_for(model_id),
-                requests=[entry.request for entry in live],
-                imputer=imputer)
-            job = execute_serving_batch(serving)
+        try:
+            with self._model_lock(model_id):
+                try:
+                    imputer = self.service.store.get(model_id)
+                except Exception as error:
+                    self._fail_all(live, ServiceError(
+                        f"model {model_id!r} could not be obtained: {error}"))
+                    return
+                serving = ServingBatch(
+                    model_id=model_id,
+                    method=self.service.store.method_for(model_id),
+                    requests=[entry.request for entry in live],
+                    imputer=imputer)
+                job = execute_serving_batch(serving)
+        finally:
+            self._close_batch_spans(traced, batch_spans, dispatched,
+                                    len(live), fast_lane=False)
         if not job.ok:
             self._fail_all(live, ServiceError(
                 f"serving batch for model {model_id!r} failed:\n{job.error}"))
@@ -501,6 +558,26 @@ class Gateway:
                                "result")))
                 self.metrics.record_failed()
 
+    def _close_batch_spans(self, traced: List[QueuedRequest],
+                           batch_spans: List[dict], dispatched: float,
+                           batch_size: int, fast_lane: bool) -> None:
+        """Flush the batch's buffered spans plus a ``gateway.batch`` each.
+
+        The batch span's context is the one re-stamped on the request at
+        dispatch, so the serving spans written while the batch ran are its
+        children.  All of the batch's spans — the queue spans buffered at
+        dispatch and the batch spans closed here — land in one write.
+        """
+        end = time.perf_counter()
+        for entry in traced:
+            ctx = entry.request.trace
+            if ctx is not None:
+                batch_spans.append(obs_trace.span_record(
+                    "gateway.batch", ctx, dispatched, end,
+                    {"batch_size": batch_size, "lane": entry.lane,
+                     "fast_lane": fast_lane}))
+        obs_trace.write_records(batch_spans)
+
     def _try_fast_lane(self, model_id: str,
                        live: List[QueuedRequest]) -> bool:
         """Serve the whole batch from lookup tables; False on any miss.
@@ -515,21 +592,29 @@ class Gateway:
         probe = getattr(imputer, "try_fast_path", None)
         if not callable(probe):
             return False
+        first_trace = next((entry.request.trace for entry in live
+                            if entry.request.trace is not None), None)
         start = time.perf_counter()
         try:
-            completed = probe([entry.request.data for entry in live])
+            with obs_trace.activate(first_trace):
+                completed = probe([entry.request.data for entry in live])
         except Exception:
             # The fast lane is opportunistic: any failure (a structurally
             # odd tensor, a mid-refresh model) falls back to the locked
             # path, which owns real error reporting — but a silently
             # failing fast lane would look like a fusion-rate regression,
-            # so leave a debug trace behind.
+            # so count it (``fast_lane_fallbacks`` in stats() extras) and
+            # leave a debug trace behind.
+            self.metrics.record_fast_lane_fallback()
             logger.debug("fast lane miss for model %s; falling back to "
                          "locked batch path", model_id, exc_info=True)
+            self._write_fast_lane_spans(live, start, hit=False)
             return False
         if completed is None:
+            self._write_fast_lane_spans(live, start, hit=False)
             return False
         end = time.perf_counter()
+        self._write_fast_lane_spans(live, start, hit=True)
         share = (end - start) / len(live)
         method = self.service.store.method_for(model_id) or \
             getattr(imputer, "name", type(imputer).__name__)
@@ -550,6 +635,18 @@ class Gateway:
             self.metrics.record_completion(result.latency_seconds,
                                            fused=False, fast_path=True)
         return True
+
+    def _write_fast_lane_spans(self, live: List[QueuedRequest],
+                               start: float, hit: bool) -> None:
+        """Record the fast-lane probe (hit or miss) on every traced entry."""
+        if not obs_trace.enabled():
+            return
+        end = time.perf_counter()
+        obs_trace.write_records([
+            obs_trace.span_record("gateway.fast_lane",
+                                  entry.request.trace.child(), start, end,
+                                  {"hit": hit, "batch_size": len(live)})
+            for entry in live if entry.request.trace is not None])
 
     def _fail_all(self, entries: List[QueuedRequest],
                   error: ServiceError) -> None:

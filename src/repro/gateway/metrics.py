@@ -55,7 +55,8 @@ def percentile(values: List[float], q: float) -> float:
 
 @guarded_by("_lock", "submitted", "completed", "failed", "rejected",
             "expired", "fused_completed", "fast_path_completed", "batches",
-            "batch_size_sum", "_latencies", "_completion_times")
+            "batch_size_sum", "fast_lane_fallbacks", "_latencies",
+            "_completion_times")
 class GatewayMetrics:
     """Thread-safe counters + reservoirs behind ``Gateway.stats()``."""
 
@@ -77,6 +78,11 @@ class GatewayMetrics:
         self.fast_path_completed = 0
         self.batches = 0
         self.batch_size_sum = 0
+        #: batches that probed the no-lock fast lane and fell back to the
+        #: locked path because the probe *raised* (not a clean miss) —
+        #: historically only a debug log line, so a misbehaving fast lane
+        #: was invisible in stats()
+        self.fast_lane_fallbacks = 0
         self._latencies: Deque[float] = deque(maxlen=latency_reservoir)
         #: completion stamps for the sliding-window QPS (bounded: stale
         #: stamps are pruned on record and on snapshot)
@@ -103,6 +109,10 @@ class GatewayMetrics:
         with self._lock:
             self.batches += 1
             self.batch_size_sum += size
+
+    def record_fast_lane_fallback(self) -> None:
+        with self._lock:
+            self.fast_lane_fallbacks += 1
 
     def record_completion(self, latency_seconds: float,
                           fused: bool = False,
@@ -152,6 +162,7 @@ class GatewayMetrics:
             fast_path_completed = self.fast_path_completed
             batches = self.batches
             batch_size_sum = self.batch_size_sum
+            fast_lane_fallbacks = self.fast_lane_fallbacks
             latencies = list(self._latencies)
             window_completions = len(self._completion_times)
         uptime = max(now - self._started_at, 1e-9)
@@ -188,6 +199,9 @@ class GatewayMetrics:
             # counters), merged in when the gateway fronts a cluster
             # router instead of a single in-process service.
             shards=dict(shards) if shards is not None else None,
+            # Extras merge after the legacy keys, so the historical wire
+            # order of the snapshot dict is untouched.
+            extras={"fast_lane_fallbacks": fast_lane_fallbacks},
         )
 
     # -- internals ------------------------------------------------------- #

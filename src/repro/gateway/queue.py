@@ -98,6 +98,10 @@ class QueuedRequest:
     #: the gateway correlates internally by its own unique id)
     caller_id: Optional[str] = None
     admitted_at: float = field(default_factory=time.perf_counter)
+    #: buffered ``gateway.submit`` span record (traced requests only);
+    #: flushed by the worker together with the batch's other spans so
+    #: admission pays no span IO
+    root_span: Optional[dict] = None
 
     def expired(self, now: Optional[float] = None) -> bool:
         if self.deadline is None:

@@ -1,0 +1,75 @@
+"""repro.obs: end-to-end observability for the serving stack.
+
+Three pieces, one subsystem:
+
+**Tracing** (:mod:`repro.obs.trace`)
+    A :class:`TraceContext` stamped on every sampled
+    :class:`~repro.api.ImputeRequest` at submit and propagated through the
+    gateway queue/batcher, across the cluster wire protocol, and into
+    shard processes; each instrumented stage appends a span record to a
+    per-process ``traces.jsonl`` via the ``O_APPEND`` journal discipline.
+    Off by default — arm with ``REPRO_TRACE=1`` (and optionally
+    ``REPRO_TRACE_SAMPLE=0.1`` / ``REPRO_TRACE_DIR=/path``), or call
+    :func:`~repro.obs.trace.configure` at runtime.
+
+**Stage profiling** (:func:`~repro.obs.trace.stage`)
+    Lightweight timers around the hot stages (queue wait, context build,
+    forward, table lookup, wire encode/decode, journal commit) that attach
+    to the active span and collapse to a shared no-op when tracing is off.
+
+**Metrics export** (:mod:`repro.obs.metrics`, :mod:`repro.obs.exporter`)
+    A registry of named counters/gauges/histograms fed from the existing
+    :class:`~repro.api.MetricsSnapshot` telemetry and served in Prometheus
+    text format by a stdlib HTTP exporter thread.
+
+The ``repro-obs`` CLI (``python -m repro.obs``) tails/filters trace files,
+reconstructs a request's span tree across shard-local files, and prints a
+per-stage latency breakdown.
+"""
+
+from repro.obs.cli import build_tree, format_tree, load_spans, stage_table
+from repro.obs.exporter import MetricsExporter
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    feed_snapshot,
+    registry,
+)
+from repro.obs.trace import (
+    TraceContext,
+    activate,
+    configure,
+    current,
+    enabled,
+    span,
+    stage,
+    start_trace,
+    trace_path,
+    write_span,
+)
+
+__all__ = [
+    "TraceContext",
+    "activate",
+    "configure",
+    "current",
+    "enabled",
+    "span",
+    "stage",
+    "start_trace",
+    "trace_path",
+    "write_span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsExporter",
+    "feed_snapshot",
+    "registry",
+    "build_tree",
+    "format_tree",
+    "load_spans",
+    "stage_table",
+]

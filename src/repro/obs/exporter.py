@@ -1,0 +1,129 @@
+"""A tiny stdlib HTTP exporter serving the metrics registry.
+
+One daemon thread, one ``ThreadingHTTPServer``, two endpoints:
+
+``/metrics``
+    The registry in Prometheus text exposition format.  Registered
+    *collector* callables run first on every scrape, so live sources
+    (``Gateway.stats()``, ``ClusterRouter.analytics()``, ...) are pulled
+    into the registry at scrape time rather than pushed on the hot path.
+``/healthz``
+    A bare 200 for liveness probes.
+
+Usage::
+
+    exporter = MetricsExporter(port=0)          # 0 = ephemeral
+    exporter.add_collector(lambda: feed_snapshot(gateway.stats()))
+    exporter.start()
+    ... scrape http://127.0.0.1:{exporter.port}/metrics ...
+    exporter.stop()
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, registry
+
+__all__ = ["MetricsExporter"]
+
+logger = logging.getLogger(__name__)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # set by MetricsExporter before the server starts
+    exporter: "MetricsExporter"
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] == "/metrics":
+            body = self.exporter.scrape().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path.split("?", 1)[0] == "/healthz":
+            self.send_response(200)
+            self.send_header("Content-Length", "2")
+            self.end_headers()
+            self.wfile.write(b"ok")
+        else:
+            self.send_error(404)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        logger.debug("exporter: " + format, *args)
+
+
+class MetricsExporter:
+    """Serve a :class:`MetricsRegistry` over HTTP from a daemon thread."""
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1",
+                 reg: Optional[MetricsRegistry] = None):
+        self.registry = reg or registry()
+        self._host = host
+        self._requested_port = port
+        self._collectors: List[Callable[[], None]] = []
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Register a callable pulled on every ``/metrics`` scrape."""
+        self._collectors.append(collector)
+
+    def scrape(self) -> str:
+        """Run the collectors, then render the registry."""
+        for collector in self._collectors:
+            try:
+                collector()
+            except Exception:
+                # A dead source (shut-down gateway, killed shard) must not
+                # take the whole exporter down with it; the remaining
+                # series keep flowing and the failure is logged.
+                logger.warning("metrics collector %r failed", collector,
+                               exc_info=True)
+        return self.registry.render()
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is not None:
+            return self._server.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsExporter":
+        if self._server is not None:
+            return self
+        handler = type("_BoundHandler", (_Handler,), {"exporter": self})
+        self._server = ThreadingHTTPServer(
+            (self._host, self._requested_port), handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-obs-exporter",
+                                        daemon=True)
+        self._thread.start()
+        logger.info("metrics exporter listening on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

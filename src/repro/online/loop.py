@@ -39,6 +39,7 @@ Typical wiring::
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -47,6 +48,7 @@ from repro.api.requests import ImputeRequest
 from repro.api.telemetry import MetricsSnapshot
 from repro.evaluation.metrics import nrmse
 from repro.exceptions import ServiceError
+from repro.obs import trace as obs_trace
 from repro.online.canary import CanaryConfig, CanaryController, CanaryDecision
 from repro.online.drift import DriftConfig, DriftDetector, DriftEvent
 from repro.streaming.service import StreamingService
@@ -218,7 +220,7 @@ class OnlineLoop:
         if candidate is not None:
             if self.canary.should_shadow(base):
                 report.candidate_score = self._probe_score(
-                    candidate, probe_tensor, hidden, window)
+                    candidate, probe_tensor, hidden, window, shadow=True)
                 self._shadows += 1
                 self.canary.record(base, report.candidate_score,
                                    report.primary_score)
@@ -261,14 +263,21 @@ class OnlineLoop:
         watch.detector.reset()
 
     def _probe_score(self, ref: ModelRef, probe_tensor, hidden,
-                     window: StreamWindow) -> float:
+                     window: StreamWindow, shadow: bool = False) -> float:
         """Serve the probe with ``ref`` and score the hidden cells."""
-        request = ImputeRequest(model_id=ref, data=probe_tensor)
+        ctx = obs_trace.start_trace()
+        request = ImputeRequest(model_id=ref, data=probe_tensor, trace=ctx)
+        start = time.perf_counter()
         if self.gateway is not None:
             result = self.gateway.submit(request,
                                          priority="batch").result()
         else:
             result = self.service.impute(request)
+        if ctx is not None:
+            obs_trace.write_span(
+                "online.shadow" if shadow else "online.probe", ctx,
+                start, time.perf_counter(),
+                attrs={"window": window.index, "model_id": str(ref)})
         return nrmse(result.completed, window.tensor, mask=hidden)
 
     # -- introspection ---------------------------------------------------- #

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, Iterator, List, Mapping, Optional, \
     Union
 
+from repro.analysis.lockcheck import checked_lock, guarded_by
 from repro.api.refs import ModelRef, warn_bare_model_id
 from repro.api.requests import ImputeRequest, check_model_id
 from repro.api.service import ImputationService
@@ -119,6 +120,8 @@ class StreamState:
         }
 
 
+@guarded_by("_telemetry_lock", "_completed", "_failed", "_fused_completed",
+            "_fast_path_completed", "_latencies")
 class StreamingService:
     """Serve per-window impute requests for many concurrent streams.
 
@@ -148,7 +151,12 @@ class StreamingService:
         self.default_refit_every = default_refit_every
         self.default_max_history = default_max_history
         self._streams: Dict[str, StreamState] = {}
-        # telemetry behind stats(): window outcomes across every stream
+        # telemetry behind stats(): window outcomes across every stream.
+        # Guarded (lockcheck-instrumented, like GatewayMetrics) because a
+        # stats() poll may run concurrently with a step() when the service
+        # is driven next to a gateway worker pool.
+        self._telemetry_lock = checked_lock(
+            "StreamingService._telemetry_lock")
         self._started_at = time.perf_counter()
         self._completed = 0
         self._failed = 0
@@ -263,9 +271,15 @@ class StreamingService:
         from repro.gateway.metrics import percentile
 
         uptime = max(time.perf_counter() - self._started_at, 1e-9)
-        completed = self._completed
-        failed = self._failed
-        latencies = list(self._latencies)
+        # One critical section copies every counter, so a concurrent step()
+        # can never produce a torn pair (e.g. a fusion rate above 1.0);
+        # percentiles and rates are computed outside the lock.
+        with self._telemetry_lock:
+            completed = self._completed
+            failed = self._failed
+            fused_completed = self._fused_completed
+            fast_path_completed = self._fast_path_completed
+            latencies = list(self._latencies)
         pending = sum(len(state.pending) for state in self._streams.values()
                       if not state.closed)
         refits = sum(state.refits for state in self._streams.values())
@@ -280,8 +294,8 @@ class StreamingService:
             latency_p50_seconds=percentile(latencies, 50.0),
             latency_p95_seconds=percentile(latencies, 95.0),
             latency_p99_seconds=percentile(latencies, 99.0),
-            fusion_rate=rate(self._fused_completed, completed),
-            fast_path_hit_rate=rate(self._fast_path_completed, completed),
+            fusion_rate=rate(fused_completed, completed),
+            fast_path_hit_rate=rate(fast_path_completed, completed),
             queue_depth=pending,
             extras={
                 "streams": len([s for s in self._streams.values()
@@ -402,7 +416,8 @@ class StreamingService:
 
                     result.error = traceback.format_exc()
                     state.errors[window.index] = result.error
-                    self._failed += 1
+                    with self._telemetry_lock:
+                        self._failed += 1
                     continue
                 requests[request_id] = result
 
@@ -426,19 +441,22 @@ class StreamingService:
             result.latency_seconds = impute_result.latency_seconds
             state = self._streams[result.stream_id]
             state.windows_served += 1
-            self._completed += 1
-            self._latencies.append(float(impute_result.latency_seconds))
-            if impute_result.fused:
-                self._fused_completed += 1
-            if impute_result.fast_path:
-                self._fast_path_completed += 1
+            with self._telemetry_lock:
+                self._completed += 1
+                self._latencies.append(
+                    float(impute_result.latency_seconds))
+                if impute_result.fused:
+                    self._fused_completed += 1
+                if impute_result.fast_path:
+                    self._fast_path_completed += 1
         for request_id, error in errors.items():
             result = requests.get(request_id)
             if result is None:
                 continue
             result.error = error
             self._streams[result.stream_id].errors[result.window_index] = error
-            self._failed += 1
+            with self._telemetry_lock:
+                self._failed += 1
         # A refit mid-step supersedes the stream's previous model; it is
         # dropped only now, after the sweep, because windows accepted before
         # the refit were still queued against it.

@@ -48,6 +48,38 @@ class TestFixtures:
         assert rl003[0].line > 0 and rl003[0].hint
 
 
+class TestRl009NoPrint:
+    SOURCE = 'def report():\n    print("served")\n'
+
+    def test_fires_in_repro_library_code(self):
+        findings = linter.lint_source(self.SOURCE,
+                                      "src/repro/gateway/gateway.py")
+        assert [f.rule for f in findings] == ["RL009"]
+        assert "logging" in findings[0].hint
+
+    def test_cli_and_main_modules_are_exempt(self):
+        for path in ("src/repro/evaluation/cli.py",
+                     "src/repro/obs/cli.py",
+                     "src/repro/analysis/__main__.py"):
+            assert linter.lint_source(self.SOURCE, path) == []
+
+    def test_non_repro_paths_are_out_of_scope(self):
+        assert linter.lint_source(self.SOURCE, "benchmarks/_harness.py") == []
+
+    def test_docstring_examples_do_not_fire(self):
+        source = '"""Example::\n\n    print(stats)\n"""\n'
+        assert linter.lint_source(source,
+                                  "src/repro/gateway/gateway.py") == []
+
+    def test_pragma_suppresses(self):
+        source = 'print("banner")  # repro-lint: allow[no-print]\n'
+        assert linter.lint_source(source, "src/repro/x.py") == []
+
+    def test_shadowed_print_method_is_ignored(self):
+        source = "def f(doc):\n    doc.print()\n"
+        assert linter.lint_source(source, "src/repro/x.py") == []
+
+
 class TestPragmas:
     def test_trailing_pragma_suppresses_by_alias_and_id(self):
         for tag in ("wall-clock", "RL002"):

@@ -13,6 +13,8 @@ import numpy as np
 import pytest
 
 from repro.api import ImputationService
+from repro.baselines.registry import ImputerRegistry, MethodInfo
+from repro.baselines.simple import MeanImputer
 from repro.core.config import DeepMVIConfig
 from repro.data.missing import MissingScenario, apply_scenario
 from repro.data.tensor import TimeSeriesTensor
@@ -124,6 +126,39 @@ def test_all_hit_batch_takes_the_no_lock_lane(deepmvi_service, incomplete):
     assert info["build_seconds"] >= 0.0
     assert info["age_seconds"] >= 0.0
     assert info["nbytes"] > 0
+
+
+class _ExplodingFastPath(MeanImputer):
+    """Fast-lane probe raises (a mid-refresh model); serving still works."""
+
+    name = "boomfast"
+
+    def try_fast_path(self, tensors):
+        raise RuntimeError("tables mid-refresh")
+
+
+def test_fast_lane_fallbacks_are_counted(incomplete):
+    registry = ImputerRegistry()
+    registry.register(MethodInfo("boomfast", _ExplodingFastPath))
+    service = ImputationService(registry=registry)
+    model_id = service.fit(incomplete, method="boomfast")
+
+    gateway = Gateway(service, GatewayConfig(max_batch_size=8,
+                                             max_wait_ms=20.0),
+                      start=False)
+    futures = gateway.submit_many(
+        [_copy_of(incomplete, f"copy-{i}") for i in range(2)],
+        model_id=model_id)
+    gateway.start()
+    served = [future.result(timeout=60.0) for future in futures]
+    stats = gateway.stats()
+    gateway.close()
+
+    # The exploding probe fell back to the locked path — every request
+    # still answered — and the silent degradation is visible in stats().
+    assert all(np.isfinite(r.completed.values).all() for r in served)
+    assert stats["completed"] == 2
+    assert stats["fast_lane_fallbacks"] >= 1
 
 
 def test_fast_lane_can_be_disabled(deepmvi_service, incomplete):

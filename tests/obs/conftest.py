@@ -1,0 +1,31 @@
+"""Shared fixtures: isolate repro.obs process-global state per test.
+
+The tracer and the default metrics registry are process-wide by design
+(module globals); these fixtures snapshot and restore them so tests can
+flip tracing on without leaking state into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    saved = (obs_trace.enabled(), obs_trace.sample_rate(),
+             obs_trace._trace_dir)
+    obs_trace.configure(enabled=False, sample_rate=1.0)
+    yield
+    obs_trace.configure(enabled=saved[0], sample_rate=saved[1],
+                        trace_dir=saved[2])
+    obs_metrics.registry().reset()
+
+
+@pytest.fixture
+def traced(tmp_path):
+    """Tracing armed at full sampling, spans landing in ``tmp_path``."""
+    obs_trace.configure(enabled=True, sample_rate=1.0, trace_dir=tmp_path)
+    return tmp_path

@@ -1,0 +1,81 @@
+"""Exporter tests: a real HTTP scrape against the daemon-thread server."""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.exporter import MetricsExporter
+from repro.obs.metrics import MetricsRegistry, feed_snapshot
+
+
+@pytest.fixture
+def exporter():
+    registry = MetricsRegistry()
+    registry.counter("served_total").inc(42)
+    with MetricsExporter(port=0, reg=registry) as exporter:
+        yield exporter
+
+
+def _get(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+class TestScrape:
+    def test_metrics_endpoint(self, exporter):
+        status, headers, body = _get(exporter.url)
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert b"repro_served_total 42" in body
+
+    def test_healthz(self, exporter):
+        status, _, body = _get(
+            f"http://127.0.0.1:{exporter.port}/healthz")
+        assert status == 200
+        assert body == b"ok"
+
+    def test_unknown_path_is_404(self, exporter):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"http://127.0.0.1:{exporter.port}/nope")
+        assert excinfo.value.code == 404
+
+    def test_collectors_pull_at_scrape_time(self, exporter):
+        state = {"depth": 3}
+        exporter.add_collector(lambda: feed_snapshot(
+            {"source": "gateway", "queue_depth": state["depth"]},
+            reg=exporter.registry))
+        _, _, body = _get(exporter.url)
+        assert b"repro_gateway_queue_depth 3" in body
+        state["depth"] = 9
+        _, _, body = _get(exporter.url)
+        assert b"repro_gateway_queue_depth 9" in body
+
+    def test_failing_collector_does_not_kill_the_scrape(self, exporter):
+        def boom():
+            raise RuntimeError("dead source")
+
+        exporter.add_collector(boom)
+        status, _, body = _get(exporter.url)
+        assert status == 200
+        assert b"repro_served_total 42" in body
+
+
+class TestLifecycle:
+    def test_ephemeral_port_resolves_and_stop_frees_it(self):
+        exporter = MetricsExporter(port=0, reg=MetricsRegistry())
+        exporter.start()
+        port = exporter.port
+        assert port != 0
+        exporter.stop()
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            _get(f"http://127.0.0.1:{port}/healthz", timeout=0.5)
+
+    def test_start_is_idempotent(self):
+        exporter = MetricsExporter(port=0, reg=MetricsRegistry())
+        try:
+            assert exporter.start() is exporter.start()
+        finally:
+            exporter.stop()

@@ -1,0 +1,127 @@
+"""repro-obs CLI tests: cross-file joins, tree reconstruction, tables."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.cli import build_tree, format_tree, load_spans, main, stage_table
+
+
+def _span(name, trace_id, span_id, parent_id=None, start=0.0,
+          duration=0.001, pid=1, **attrs):
+    record = {"name": name, "trace_id": trace_id, "span_id": span_id,
+              "parent_id": parent_id, "start": start, "duration": duration,
+              "pid": pid}
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+@pytest.fixture
+def span_dirs(tmp_path):
+    """Two process-local span files, as a gateway + one shard would leave."""
+    gateway_dir = tmp_path / "gateway"
+    shard_dir = tmp_path / "shard-0"
+    gateway_dir.mkdir()
+    shard_dir.mkdir()
+    gateway_spans = [
+        _span("gateway.submit", "trace-a", "root", start=1.0, lane="interactive"),
+        _span("gateway.queue", "trace-a", "q1", parent_id="root", start=1.1),
+        _span("gateway.batch", "trace-a", "b1", parent_id="root", start=1.2),
+        _span("gateway.submit", "trace-b", "root-b", start=5.0),
+    ]
+    shard_spans = [
+        _span("shard.serve", "trace-a", "s1", parent_id="b1", start=1.3,
+              pid=2, shard="shard-0", fast_path=True),
+    ]
+    (gateway_dir / "traces.jsonl").write_text(
+        "\n".join(json.dumps(span) for span in gateway_spans) + "\n",
+        encoding="utf-8")
+    # the shard file ends in a torn line (killed mid-append) plus a blank
+    (shard_dir / "traces.jsonl").write_text(
+        "\n".join(json.dumps(span) for span in shard_spans)
+        + '\n{"name": "shard.serve", "trace_id": "tr\n\n',
+        encoding="utf-8")
+    return tmp_path
+
+
+class TestLoadSpans:
+    def test_joins_files_recursively_sorted_by_start(self, span_dirs):
+        spans = load_spans([span_dirs])
+        assert [span["name"] for span in spans] == [
+            "gateway.submit", "gateway.queue", "gateway.batch",
+            "shard.serve", "gateway.submit"]
+        assert {span["file"] for span in spans} == {
+            str(span_dirs / "gateway" / "traces.jsonl"),
+            str(span_dirs / "shard-0" / "traces.jsonl")}
+
+    def test_torn_and_blank_lines_are_skipped(self, span_dirs):
+        spans = load_spans([span_dirs / "shard-0"])
+        assert len(spans) == 1
+
+    def test_filters(self, span_dirs):
+        assert len(load_spans([span_dirs], trace_id="trace-b")) == 1
+        assert len(load_spans([span_dirs], stage="gateway.submit")) == 2
+
+    def test_missing_paths_yield_nothing(self, tmp_path):
+        assert load_spans([tmp_path / "absent"]) == []
+
+
+class TestTree:
+    def test_cross_process_tree(self, span_dirs):
+        spans = load_spans([span_dirs], trace_id="trace-a")
+        roots = build_tree(spans)
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["name"] == "gateway.submit"
+        assert [child["name"] for child in root["children"]] == [
+            "gateway.queue", "gateway.batch"]
+        batch = root["children"][1]
+        assert [child["name"] for child in batch["children"]] == [
+            "shard.serve"]
+
+    def test_orphans_surface_as_roots(self):
+        roots = build_tree([_span("shard.serve", "t", "s1",
+                                  parent_id="not-here")])
+        assert len(roots) == 1
+
+    def test_format_tree_indents_and_shows_attrs(self, span_dirs):
+        spans = load_spans([span_dirs], trace_id="trace-a")
+        text = format_tree(build_tree(spans))
+        lines = text.splitlines()
+        assert lines[0].startswith("gateway.submit")
+        assert "[lane=interactive]" in lines[0]
+        assert any(line.startswith("    shard.serve") for line in lines)
+        assert "(pid 2)" in text
+
+
+class TestStageTable:
+    def test_per_stage_rows(self, span_dirs):
+        table = stage_table(load_spans([span_dirs]))
+        lines = table.splitlines()
+        assert "stage" in lines[0] and "p95_ms" in lines[0]
+        submit_row = next(line for line in lines
+                          if line.startswith("gateway.submit"))
+        assert " 2 " in submit_row  # count column
+
+
+class TestMain:
+    def test_tail(self, span_dirs, capsys):
+        assert main(["tail", str(span_dirs), "--trace", "trace-a",
+                     "--limit", "2"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 2
+        assert all(json.loads(line)["trace_id"] == "trace-a" for line in out)
+
+    def test_tree(self, span_dirs, capsys):
+        assert main(["tree", "trace-a", str(span_dirs)]) == 0
+        assert "gateway.submit" in capsys.readouterr().out
+
+    def test_tree_unknown_trace_fails(self, span_dirs, capsys):
+        assert main(["tree", "nope", str(span_dirs)]) == 1
+
+    def test_stages(self, span_dirs, capsys):
+        assert main(["stages", str(span_dirs)]) == 0
+        assert "shard.serve" in capsys.readouterr().out

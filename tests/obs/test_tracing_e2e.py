@@ -1,0 +1,173 @@
+"""End-to-end tracing: gateway, cluster, and the bit-identity guarantee.
+
+The acceptance bar for the tracer: one request submitted through
+``Gateway(service=ClusterRouter)`` leaves spans in the gateway process's
+file *and* the shard processes' files, all under a single trace id, and
+``repro-obs`` re-joins them into the submit → queue → batch → RPC →
+shard-serve tree.  And none of it may change answers: serving with
+tracing on is bit-identical to serving with it off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ImputationService, ImputeRequest
+from repro.cluster import ClusterRouter
+from repro.data.dimensions import Dimension
+from repro.data.tensor import TimeSeriesTensor
+from repro.gateway import Gateway, GatewayConfig
+from repro.obs import trace as obs_trace
+from repro.obs.cli import build_tree, load_spans
+
+
+def _panel(seed, shape=(4, 40), missing=6):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=shape).cumsum(axis=1)
+    mask = np.ones(shape)
+    flat = rng.choice(values.size, size=missing, replace=False)
+    mask.flat[flat] = 0
+    values = np.where(mask == 1, values, np.nan)
+    return TimeSeriesTensor(values=values,
+                            dimensions=[Dimension.categorical("s", shape[0])],
+                            mask=mask, name=f"panel-{seed}")
+
+
+def _tree_names(node):
+    yield str(node["name"])
+    for child in node["children"]:
+        yield from _tree_names(child)
+
+
+class TestGatewayTracing:
+    def test_single_process_span_tree(self, traced):
+        service = ImputationService()
+        model_id = service.fit(_panel(1), method="mean")
+        with Gateway(service, GatewayConfig(max_batch_size=4,
+                                            max_wait_ms=5.0)) as gateway:
+            futures = [gateway.submit(_panel(seed, missing=4),
+                                      model_id=model_id)
+                       for seed in (2, 3, 4)]
+            for future in futures:
+                future.result(timeout=30.0)
+
+        spans = load_spans([traced])
+        trace_ids = {span["trace_id"] for span in spans}
+        assert len(trace_ids) == 3  # one trace per request, never shared
+        for trace_id in trace_ids:
+            roots = build_tree(load_spans([traced], trace_id=trace_id))
+            assert len(roots) == 1
+            names = list(_tree_names(roots[0]))
+            assert names[0] == "gateway.submit"
+            assert "gateway.queue" in names
+            assert "gateway.batch" in names
+            assert "serve.impute" in names
+
+    def test_unsampled_requests_leave_no_spans(self, traced):
+        service = ImputationService()
+        model_id = service.fit(_panel(1), method="mean")
+        config = GatewayConfig(trace_sample_rate=0.0)
+        with Gateway(service, config) as gateway:
+            gateway.submit(_panel(2, missing=4),
+                           model_id=model_id).result(timeout=30.0)
+        assert load_spans([traced]) == []
+
+    def test_direct_service_submit_mints_a_root(self, traced):
+        service = ImputationService()
+        model_id = service.fit(_panel(1), method="mean")
+        service.submit(_panel(2, missing=4), model_id=model_id)
+        service.gather()
+        spans = load_spans([traced])
+        roots = [span for span in spans if span["parent_id"] is None]
+        assert any(span["name"] == "service.submit" for span in roots)
+
+
+class TestClusterTracing:
+    def test_gateway_over_cluster_single_trace_across_processes(
+            self, tmp_path, monkeypatch):
+        # forked shard processes inherit the tracer's enabled state from
+        # the parent's module globals; the env var covers a spawn fallback
+        monkeypatch.setenv(obs_trace.ENV_TRACE, "1")
+        gateway_dir = tmp_path / "gateway"
+        gateway_dir.mkdir()
+        obs_trace.configure(enabled=True, sample_rate=1.0,
+                            trace_dir=gateway_dir)
+
+        router = ClusterRouter(directory=tmp_path / "cluster", shards=2)
+        try:
+            model_id = router.fit(_panel(1), method="mean")
+            with Gateway(service=router,
+                         config=GatewayConfig(max_wait_ms=1.0)) as gateway:
+                result = gateway.submit(
+                    _panel(2, missing=4),
+                    model_id=model_id).result(timeout=60.0)
+                assert np.isfinite(result.completed.values).all()
+        finally:
+            router.close()
+
+        spans = load_spans([tmp_path])
+        gateway_file = str(gateway_dir / "traces.jsonl")
+        shard_files = {span["file"] for span in spans} - {gateway_file}
+        assert gateway_file in {span["file"] for span in spans}
+        assert shard_files, "no shard-local span file was written"
+
+        # exactly one trace id spans both sides of the RPC
+        trace_ids = {span["trace_id"] for span in spans}
+        assert len(trace_ids) == 1
+        assert len({span["pid"] for span in spans}) >= 2
+
+        roots = build_tree(spans)
+        assert len(roots) == 1, [span["name"] for span in spans]
+        names = list(_tree_names(roots[0]))
+        assert names[0] == "gateway.submit"
+        for required in ("gateway.queue", "gateway.batch", "cluster.rpc",
+                         "wire.encode", "wire.decode", "shard.serve",
+                         "shard.commit"):
+            assert required in names, f"{required} missing from {names}"
+
+        serve = next(span for span in spans
+                     if span["name"] == "shard.serve")
+        assert "fast_path" in serve["attrs"]
+        assert serve["attrs"]["shard"] in {"shard-0", "shard-1"}
+
+    def test_direct_router_submit_traces_too(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs_trace.ENV_TRACE, "1")
+        obs_trace.configure(enabled=True, sample_rate=1.0,
+                            trace_dir=tmp_path)
+        router = ClusterRouter(directory=tmp_path / "cluster", shards=1)
+        try:
+            model_id = router.fit(_panel(1), method="mean")
+            router.submit(_panel(2, missing=4), model_id=model_id)
+            router.gather()
+        finally:
+            router.close()
+        spans = load_spans([tmp_path])
+        names = {span["name"] for span in spans}
+        assert "cluster.submit" in names
+        assert "cluster.rpc" in names
+        assert "shard.serve" in names
+        assert len({span["trace_id"] for span in spans}) == 1
+
+
+class TestBitIdentity:
+    def test_tracing_never_changes_answers(self, tmp_path):
+        """Identical bytes with tracing off, fully sampled, and disabled."""
+        windows = [_panel(seed, missing=4) for seed in (2, 3, 4)]
+
+        def serve(enabled):
+            obs_trace.configure(enabled=enabled, sample_rate=1.0,
+                                trace_dir=tmp_path)
+            service = ImputationService()
+            model_id = service.fit(_panel(1), method="mean")
+            with Gateway(service, GatewayConfig(max_batch_size=4,
+                                                max_wait_ms=5.0)) as gateway:
+                futures = gateway.submit_many(windows, model_id=model_id)
+                return [future.result(timeout=30.0).completed.values
+                        for future in futures]
+
+        baseline = serve(enabled=False)
+        traced = serve(enabled=True)
+        assert load_spans([tmp_path]), "tracing was supposed to be on"
+        for off, on in zip(baseline, traced):
+            np.testing.assert_array_equal(off, on)

@@ -96,6 +96,36 @@ class TestColdSnapshots:
         assert snap["completed"] == 0
 
 
+class TestObsWireCompat:
+    """The new obs-era fields must never disturb the legacy wire shape."""
+
+    def test_legacy_key_order_is_preserved_with_obs_extras(self):
+        snap = GatewayMetrics().snapshot()
+        keys = list(snap.to_dict())
+        # the historical core keys come first, in emission order; extras
+        # (fast_lane_fallbacks and friends) strictly after them
+        assert tuple(keys[:len(MetricsSnapshot._CORE_KEYS)]) == \
+            MetricsSnapshot._CORE_KEYS
+        assert keys.index("fast_lane_fallbacks") >= \
+            len(MetricsSnapshot._CORE_KEYS)
+
+    def test_to_dict_round_trips_through_json(self):
+        snap = GatewayMetrics().snapshot()
+        assert json.loads(snap.to_json()) == snap.to_dict()
+
+    def test_cold_snapshot_obs_counters_are_zero(self):
+        snap = GatewayMetrics().snapshot()
+        assert snap["fast_lane_fallbacks"] == 0
+
+    def test_fallback_counter_rides_in_extras(self):
+        metrics = GatewayMetrics()
+        metrics.record_fast_lane_fallback()
+        metrics.record_fast_lane_fallback()
+        snap = metrics.snapshot()
+        assert snap.extras["fast_lane_fallbacks"] == 2
+        assert snap["fast_lane_fallbacks"] == 2
+
+
 class TestLiveSnapshots:
     def test_streaming_stats_count_served_windows(self):
         svc = StreamingService()

@@ -1,0 +1,16 @@
+#!/usr/bin/env python
+"""Standalone entry point for repro-obs (no PYTHONPATH needed).
+
+Equivalent to ``PYTHONPATH=src python -m repro.obs``; keeps working
+from any checkout because it resolves ``src/`` relative to this file.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
